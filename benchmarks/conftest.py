@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_study*.py`` file regenerates one table/figure family of the
+paper: pytest-benchmark measures the *real* wall clock of the pure-Python
+kernels on scaled suite matrices, and a session-scoped report fixture prints
+the corresponding machine-model series (the paper-shaped numbers) once per
+file.  EXPERIMENTS.md records how both compare to the published figures.
+
+Benchmarks run at scale 1/64 with k = 32 by default so the whole harness
+finishes in minutes; the studies' model pathway (exercised in the printed
+series and in tests/) is scale-independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats.registry import get_format
+from repro.machine.machines import ARIES, GRACE_HOPPER
+from repro.matrices.suite import load_matrix
+
+#: Benchmark-wide defaults.
+SCALE = 64
+K = 32
+#: A representative subset: banded-uniform, FEM, scattered, heavy-tailed.
+MATRICES = ("af23560", "cant", "2cubes_sphere", "torso1")
+PAPER_FORMATS = ("coo", "csr", "ell", "bcsr")
+
+ARM = GRACE_HOPPER.with_scaled_caches(SCALE)
+X86 = ARIES.with_scaled_caches(SCALE)
+
+
+def build(matrix: str, fmt: str, block_size: int = 4, scale: int = SCALE):
+    """Format a suite matrix (cached triplets under the hood)."""
+    t = load_matrix(matrix, scale=scale)
+    params = {"block_size": block_size} if fmt == "bcsr" else {}
+    return get_format(fmt).from_triplets(t, **params)
+
+
+def dense_operand(A, k: int = K, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((A.ncols, k))
+
+
+@pytest.fixture(scope="session")
+def report_header():
+    printed = set()
+
+    def _print_once(key: str, text: str) -> None:
+        if key not in printed:
+            printed.add(key)
+            print("\n" + text)
+
+    return _print_once

@@ -1,0 +1,76 @@
+"""Benchmarks for the extension systems: SpGEMM, RCM reordering, SELL,
+and the roofline/selection tooling built beyond the paper's scope."""
+
+import numpy as np
+import pytest
+
+from repro.formats.registry import get_format
+from repro.kernels.spgemm import spgemm, spgemm_flops
+from repro.matrices.generators import banded_matrix
+from repro.matrices.reorder import bandwidth, permute, reverse_cuthill_mckee
+from repro.matrices.suite import load_matrix
+
+from conftest import SCALE, build
+
+
+class TestSpgemm:
+    @pytest.mark.parametrize("matrix", ("dw4096", "bcsstk13"))
+    def test_square(self, benchmark, matrix):
+        A = build(matrix, "csr")
+        C = benchmark(spgemm, A, A)
+        assert C.nnz > 0
+
+    def test_flop_accounting(self, benchmark):
+        A = build("bcsstk13", "csr")
+        flops = benchmark(spgemm_flops, A, A)
+        assert flops > 0
+
+    def test_product_feeds_spmm(self):
+        """SpGEMM output formats straight back into the suite."""
+        A = build("dw4096", "csr")
+        product = spgemm(A, A)
+        A2 = get_format("csr").from_triplets(product)
+        B = np.random.default_rng(0).standard_normal((A2.ncols, 8))
+        assert A2.spmm(B).shape == (A2.nrows, 8)
+
+
+class TestRcm:
+    def _scrambled(self, n=800, band=8):
+        rng = np.random.default_rng(0)
+        return permute(banded_matrix(n, band, seed=0), rng.permutation(n))
+
+    def test_rcm_permutation(self, benchmark):
+        t = self._scrambled()
+        perm = benchmark(reverse_cuthill_mckee, t)
+        assert perm.size == t.nrows
+
+    def test_rcm_recovers_band(self):
+        t = self._scrambled()
+        recovered = permute(t, reverse_cuthill_mckee(t))
+        assert bandwidth(recovered) < bandwidth(t) / 20
+
+    def test_reordered_spmm_wallclock(self, benchmark):
+        """SpMM on the RCM-recovered matrix (the locality payoff)."""
+        t = self._scrambled()
+        recovered = permute(t, reverse_cuthill_mckee(t))
+        A = get_format("csr").from_triplets(recovered)
+        B = np.random.default_rng(1).standard_normal((A.ncols, 32))
+        C = benchmark(A.spmm, B)
+        assert C.shape == (A.nrows, 32)
+
+
+class TestSellFormat:
+    @pytest.mark.parametrize("sigma", (1, 64, 4096))
+    def test_sell_spmm_by_sigma(self, benchmark, sigma):
+        """SELL on the heavy-tailed matrix across sorting windows."""
+        t = load_matrix("torso1", scale=SCALE)
+        A = get_format("sell").from_triplets(t, chunk=32, sigma=sigma)
+        B = np.random.default_rng(2).standard_normal((A.ncols, 8))
+        C = benchmark(lambda: A.spmm(B, k=8))
+        assert C.shape == (A.nrows, 8)
+
+    def test_sigma_sort_shrinks_storage(self):
+        t = load_matrix("torso1", scale=SCALE)
+        unsorted = get_format("sell").from_triplets(t, chunk=32, sigma=1)
+        full = get_format("sell").from_triplets(t, chunk=32, sigma=t.nrows)
+        assert full.stored_entries < unsorted.stored_entries

@@ -1,0 +1,35 @@
+"""Memory-footprint benches (paper §6.3.5 extension study).
+
+Times the formatting + footprint accounting per format and dtype policy,
+and prints the full-scale footprint table (where ELL on torso1 would be
+~10.9 GB against CSR's 244 MB — the paper's RAM complaints, quantified).
+"""
+
+import pytest
+
+from repro.dtypes import POLICY_32, POLICY_64
+from repro.formats.registry import get_format
+from repro.matrices.suite import load_matrix
+from repro.studies import memory_footprint
+
+from conftest import SCALE
+
+FORMATS = ("coo", "csr", "ell", "bcsr")
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+@pytest.mark.parametrize("policy", (POLICY_32, POLICY_64), ids=("32bit", "64bit"))
+def test_format_and_account(benchmark, fmt, policy):
+    t = load_matrix("rma10", scale=SCALE, policy=policy)
+    params = {"block_size": 4} if fmt == "bcsr" else {}
+
+    def format_and_measure():
+        A = get_format(fmt).from_triplets(t, policy=policy, **params)
+        return A.footprint()["total"]
+
+    total = benchmark(format_and_measure)
+    assert total > 0
+
+
+def test_report_table(report_header):
+    report_header("memory", memory_footprint.run(scale=SCALE).to_text())

@@ -1,0 +1,45 @@
+"""Benchmarks for the learned format-selection pipeline.
+
+Times the pieces a deployment cares about: feature extraction per matrix
+(must be far cheaper than formatting wrong), single-prediction latency,
+and full training on the synthetic corpus.
+"""
+
+import pytest
+
+from repro.matrices.suite import load_matrix
+from repro.select import (
+    evaluate_selector,
+    extract_features,
+    generate_dataset,
+    train_default_selector,
+)
+
+from conftest import SCALE
+
+_SELECTOR = train_default_selector(n_samples=48, seed=0)
+
+
+@pytest.mark.parametrize("matrix", ("cant", "torso1"))
+def test_feature_extraction(benchmark, matrix):
+    t = load_matrix(matrix, scale=SCALE)
+    f = benchmark(extract_features, t)
+    assert f.size > 0
+
+
+def test_selection_latency(benchmark):
+    t = load_matrix("pdb1HYS", scale=SCALE)
+    fmt = benchmark(_SELECTOR.select, t)
+    assert fmt in ("coo", "csr", "ell", "bcsr")
+
+
+def test_training(benchmark):
+    selector = benchmark(lambda: train_default_selector(n_samples=24, seed=3, max_depth=4))
+    assert selector.tree.n_leaves() >= 1
+
+
+def test_report_quality(report_header):
+    test_set = generate_dataset(24, seed=777)
+    report = evaluate_selector(_SELECTOR, test_set)
+    report_header("selection", "== Learned format selection ==\n" + report.summary())
+    assert report.mean_regret < 0.10

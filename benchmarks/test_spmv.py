@@ -1,0 +1,48 @@
+"""SpMV benchmarks (paper §6.3.4) and the batched-SpMV-as-SpMM trade.
+
+The paper's future work wants SpMV in the same suite so SpMV and SpMM
+studies share consistent data.  These benchmarks deliver the comparison its
+§2.3 motivates: one SpMM against a stack of k vectors versus k SpMV calls.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import PAPER_FORMATS, SCALE, build
+
+BATCH = 16
+
+
+@pytest.mark.parametrize("fmt", PAPER_FORMATS + ("sell",))
+def test_spmv(benchmark, fmt):
+    A = build("cant", fmt)
+    x = np.random.default_rng(0).standard_normal(A.ncols)
+    y = benchmark(A.spmv, x)
+    assert y.shape == (A.nrows,)
+
+
+@pytest.mark.parametrize("fmt", ("csr", "ell"))
+def test_spmv_parallel(benchmark, fmt):
+    A = build("cant", fmt)
+    x = np.random.default_rng(0).standard_normal(A.ncols)
+    y = benchmark(lambda: A.spmv(x, variant="parallel", threads=4))
+    assert y.shape == (A.nrows,)
+
+
+def test_batched_spmv(benchmark):
+    """k SpMV calls for a stack of k vectors."""
+    A = build("pdb1HYS", "csr")
+    rng = np.random.default_rng(1)
+    vectors = [rng.standard_normal(A.ncols) for _ in range(BATCH)]
+    ys = benchmark(lambda: [A.spmv(x) for x in vectors])
+    assert len(ys) == BATCH
+
+
+def test_stacked_spmm(benchmark):
+    """One SpMM over the same k vectors stacked as B (grouped kernel)."""
+    A = build("pdb1HYS", "csr")
+    rng = np.random.default_rng(1)
+    B = np.stack([rng.standard_normal(A.ncols) for _ in range(BATCH)], axis=1)
+    A.spmm(B, variant="grouped")  # warm the plan
+    C = benchmark(lambda: A.spmm(B, variant="grouped"))
+    assert C.shape == (A.nrows, BATCH)

@@ -1,0 +1,42 @@
+"""Study 1 bench (Figures 5.1/5.2): all formats x kernel environments.
+
+Wall clock: every paper format under the serial, parallel, and GPU
+(functionally simulated) kernels on four structurally distinct matrices.
+The printed model series carries the Arm/x86 MFLOPS shape of the figures.
+"""
+
+import pytest
+
+from repro.studies import study1_formats
+
+from conftest import K, MATRICES, PAPER_FORMATS, SCALE, build, dense_operand
+
+
+@pytest.mark.parametrize("matrix", MATRICES)
+@pytest.mark.parametrize("fmt", PAPER_FORMATS)
+def test_serial(benchmark, matrix, fmt):
+    A = build(matrix, fmt)
+    B = dense_operand(A)
+    C = benchmark(A.spmm, B)
+    assert C.shape == (A.nrows, K)
+
+
+@pytest.mark.parametrize("matrix", MATRICES)
+@pytest.mark.parametrize("fmt", PAPER_FORMATS)
+def test_parallel(benchmark, matrix, fmt):
+    A = build(matrix, fmt)
+    B = dense_operand(A)
+    C = benchmark(lambda: A.spmm(B, variant="parallel", threads=4))
+    assert C.shape == (A.nrows, K)
+
+
+@pytest.mark.parametrize("fmt", PAPER_FORMATS)
+def test_gpu_simulated(benchmark, fmt):
+    A = build("cant", fmt)
+    B = dense_operand(A)
+    C = benchmark(lambda: A.spmm(B, variant="gpu"))
+    assert C.shape == (A.nrows, K)
+
+
+def test_report_figures(report_header):
+    report_header("study1", study1_formats.run(scale=SCALE).to_text())

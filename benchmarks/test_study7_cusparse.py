@@ -1,0 +1,51 @@
+"""Study 7 bench (Figures 5.15/5.16): cuSPARSE vs OpenMP GPU.
+
+The GPU comparison is model-level; the wall-clock benchmarks time the
+functional GPU simulation (kernel + warp statistics) and the capacity
+screening, and the printed series shows the modeled library-vs-offload
+verdicts with the paper's censoring (5 matrices over H100 memory, Aries
+down to three survivors).
+"""
+
+import pytest
+
+from repro.kernels.gpu import gpu_execution_stats, gpu_spmm_with_stats
+from repro.machine.costmodel import gpu_memory_required
+from repro.matrices.suite import paper_table_5_1
+from repro.studies import study7_cusparse
+
+from conftest import SCALE, build, dense_operand
+
+CUSPARSE_FORMATS = ("coo", "csr")
+
+
+@pytest.mark.parametrize("fmt", CUSPARSE_FORMATS)
+def test_gpu_functional_simulation(benchmark, fmt):
+    A = build("pdb1HYS", fmt)
+    B = dense_operand(A)
+    C, stats = benchmark(gpu_spmm_with_stats, A, B)
+    assert stats.warps > 0
+
+
+@pytest.mark.parametrize("fmt", CUSPARSE_FORMATS)
+def test_warp_statistics(benchmark, fmt):
+    A = build("torso1", fmt)
+    stats = benchmark(gpu_execution_stats, A, 32)
+    assert stats.divergence >= 1.0
+
+
+def test_capacity_screen(benchmark):
+    """Screening all 14 matrices against device memory (k unset)."""
+
+    def screen():
+        return [
+            gpu_memory_required(r["size"], r["size"], r["nnz"])
+            for r in paper_table_5_1()
+        ]
+
+    sizes = benchmark(screen)
+    assert len(sizes) == 14
+
+
+def test_report_figures(report_header):
+    report_header("study7", study7_cusparse.run(scale=SCALE).to_text())

@@ -1,0 +1,35 @@
+"""Table 5.1 bench: matrix generation and property analysis.
+
+The paper's first table is pure preprocessing; these benchmarks time the
+synthetic generation of each analog and the property computation, and the
+report fixture prints the regenerated table next to the published one.
+"""
+
+import pytest
+
+from repro.matrices.properties import analyze
+from repro.matrices.suite import SUITE, load_matrix, matrix_names
+from repro.studies import table_5_1
+
+from conftest import SCALE
+
+
+@pytest.mark.parametrize("matrix", matrix_names())
+def test_generate_matrix(benchmark, matrix):
+    """Time the synthetic generation of one Table 5.1 analog."""
+    spec = SUITE[matrix]
+    result = benchmark(lambda: spec.build(scale=SCALE))
+    assert result.nnz > 0
+
+
+@pytest.mark.parametrize("matrix", ("cant", "torso1"))
+def test_analyze_properties(benchmark, matrix):
+    """Time the Table 5.1 metric computation."""
+    t = load_matrix(matrix, scale=SCALE)
+    props = benchmark(analyze, t, matrix)
+    assert props.nnz == t.nnz
+
+
+def test_report_table(report_header):
+    """Print the regenerated Table 5.1 against the published values."""
+    report_header("table5.1", table_5_1.run(scale=SCALE).to_text())

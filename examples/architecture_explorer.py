@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Architecture exploration with the machine models.
+
+The paper's Study 6 asks how each format behaves on different hardware;
+this example goes further and uses the analytic models to answer the
+questions a practitioner would actually ask:
+
+1. Which (format, environment, thread count) is fastest for *my* matrix on
+   each machine?
+2. How does BCSR's best block size shift between architectures?
+3. What would a hypothetical machine (more bandwidth, wider SIMD) change?
+
+Run:  python examples/architecture_explorer.py
+"""
+
+from dataclasses import replace
+
+from repro import get_format, load_matrix, trace_spmm
+from repro.machine import ARIES, GRACE_HOPPER, predict_mflops
+
+SCALE = 32
+K = 128
+MATRIX = "crankseg_2"
+
+
+def best_configuration(machine, triplets) -> tuple[str, str, int, float]:
+    best = ("", "", 0, 0.0)
+    for fmt in ("coo", "csr", "ell", "bcsr"):
+        params = {"block_size": 4} if fmt == "bcsr" else {}
+        A = get_format(fmt).from_triplets(triplets, **params)
+        tr = trace_spmm(A, K)
+        for execution, threads in (("serial", 1), ("parallel", 32),
+                                   ("parallel", 72), ("gpu", 1)):
+            mflops = predict_mflops(tr, machine, execution, threads=threads)
+            if mflops > best[3]:
+                best = (fmt, execution, threads, mflops)
+    return best
+
+
+def main() -> None:
+    triplets = load_matrix(MATRIX, scale=SCALE)
+    arm = GRACE_HOPPER.with_scaled_caches(SCALE)
+    x86 = ARIES.with_scaled_caches(SCALE)
+    print(f"matrix: {MATRIX} (scale 1/{SCALE}), k={K}\n")
+
+    # 1. Best configuration per machine.
+    for machine in (arm, x86):
+        fmt, execution, threads, mflops = best_configuration(machine, triplets)
+        print(f"{machine.name:>24}: best = {fmt.upper()} / {execution}"
+              f"{f' @ {threads}t' if execution == 'parallel' else ''}"
+              f" -> {mflops:,.0f} MFLOPS")
+
+    # 2. BCSR block-size tuning per architecture.
+    print(f"\nBCSR block-size tuning (parallel @ 32 threads):")
+    print(f"{'block':>6} {'grace-hopper':>14} {'aries':>10}")
+    for block in (2, 4, 8, 16):
+        A = get_format("bcsr").from_triplets(triplets, block_size=block)
+        tr = trace_spmm(A, K)
+        a = predict_mflops(tr, arm, "parallel", threads=32)
+        b = predict_mflops(tr, x86, "parallel", threads=32)
+        print(f"{block:>6} {a:>14,.0f} {b:>10,.0f}   (padding x{A.padding_ratio:.2f})")
+
+    # 3. What-if: Grace with doubled effective memory bandwidth.
+    fat_arm = replace(arm, name="grace-hopper-2x-bw",
+                      socket_bw_gbs=arm.socket_bw_gbs * 2)
+    A = get_format("csr").from_triplets(triplets)
+    tr = trace_spmm(A, K)
+    base = predict_mflops(tr, arm, "parallel", threads=72)
+    fat = predict_mflops(tr, fat_arm, "parallel", threads=72)
+    print(f"\nWhat-if, CSR parallel @ 72t: {base:,.0f} -> {fat:,.0f} MFLOPS "
+          f"with 2x bandwidth ({fat / base:.2f}x)")
+    print("A small gain means this matrix is compute-bound at this k; "
+          "bandwidth-starved cases respond strongly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Batched SpMV as SpMM: the paper's second motivating use case.
+
+"It is often necessary to multiply several vectors by the same matrix.
+Although this would usually be an SpMV problem, these vectors can be
+'stacked' and multiplied with the sparse matrix as SpMM.  This is
+potentially more efficient than performing several SpMV operations" (§2.3).
+
+This example measures both strategies on real wall clock: ``batch`` SpMV
+calls versus one SpMM with the vectors stacked as columns of B, across
+several batch sizes, and checks the results agree.
+
+Run:  python examples/batched_spmv.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import formats, load_matrix
+
+SCALE = 32
+BATCHES = (1, 4, 16, 64)
+REPEATS = 3
+
+
+def time_call(fn) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main() -> None:
+    triplets = load_matrix("pdb1HYS", scale=SCALE)
+    A = formats.CSR.from_triplets(triplets)
+    rng = np.random.default_rng(7)
+    print(f"pdb1HYS (scale 1/{SCALE}): {A.nrows} rows, {A.nnz} nonzeros\n")
+    print(f"{'batch':>6} {'n x SpMV (ms)':>14} {'SpMM (ms)':>10} {'speedup':>8}")
+
+    for batch in BATCHES:
+        vectors = [rng.standard_normal(A.ncols) for _ in range(batch)]
+        B = np.stack(vectors, axis=1)
+
+        def run_spmvs():
+            return [A.spmv(x) for x in vectors]
+
+        def run_spmm():
+            # The grouped kernel fuses the gather/scale/reduce passes into
+            # batched matmuls — the SpMM execution a library would ship.
+            return A.spmm(B, variant="grouped")
+
+        t_spmv = time_call(run_spmvs)
+        t_spmm = time_call(run_spmm)
+
+        ys = run_spmvs()
+        C = run_spmm()
+        assert all(np.allclose(C[:, j], ys[j]) for j in range(batch)), "results diverge"
+
+        print(f"{batch:>6} {t_spmv * 1e3:>14.2f} {t_spmm * 1e3:>10.2f} "
+              f"{t_spmv / t_spmm:>7.2f}x")
+
+    print("\nStacking wins once the batch amortizes the SpMM setup: the "
+          "sparse structure is traversed once per batch instead of once per "
+          "vector, and the gathered B rows amortize across the k columns. "
+          "Tiny batches stay with SpMV — the crossover is the interesting "
+          "part.")
+
+
+if __name__ == "__main__":
+    main()

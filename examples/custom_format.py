@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Extending the suite with a custom format — the extensibility story.
+
+The paper's first contribution is a benchmark suite that is "easily
+extensible for a wide variety of sparse matrix formats" (§1): a new format
+extends the core class and re-implements the formatting and calculation
+functions.  This example adds a DIA (diagonal) format from scratch —
+storage by diagonal offsets, common for stencil matrices — registers it,
+gives it an SpMM kernel, and benchmarks it against CSR on a matrix whose
+structure suits it.
+
+Run:  python examples/custom_format.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import formats, load_matrix
+from repro.bench.verify import verify_result
+from repro.dtypes import DEFAULT_POLICY
+from repro.matrices.coo_builder import Triplets
+
+
+@formats.register_format("dia")
+class DIA(formats.SparseFormat):
+    """Diagonal storage: a dense band per nonzero diagonal offset.
+
+    ``data[d, i]`` holds A[i, i + offsets[d]] (zero where out of range or
+    absent).  Ideal for stencil matrices; catastrophic for scattered ones —
+    a deliberately sharp trade-off to contrast with the paper's formats.
+    """
+
+    def __init__(self, nrows, ncols, offsets, data, nnz, policy=DEFAULT_POLICY):
+        super().__init__(nrows, ncols, policy)
+        self.offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        self.data = policy.value_array(data)
+        self._nnz = int(nnz)
+
+    @classmethod
+    def from_triplets(cls, triplets: Triplets, policy=DEFAULT_POLICY, **params):
+        rows = triplets.rows.astype(np.int64)
+        cols = triplets.cols.astype(np.int64)
+        offsets = np.unique(cols - rows)
+        data = np.zeros((offsets.size, triplets.nrows), dtype=policy.value)
+        d_index = np.searchsorted(offsets, cols - rows)
+        data[d_index, rows] = triplets.values
+        return cls(triplets.nrows, triplets.ncols, offsets, data,
+                   nnz=triplets.nnz, policy=policy)
+
+    def to_triplets(self) -> Triplets:
+        d, r = np.nonzero(self.data)
+        c = r + self.offsets[d]
+        keep = (c >= 0) & (c < self.ncols)
+        r, c, v = r[keep], c[keep], self.data[d[keep], r[keep]]
+        order = np.lexsort((c, r))
+        return Triplets(self.nrows, self.ncols,
+                        self.policy.index_array(r[order]),
+                        self.policy.index_array(c[order]),
+                        self.policy.value_array(v[order]))
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @property
+    def stored_entries(self) -> int:
+        return int(self.data.size)
+
+    def arrays(self):
+        return {"offsets": self.offsets, "data": self.data}
+
+    # The calculation function: one shifted AXPY-like sweep per diagonal.
+    def spmm_dia(self, B: np.ndarray) -> np.ndarray:
+        B = self.check_dense_operand(B)
+        C = np.zeros((self.nrows, B.shape[1]), dtype=self.policy.value)
+        for d, off in enumerate(self.offsets):
+            off = int(off)
+            r0, r1 = max(0, -off), min(self.nrows, self.ncols - off)
+            if r0 >= r1:
+                continue
+            rows = slice(r0, r1)
+            C[rows] += self.data[d, rows, None] * B[r0 + off : r1 + off]
+        return C
+
+
+def main() -> None:
+    print("registered formats:", ", ".join(formats.format_names()))
+    rng = np.random.default_rng(3)
+
+    for name in ("shallow_water1", "2cubes_sphere"):
+        triplets = load_matrix(name, scale=32)
+        B = rng.standard_normal((triplets.ncols, 64))
+
+        dia = DIA.from_triplets(triplets)
+        csr = formats.CSR.from_triplets(triplets)
+
+        t0 = time.perf_counter()
+        C_dia = dia.spmm_dia(B)
+        t_dia = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        C_csr = csr.spmm(B)
+        t_csr = time.perf_counter() - t0
+
+        assert np.allclose(C_dia, C_csr)
+        assert verify_result(triplets, B, C_dia)
+        print(f"\n{name}: {dia.offsets.size} diagonals, "
+              f"DIA padding x{dia.padding_ratio:.1f} "
+              f"({dia.nbytes / 1e6:.2f} MB vs CSR {csr.nbytes / 1e6:.2f} MB)")
+        print(f"  DIA SpMM: {t_dia * 1e3:8.2f} ms    CSR SpMM: {t_csr * 1e3:8.2f} ms"
+              f"    ({'DIA' if t_dia < t_csr else 'CSR'} wins)")
+
+    print("\nThe stencil matrix suits DIA (few dense diagonals); the "
+          "scattered one explodes its padding — the same matrix-dependence "
+          "the paper demonstrates for ELL and BCSR.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Locality engineering: spy plots, RCM reordering, and the roofline.
+
+The paper's blocked-format conclusion (§6.2): "A low column ratio does
+help, but spatial locality of the non-zeros is ultimately best ...
+Understanding your matrix data is probably best done with a graphical
+representation."  This example works that advice end to end:
+
+1. take a banded matrix whose structure has been destroyed by a random
+   symmetric permutation (what unsorted mesh numbering does in practice),
+2. *look* at it (ASCII spy plot),
+3. recover the band with reverse Cuthill-McKee,
+4. measure what the reordering buys: bandwidth, gather reuse, modeled
+   MFLOPS, and the roofline placement before/after.
+
+Run:  python examples/locality_engineering.py
+"""
+
+import numpy as np
+
+from repro.formats import CSR
+from repro.kernels import trace_spmm
+from repro.machine import GRACE_HOPPER, predict_mflops
+from repro.machine.roofline import ascii_roofline, roofline_point
+from repro.matrices import (
+    ascii_spy,
+    bandwidth,
+    permute,
+    reverse_cuthill_mckee,
+)
+from repro.matrices.generators import banded_matrix
+
+N, BAND, K = 1200, 10, 256
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    clean = banded_matrix(N, BAND, seed=0)
+    scrambled = permute(clean, rng.permutation(N))
+
+    print("Scrambled matrix (a band hidden by bad numbering):")
+    print(ascii_spy(scrambled, rows=14, cols=48))
+
+    perm = reverse_cuthill_mckee(scrambled)
+    recovered = permute(scrambled, perm)
+    print("\nAfter reverse Cuthill-McKee:")
+    print(ascii_spy(recovered, rows=14, cols=48))
+
+    print(f"\nbandwidth: {bandwidth(scrambled)} -> {bandwidth(recovered)} "
+          f"(original band: {bandwidth(clean)})")
+
+    machine = GRACE_HOPPER.with_scaled_caches(64)
+    points = []
+    for label, t in (("scrambled", scrambled), ("rcm", recovered)):
+        A = CSR.from_triplets(t)
+        tr = trace_spmm(A, K)
+        mf = predict_mflops(tr, machine, "parallel", threads=32)
+        hit = tr.gather_hit_fraction(machine.l2_bytes / tr.bytes_per_gather)
+        print(f"  {label:>9}: L2 gather hit {hit:.0%}, "
+              f"modeled parallel {mf:,.0f} MFLOPS")
+        points.append(roofline_point(tr, machine, "parallel", 32, label=label))
+
+    print("\nRoofline (Grace Hopper, parallel @ 32 threads):")
+    print(ascii_roofline(points))
+    print("\nSame nonzeros, same flops — the permutation alone raises the "
+          "arithmetic intensity (fewer DRAM gathers) and the L2 hit rate "
+          "from ~1% to ~90%. That is the locality the paper says the "
+          "Table 5.1 metrics cannot see.")
+
+
+if __name__ == "__main__":
+    main()

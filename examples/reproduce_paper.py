@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Reproduce the paper: run Table 5.1 and all nine studies, write reports.
+
+Produces one text report per study under ``reports/`` (ASCII renditions of
+every figure) plus a summary of the qualitative findings — the same content
+EXPERIMENTS.md is built from.
+
+Run:  python examples/reproduce_paper.py [scale]
+      (scale defaults to 32; 16 is closer to the paper but slower)
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.studies import STUDIES
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    out_dir = Path("reports")
+    out_dir.mkdir(exist_ok=True)
+
+    print(f"Reproducing all studies at scale 1/{scale}...\n")
+    summary = []
+    for study_id, module in STUDIES.items():
+        t0 = time.time()
+        result = module.run(scale=scale)
+        elapsed = time.time() - t0
+        fname = out_dir / f"{study_id.replace('.', '_')}.txt"
+        fname.write_text(result.to_text() + "\n")
+        ok = sum(1 for v in result.findings.values() if v is True)
+        flags = sum(1 for v in result.findings.values() if isinstance(v, bool))
+        summary.append((study_id, result.title, elapsed, ok, flags, fname))
+        print(f"  {study_id:<10} {elapsed:6.1f}s  findings {ok}/{flags} hold  -> {fname}")
+
+    print("\nDone. Reports written to ./reports/")
+    holds = sum(ok for _, _, _, ok, _, _ in summary)
+    total = sum(flags for _, _, _, _, flags, _ in summary)
+    print(f"Qualitative paper findings holding: {holds}/{total}")
+
+
+if __name__ == "__main__":
+    main()

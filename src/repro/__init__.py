@@ -1,0 +1,70 @@
+"""SpMM-Bench reproduction.
+
+A Python reproduction of *SpMM-Bench: Performance Characterization of Sparse
+Formats for Sparse-Dense Matrix Multiplication* (Flynn, 2024): sparse
+formats (COO, CSR, ELLPACK, BCSR, plus the future-work BELL and CSR5),
+serial / parallel / GPU-simulated / transpose / optimized SpMM and SpMV
+kernels, an extensible benchmark suite, analytic machine models for the
+paper's Grace Hopper (Arm) and Aries (x86) systems, and the nine studies of
+the paper's evaluation chapter.
+
+Quickstart
+----------
+>>> from repro import load_matrix, formats
+>>> import numpy as np
+>>> t = load_matrix("cant", scale=64)
+>>> A = formats.CSR.from_triplets(t)
+>>> B = np.random.default_rng(0).random((A.ncols, 128))
+>>> C = A.spmm(B, variant="parallel", threads=8)
+"""
+
+from . import dtypes, errors, formats, kernels, matrices, select
+from .dtypes import DTypePolicy, POLICY_32, POLICY_64, DEFAULT_POLICY
+from .matrices import load_matrix, matrix_names, properties_table, analyze
+from .formats import (
+    COO,
+    CSR,
+    ELL,
+    BCSR,
+    BELL,
+    CSR5,
+    SparseFormat,
+    convert,
+    get_format,
+    format_names,
+)
+from .kernels import run_spmm, run_spmv, trace_spmm, trace_spmv
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "dtypes",
+    "errors",
+    "formats",
+    "kernels",
+    "matrices",
+    "select",
+    "DTypePolicy",
+    "POLICY_32",
+    "POLICY_64",
+    "DEFAULT_POLICY",
+    "load_matrix",
+    "matrix_names",
+    "properties_table",
+    "analyze",
+    "COO",
+    "CSR",
+    "ELL",
+    "BCSR",
+    "BELL",
+    "CSR5",
+    "SparseFormat",
+    "convert",
+    "get_format",
+    "format_names",
+    "run_spmm",
+    "run_spmv",
+    "trace_spmm",
+    "trace_spmv",
+    "__version__",
+]

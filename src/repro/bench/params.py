@@ -1,0 +1,129 @@
+"""Benchmark parameters — the suite's command-line surface (paper §4.3).
+
+"We currently have parameters for controlling the number of times the
+calculation function will be called; the thread count for parallel kernels;
+the block size for applicable block formats (currently just BCSR); and the
+length of the k-loop.  A debug flag is also provided."
+
+Study 3.1 added the thread-list sweep; this implementation also exposes the
+kernel variant, the dtype policy (§6.3.5), and the OpenMP-style schedule.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field, replace
+
+from ..dtypes import DEFAULT_POLICY, POLICY_32, POLICY_64, DTypePolicy
+from ..errors import BenchConfigError
+
+__all__ = ["BenchParams"]
+
+_POLICIES = {"32": POLICY_32, "64": POLICY_64, "mixed": DEFAULT_POLICY}
+
+
+@dataclass(frozen=True)
+class BenchParams:
+    """Runtime configuration of one benchmark run."""
+
+    n_runs: int = 5
+    threads: int = 32
+    block_size: int = 4
+    k: int = 128
+    variant: str = "serial"
+    schedule: str = "static"
+    thread_list: tuple[int, ...] = field(default_factory=tuple)
+    dtype_policy: DTypePolicy = DEFAULT_POLICY
+    seed: int = 0
+    warmup: int = 1
+    verify: bool = True
+    debug: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_runs < 1:
+            raise BenchConfigError(f"n_runs must be >= 1, got {self.n_runs}")
+        if self.threads < 1:
+            raise BenchConfigError(f"threads must be >= 1, got {self.threads}")
+        if self.block_size < 1:
+            raise BenchConfigError(f"block_size must be >= 1, got {self.block_size}")
+        if self.k < 1:
+            raise BenchConfigError(f"k must be >= 1, got {self.k}")
+        if self.warmup < 0:
+            raise BenchConfigError(f"warmup must be >= 0, got {self.warmup}")
+        if any(t < 1 for t in self.thread_list):
+            raise BenchConfigError(f"thread_list entries must be >= 1: {self.thread_list}")
+
+    def format_params(self, format_name: str) -> dict:
+        """Format-specific constructor knobs for this configuration."""
+        if format_name == "bcsr":
+            return {"block_size": self.block_size}
+        if format_name == "bell":
+            return {"row_block": max(self.block_size, 2) * 8}
+        if format_name == "csr5":
+            return {"tile_nnz": 256}
+        if format_name == "sell":
+            return {"chunk": 32, "sigma": max(self.block_size, 2) * 64}
+        return {}
+
+    def kernel_options(self) -> dict:
+        """Options forwarded to the kernel variant."""
+        opts: dict = {}
+        if "parallel" in self.variant:
+            opts["threads"] = self.threads
+            if self.variant == "parallel":
+                opts["schedule"] = self.schedule
+        return opts
+
+    def with_(self, **changes) -> "BenchParams":
+        """Copy with fields replaced (sweeps mutate via copies)."""
+        return replace(self, **changes)
+
+    # -- CLI (paper: "Parameters are input as command line arguments, which
+    # the suite defines and parses.") --------------------------------------
+
+    @staticmethod
+    def add_arguments(parser: argparse.ArgumentParser) -> None:
+        """Register the suite's options on an argparse parser."""
+        parser.add_argument("-n", "--n-runs", type=int, default=5,
+                            help="times the calculation function is called")
+        parser.add_argument("-t", "--threads", type=int, default=32,
+                            help="thread count for parallel kernels")
+        parser.add_argument("-b", "--block-size", type=int, default=4,
+                            help="block size for blocked formats (BCSR)")
+        parser.add_argument("-k", type=int, default=128, dest="k",
+                            help="length of the k loop (dense operand width)")
+        parser.add_argument("--variant", default="serial",
+                            help="kernel variant (serial/parallel/gpu/...)")
+        parser.add_argument("--schedule", default="static", choices=["static", "dynamic"],
+                            help="parallel loop schedule")
+        parser.add_argument("--thread-list", default="",
+                            help="comma-separated thread counts to sweep (Study 3.1)")
+        parser.add_argument("--dtypes", default="mixed", choices=sorted(_POLICIES),
+                            help="index/value width policy (see paper 6.3.5)")
+        parser.add_argument("--seed", type=int, default=0)
+        parser.add_argument("--no-verify", action="store_true",
+                            help="skip verification against the COO reference")
+        parser.add_argument("--debug", action="store_true")
+
+    @classmethod
+    def from_args(cls, args: argparse.Namespace) -> "BenchParams":
+        """Build params from parsed argparse results."""
+        thread_list: tuple[int, ...] = ()
+        if args.thread_list:
+            try:
+                thread_list = tuple(int(tok) for tok in args.thread_list.split(","))
+            except ValueError as exc:
+                raise BenchConfigError(f"bad --thread-list: {args.thread_list!r}") from exc
+        return cls(
+            n_runs=args.n_runs,
+            threads=args.threads,
+            block_size=args.block_size,
+            k=args.k,
+            variant=args.variant,
+            schedule=args.schedule,
+            thread_list=thread_list,
+            dtype_policy=_POLICIES[args.dtypes],
+            seed=args.seed,
+            verify=not args.no_verify,
+            debug=args.debug,
+        )

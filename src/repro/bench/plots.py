@@ -1,0 +1,150 @@
+"""Figure rendering: ASCII and SVG bar charts for study results.
+
+The paper's future work wants "a Python script to generate ... data
+visualization plots from the CSV" (§6.3.3).  This module is that script as
+a library: grouped bar charts (the shape of every figure in the evaluation
+chapter) rendered either as terminal ASCII or as dependency-free SVG.
+
+A study table — ``(title, headers, rows)`` with the first column as the
+category label — converts directly via :func:`chart_from_table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import BenchConfigError
+
+__all__ = ["BarChart", "chart_from_table"]
+
+_SVG_COLORS = ("#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c")
+
+
+@dataclass
+class BarChart:
+    """A grouped bar chart: categories x series."""
+
+    title: str
+    categories: list[str]
+    series: dict[str, list[float]] = field(default_factory=dict)
+    value_label: str = "MFLOPS"
+
+    def add_series(self, name: str, values) -> None:
+        values = [float(v) for v in values]
+        if len(values) != len(self.categories):
+            raise BenchConfigError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(self.categories)} categories"
+            )
+        self.series[name] = values
+
+    @property
+    def max_value(self) -> float:
+        vals = [v for s in self.series.values() for v in s if np.isfinite(v)]
+        return max(vals) if vals else 1.0
+
+    # -- ASCII ---------------------------------------------------------------
+
+    def to_ascii(self, width: int = 50) -> str:
+        """Horizontal grouped bars, one block per category."""
+        if not self.series:
+            raise BenchConfigError("chart has no series")
+        scale = self.max_value or 1.0
+        label_w = max(len(name) for name in self.series)
+        lines = [self.title, "=" * len(self.title)]
+        for ci, cat in enumerate(self.categories):
+            lines.append(f"{cat}:")
+            for name, values in self.series.items():
+                v = values[ci]
+                if not np.isfinite(v):
+                    lines.append(f"  {name:<{label_w}} | (omitted)")
+                    continue
+                bar = "#" * int(round(width * v / scale))
+                lines.append(f"  {name:<{label_w}} |{bar} {v:,.0f}")
+        lines.append(f"(bar scale: {scale:,.0f} {self.value_label} = {width} chars)")
+        return "\n".join(lines)
+
+    # -- SVG -----------------------------------------------------------------
+
+    def to_svg(self, bar_px: int = 14, chart_width: int = 640) -> str:
+        """Standalone grouped-bar SVG."""
+        if not self.series:
+            raise BenchConfigError("chart has no series")
+        n_series = len(self.series)
+        group_h = bar_px * n_series + 10
+        label_w = 130
+        plot_w = chart_width - label_w - 80
+        height = 30 + group_h * len(self.categories) + 20 + 14 * n_series
+        scale = self.max_value or 1.0
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{chart_width}" '
+            f'height="{height}" font-family="monospace" font-size="11">',
+            f'<rect width="{chart_width}" height="{height}" fill="white"/>',
+            f'<text x="8" y="18" font-size="13" font-weight="bold">{self.title}</text>',
+        ]
+        y = 30
+        for ci, cat in enumerate(self.categories):
+            parts.append(
+                f'<text x="8" y="{y + group_h // 2}" fill="#333">{cat}</text>'
+            )
+            for si, (name, values) in enumerate(self.series.items()):
+                v = values[ci]
+                by = y + si * bar_px
+                if not np.isfinite(v):
+                    parts.append(
+                        f'<text x="{label_w}" y="{by + bar_px - 4}" '
+                        f'fill="#999">x</text>'
+                    )
+                    continue
+                w = max(1, int(plot_w * v / scale))
+                color = _SVG_COLORS[si % len(_SVG_COLORS)]
+                parts.append(
+                    f'<rect x="{label_w}" y="{by}" width="{w}" '
+                    f'height="{bar_px - 2}" fill="{color}"/>'
+                )
+                parts.append(
+                    f'<text x="{label_w + w + 4}" y="{by + bar_px - 4}" '
+                    f'fill="#333">{v:,.0f}</text>'
+                )
+            y += group_h
+        # Legend.
+        for si, name in enumerate(self.series):
+            ly = y + 12 + si * 14
+            color = _SVG_COLORS[si % len(_SVG_COLORS)]
+            parts.append(f'<rect x="8" y="{ly - 9}" width="10" height="10" fill="{color}"/>')
+            parts.append(f'<text x="22" y="{ly}">{name}</text>')
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
+def chart_from_table(
+    title: str, headers, rows, value_columns: list[int] | None = None
+) -> BarChart:
+    """Build a chart from a study table.
+
+    Column 0 is the category; ``value_columns`` selects the numeric series
+    (default: every column whose values all parse as numbers).
+    """
+    headers = list(headers)
+    rows = [list(r) for r in rows]
+    if not rows:
+        raise BenchConfigError("table has no rows")
+
+    def _numeric(ci: int) -> bool:
+        for row in rows:
+            try:
+                float(row[ci])
+            except (TypeError, ValueError):
+                return False
+        return True
+
+    if value_columns is None:
+        value_columns = [ci for ci in range(1, len(headers)) if _numeric(ci)]
+    if not value_columns:
+        raise BenchConfigError("no numeric columns found for the chart")
+    chart = BarChart(title=title, categories=[str(r[0]) for r in rows])
+    for ci in value_columns:
+        chart.add_series(str(headers[ci]), [float(r[ci]) for r in rows])
+    return chart

@@ -1,0 +1,107 @@
+"""Benchmark reporting: CSV rows and ASCII tables.
+
+The paper's suite emits CSV that a plotting script consumes (§6.3.3); the
+same columns are produced here — parameters, matrix properties (§4.3), and
+the measured/modeled performance numbers.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .suite import BenchResult
+
+__all__ = ["CSV_COLUMNS", "results_to_csv", "write_csv", "format_table"]
+
+CSV_COLUMNS = (
+    "matrix",
+    "format",
+    "variant",
+    "operation",
+    "k",
+    "threads",
+    "block_size",
+    "rows",
+    "cols",
+    "nnz",
+    "max_row_nnz",
+    "avg_row_nnz",
+    "column_ratio",
+    "variance",
+    "std_dev",
+    "padding_ratio",
+    "footprint_bytes",
+    "format_time_s",
+    "mean_time_s",
+    "mflops",
+    "modeled_mflops",
+    "verified",
+)
+
+
+def _row(result: BenchResult) -> list:
+    p = result.properties
+    return [
+        result.matrix,
+        result.format_name,
+        result.variant,
+        result.operation,
+        result.params.k,
+        result.params.threads,
+        result.params.block_size,
+        p.nrows,
+        p.ncols,
+        p.nnz,
+        p.max_row_nnz,
+        round(p.avg_row_nnz, 3),
+        round(p.column_ratio, 3),
+        round(p.variance, 3),
+        round(p.std_dev, 3),
+        round(result.padding_ratio, 4),
+        result.footprint_bytes,
+        round(result.format_time_s, 6),
+        round(result.timing.mean, 6) if result.timing else "",
+        round(result.mflops, 2),
+        round(result.modeled_mflops, 2),
+        "" if result.verified is None else result.verified,
+    ]
+
+
+def results_to_csv(results: Iterable[BenchResult]) -> str:
+    """Render results as a CSV string (header included)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(CSV_COLUMNS)
+    for result in results:
+        writer.writerow(_row(result))
+    return buf.getvalue()
+
+
+def write_csv(results: Iterable[BenchResult], path) -> Path:
+    """Write results to a CSV file; returns the path."""
+    path = Path(path)
+    path.write_text(results_to_csv(results))
+    return path
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+) -> str:
+    """Simple fixed-width ASCII table used by the studies' reports."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

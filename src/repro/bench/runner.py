@@ -1,0 +1,125 @@
+"""Grid runner: matrices x formats x variants x machines.
+
+The paper ran its grid through bash scripts and flagged that as future work
+(§6.3.3: "one possible solution would be to devise a Python script to
+generate a runtime script for a given configuration").  :class:`GridRunner`
+is that replacement: a declarative :class:`GridSpec` expands to benchmark
+runs, offload failures are captured as censored records instead of
+crashing the sweep, and results come back as flat :class:`RunRecord` rows
+ready for the study reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..errors import OffloadError
+from ..machine.machines import Machine
+from .params import BenchParams
+from .suite import BenchResult, SpmmBenchmark
+
+__all__ = ["GridSpec", "RunRecord", "GridRunner"]
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Declarative description of a benchmark grid."""
+
+    matrices: tuple[str, ...]
+    formats: tuple[str, ...]
+    variants: tuple[str, ...] = ("serial",)
+    k_values: tuple[int, ...] = (128,)
+    thread_counts: tuple[int, ...] = (32,)
+    block_sizes: tuple[int, ...] = (4,)
+    scale: int = 1
+    operation: str = "spmm"
+    base_params: BenchParams = field(default_factory=BenchParams)
+
+    def configurations(self) -> Iterator[tuple[str, str, BenchParams]]:
+        """Expand to (matrix, format, params) triples.
+
+        Block size only varies for BCSR (the paper's only block-size knob);
+        thread counts only vary for parallel variants — pointless axis
+        combinations are pruned.
+        """
+        for matrix in self.matrices:
+            for fmt in self.formats:
+                blocks: Sequence[int] = self.block_sizes if fmt == "bcsr" else (self.base_params.block_size,)
+                for variant in self.variants:
+                    threads_axis: Sequence[int] = (
+                        self.thread_counts if "parallel" in variant else (self.base_params.threads,)
+                    )
+                    for k in self.k_values:
+                        for threads in threads_axis:
+                            for block in blocks:
+                                yield matrix, fmt, self.base_params.with_(
+                                    variant=variant, k=k, threads=threads, block_size=block
+                                )
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One grid cell: a result, or a censoring reason."""
+
+    matrix: str
+    format_name: str
+    variant: str
+    k: int
+    threads: int
+    block_size: int
+    machine: str
+    result: BenchResult | None
+    censored: str | None = None
+
+    @property
+    def mflops(self) -> float:
+        if self.result is None:
+            return 0.0
+        return (
+            self.result.modeled_mflops
+            if self.result.timing is None
+            else self.result.mflops
+        )
+
+
+class GridRunner:
+    """Execute a :class:`GridSpec`, on one machine model or on wall clock."""
+
+    def __init__(self, spec: GridSpec, machine: Machine | None = None, mode: str = "model"):
+        self.spec = spec
+        self.machine = machine
+        self.mode = mode
+        #: Matrices whose GPU launches were censored (offload faults /
+        #: device memory), mirroring the paper's omitted data points.
+        self.censored: list[RunRecord] = []
+
+    def run(self) -> list[RunRecord]:
+        """Run the full grid; censored cells are recorded, not raised."""
+        records: list[RunRecord] = []
+        for matrix, fmt, params in self.spec.configurations():
+            record = self._run_one(matrix, fmt, params)
+            records.append(record)
+            if record.censored:
+                self.censored.append(record)
+        return records
+
+    def _run_one(self, matrix: str, fmt: str, params: BenchParams) -> RunRecord:
+        bench = SpmmBenchmark(
+            fmt, params=params, machine=self.machine, operation=self.spec.operation
+        )
+        bench.load_suite_matrix(matrix, scale=self.spec.scale)
+        meta = dict(
+            matrix=matrix,
+            format_name=fmt,
+            variant=params.variant,
+            k=params.k,
+            threads=params.threads,
+            block_size=params.block_size,
+            machine=self.machine.name if self.machine else "wallclock",
+        )
+        try:
+            result = bench.run(mode=self.mode)
+        except OffloadError as exc:
+            return RunRecord(**meta, result=None, censored=str(exc))
+        return RunRecord(**meta, result=result)

@@ -1,0 +1,258 @@
+"""The core benchmark class — analog of the paper's C++ suite class.
+
+Lifecycle (paper §4.1): the suite loads the input as COO, the format's
+``format()`` step builds its structure from that COO representation, the
+``calculate()`` step runs the kernel ``n_runs`` times under the timer, the
+result is verified against the COO multiply, and the report combines
+runtime data, matrix data, and parameter information (§4.3).
+
+A custom format extends :class:`~repro.formats.SparseFormat` and registers
+itself; the benchmark picks it up by name.  Tests or studies needing a
+different calculation simply subclass :class:`SpmmBenchmark` and override
+:meth:`SpmmBenchmark.calculate` — the same partial-extension pattern the
+paper's evaluation leaned on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..dtypes import DTypePolicy
+from ..errors import BenchConfigError, OffloadError
+from ..formats.base import SparseFormat
+from ..formats.registry import get_format
+from ..kernels.dispatch import run_spmm, run_spmv
+from ..kernels.traces import trace_spmm, trace_spmv
+from ..machine.costmodel import CostBreakdown, predict_spmm_time
+from ..machine.machines import Machine
+from ..matrices.coo_builder import Triplets
+from ..matrices.properties import MatrixProperties, analyze
+from ..matrices.suite import load_matrix
+from .params import BenchParams
+from .timing import TimingStats, flops_to_mflops, measure
+from .verify import verify_result
+
+__all__ = ["SpmmBenchmark", "BenchResult"]
+
+#: Kernel-variant name -> cost-model execution kind.
+_VARIANT_EXECUTION = {
+    "serial": "serial",
+    "parallel": "parallel",
+    "gpu": "gpu",
+    "serial_transpose": "serial",
+    "parallel_transpose": "parallel",
+    "gpu_transpose": "gpu",
+    "optimized": "serial",
+    "optimized_parallel": "parallel",
+}
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark run's report: the §4.3 metric set plus extensions."""
+
+    matrix: str
+    format_name: str
+    variant: str
+    operation: str
+    params: BenchParams
+    properties: MatrixProperties
+    #: Wall-clock stats of the calculation (None in model-only runs).
+    timing: TimingStats | None
+    format_time_s: float
+    total_time_s: float
+    useful_flops: int
+    verified: bool | None
+    footprint_bytes: int
+    padding_ratio: float
+    #: Cost-model prediction (None in wallclock-only runs).
+    modeled: CostBreakdown | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def mflops(self) -> float:
+        """Measured useful MFLOPS (wall clock) — the paper's metric."""
+        if self.timing is None:
+            return self.modeled.mflops if self.modeled else 0.0
+        return flops_to_mflops(self.useful_flops, self.timing.mean)
+
+    @property
+    def gflops(self) -> float:
+        return self.mflops / 1e3
+
+    @property
+    def flops_per_second(self) -> float:
+        return self.mflops * 1e6
+
+    @property
+    def modeled_mflops(self) -> float:
+        """Machine-model MFLOPS (0 when no machine was attached)."""
+        return self.modeled.mflops if self.modeled else 0.0
+
+
+class SpmmBenchmark:
+    """Benchmark one (matrix, format, kernel-variant) combination."""
+
+    def __init__(
+        self,
+        format_name: str,
+        params: BenchParams | None = None,
+        machine: Machine | None = None,
+        operation: str = "spmm",
+    ):
+        if operation not in ("spmm", "spmv"):
+            raise BenchConfigError(f"operation must be spmm or spmv, got {operation!r}")
+        self.format_cls = get_format(format_name)
+        self.format_name = format_name.lower()
+        self.params = params or BenchParams()
+        self.machine = machine
+        self.operation = operation
+        self.triplets: Triplets | None = None
+        self.matrix_name = "matrix"
+        self.offload_runtime = machine.offload_runtime() if machine else None
+
+    # -- inputs -------------------------------------------------------------
+
+    def load_triplets(self, triplets: Triplets, name: str = "matrix") -> "SpmmBenchmark":
+        """Use an explicit COO-like input."""
+        self.triplets = triplets
+        self.matrix_name = name
+        return self
+
+    def load_suite_matrix(self, name: str, scale: int = 1) -> "SpmmBenchmark":
+        """Load one of the 14 Table 5.1 analogs."""
+        self.triplets = load_matrix(name, scale=scale, policy=self.params.dtype_policy)
+        self.matrix_name = name
+        return self
+
+    def make_dense(self) -> np.ndarray:
+        """Auto-generate the dense operand, width = k (paper §6.3.4)."""
+        self._require_loaded()
+        rng = np.random.default_rng(self.params.seed + 1)
+        policy = self.params.dtype_policy
+        if self.operation == "spmv":
+            return policy.value_array(rng.standard_normal(self.triplets.ncols))
+        return policy.value_array(
+            rng.standard_normal((self.triplets.ncols, self.params.k))
+        )
+
+    # -- the two override points (paper §4.1) --------------------------------
+
+    def format(self) -> tuple[SparseFormat, float]:
+        """Format the COO input into the benchmark's format (timed)."""
+        self._require_loaded()
+        t0 = time.perf_counter()
+        A = self.format_cls.from_triplets(
+            self.triplets,
+            policy=self.params.dtype_policy,
+            **self.params.format_params(self.format_name),
+        )
+        format_time = time.perf_counter() - t0
+        # Tag for the offload runtime's per-matrix fault injection.
+        A._suite_name = self.matrix_name
+        return A, format_time
+
+    def calculate(self, A: SparseFormat, B: np.ndarray) -> np.ndarray:
+        """One kernel invocation — override to test a custom algorithm."""
+        opts: dict[str, Any] = self.params.kernel_options()
+        if self.params.variant.startswith("gpu"):
+            opts["runtime"] = self.offload_runtime
+        if self.operation == "spmv":
+            return run_spmv(A, B, variant=self._spmv_variant(), **opts)
+        return run_spmm(A, B, variant=self.params.variant, k=self.params.k, **opts)
+
+    def _spmv_variant(self) -> str:
+        base = self.params.variant.replace("_transpose", "").replace("optimized", "serial")
+        return base if base in ("serial", "parallel", "gpu") else "serial"
+
+    # -- model pathway -------------------------------------------------------
+
+    def model(self, A: SparseFormat) -> CostBreakdown | None:
+        """Cost-model prediction for this configuration (if a machine is set)."""
+        if self.machine is None:
+            return None
+        fixed_k = "optimized" in self.params.variant
+        transpose_b = "transpose" in self.params.variant
+        if self.operation == "spmv":
+            trace = trace_spmv(A, fixed_k=fixed_k)
+        else:
+            trace = trace_spmm(A, self.params.k, fixed_k=fixed_k, transpose_b=transpose_b)
+        execution = _VARIANT_EXECUTION[self.params.variant]
+        return predict_spmm_time(
+            trace, self.machine, execution, threads=self.params.threads
+        )
+
+    # -- driver ---------------------------------------------------------------
+
+    def run(self, mode: str = "wallclock") -> BenchResult:
+        """Execute the benchmark.
+
+        ``mode='wallclock'`` times the real Python kernels;
+        ``mode='model'`` skips wall-clock timing and reports only the
+        machine-model prediction (used by the studies, which target the
+        paper's hardware); ``mode='both'`` does both.
+
+        Raises :class:`~repro.errors.OffloadError` when a GPU variant hits
+        the machine's faulty offload runtime — callers record the censored
+        point, as the paper's figures do.
+        """
+        if mode not in ("wallclock", "model", "both"):
+            raise BenchConfigError(f"unknown mode {mode!r}")
+        self._require_loaded()
+        t_start = time.perf_counter()
+        A, format_time = self.format()
+        # The dense operand only exists for wall-clock runs; the cost model
+        # works from the trace alone.
+        B = self.make_dense() if mode in ("wallclock", "both") else None
+
+        k = self.params.k if self.operation == "spmm" else 1
+        useful_flops = 2 * A.nnz * k
+
+        # The offload fault fires at launch, before any timing.
+        if self.params.variant.startswith("gpu") and self.offload_runtime is not None:
+            self.offload_runtime.check_launch(A, matrix_name=self.matrix_name)
+
+        timing: TimingStats | None = None
+        verified: bool | None = None
+        if mode in ("wallclock", "both"):
+            C, timing = measure(
+                lambda: self.calculate(A, B),
+                n_runs=self.params.n_runs,
+                warmup=self.params.warmup,
+            )
+            if self.params.verify:
+                if self.operation == "spmm":
+                    verified = verify_result(self.triplets, B, C, k=self.params.k)
+                else:
+                    verified = verify_result(
+                        self.triplets, B[:, None], C[:, None], k=1
+                    )
+
+        modeled = self.model(A) if mode in ("model", "both") else None
+        total_time = time.perf_counter() - t_start
+        return BenchResult(
+            matrix=self.matrix_name,
+            format_name=self.format_name,
+            variant=self.params.variant,
+            operation=self.operation,
+            params=self.params,
+            properties=analyze(self.triplets, self.matrix_name),
+            timing=timing,
+            format_time_s=format_time,
+            total_time_s=total_time,
+            useful_flops=useful_flops,
+            verified=verified,
+            footprint_bytes=A.nbytes,
+            padding_ratio=A.padding_ratio,
+            modeled=modeled,
+        )
+
+    def _require_loaded(self) -> None:
+        if self.triplets is None:
+            raise BenchConfigError(
+                "no input loaded; call load_triplets() or load_suite_matrix() first"
+            )

@@ -1,0 +1,85 @@
+"""Parameter sweeps, notably the Study 3.1 thread-list feature.
+
+"We modified our benchmark suite to include a feature that will run the
+benchmark for a user-designated set of thread counts.  The suite will
+iterate through the thread count list, and pick the best thread count for
+the given inputs." (§5.5.1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import BenchConfigError
+from .suite import BenchResult, SpmmBenchmark
+
+__all__ = ["ThreadSweepResult", "run_thread_sweep", "best_thread_counts"]
+
+#: The paper's Study 3.1 thread list, 72 as "our consistent upper bound".
+PAPER_THREAD_LIST = (2, 4, 8, 16, 32, 48, 64, 72)
+
+
+@dataclass(frozen=True)
+class ThreadSweepResult:
+    """All per-thread-count results plus the winner."""
+
+    matrix: str
+    format_name: str
+    results: dict[int, BenchResult]
+
+    @property
+    def best_threads(self) -> int:
+        """Thread count with the highest MFLOPS."""
+        return max(self.results, key=lambda t: self._score(t))
+
+    def _score(self, threads: int) -> float:
+        r = self.results[threads]
+        return r.modeled_mflops if r.timing is None else r.mflops
+
+    @property
+    def best_mflops(self) -> float:
+        return self._score(self.best_threads)
+
+    def series(self) -> list[tuple[int, float]]:
+        """(threads, mflops) pairs in ascending thread order."""
+        return [(t, self._score(t)) for t in sorted(self.results)]
+
+
+def run_thread_sweep(
+    benchmark: SpmmBenchmark,
+    thread_list: tuple[int, ...] = PAPER_THREAD_LIST,
+    mode: str = "model",
+) -> ThreadSweepResult:
+    """Run the benchmark at each thread count and collect the winner.
+
+    The benchmark must be loaded and configured with a parallel variant.
+    """
+    if not thread_list:
+        raise BenchConfigError("thread_list must not be empty")
+    if "parallel" not in benchmark.params.variant:
+        raise BenchConfigError(
+            f"thread sweeps need a parallel variant, got {benchmark.params.variant!r}"
+        )
+    results: dict[int, BenchResult] = {}
+    for threads in thread_list:
+        benchmark.params = benchmark.params.with_(threads=threads)
+        results[threads] = benchmark.run(mode=mode)
+    return ThreadSweepResult(
+        matrix=benchmark.matrix_name,
+        format_name=benchmark.format_name,
+        results=results,
+    )
+
+
+def best_thread_counts(
+    sweeps: list[ThreadSweepResult], top_count: int
+) -> dict[str, int]:
+    """Per-format tally of matrices whose best thread count equals
+    ``top_count`` — the Study 3.1 figures (e.g. "COO achieved the 72 core
+    count on 10 matrices")."""
+    tally: dict[str, int] = {}
+    for sweep in sweeps:
+        tally.setdefault(sweep.format_name, 0)
+        if sweep.best_threads == top_count:
+            tally[sweep.format_name] += 1
+    return tally

@@ -1,0 +1,75 @@
+"""Timing machinery.
+
+The suite's primary measurement is the average runtime of the calculation
+function over ``n_runs`` calls (paper §4.3), converted to FLOPS against the
+operation's useful flop count.  ``perf_counter`` timestamps bracket only the
+kernel call — "benchmarking is done from within the suite, so any potential
+overhead is eliminated" (§4.1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import BenchConfigError
+
+__all__ = ["TimingStats", "measure", "flops_to_mflops"]
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Aggregated timings of repeated kernel calls (seconds)."""
+
+    times: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.times:
+            raise BenchConfigError("TimingStats needs at least one sample")
+
+    @property
+    def n(self) -> int:
+        return len(self.times)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.times) / len(self.times)
+
+    @property
+    def best(self) -> float:
+        return min(self.times)
+
+    @property
+    def worst(self) -> float:
+        return max(self.times)
+
+    @property
+    def std(self) -> float:
+        m = self.mean
+        return (sum((t - m) ** 2 for t in self.times) / len(self.times)) ** 0.5
+
+
+def measure(fn: Callable[[], object], n_runs: int, warmup: int = 1) -> tuple[object, TimingStats]:
+    """Call ``fn`` ``warmup + n_runs`` times; time the last ``n_runs``.
+
+    Returns the last call's result and the timing statistics.
+    """
+    if n_runs < 1:
+        raise BenchConfigError(f"n_runs must be >= 1, got {n_runs}")
+    result = None
+    for _ in range(warmup):
+        result = fn()
+    times = []
+    for _ in range(n_runs):
+        t0 = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - t0)
+    return result, TimingStats(tuple(times))
+
+
+def flops_to_mflops(flops: int, seconds: float) -> float:
+    """Useful MFLOPS for a measured time."""
+    if seconds <= 0:
+        return 0.0
+    return flops / seconds / 1e6

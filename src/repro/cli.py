@@ -1,0 +1,355 @@
+"""Command-line interface: ``spmm-bench`` / ``python -m repro``.
+
+The paper ran its kernels through per-kernel binaries and bash scripts and
+wished for "a Python script to generate a runtime script for a given
+configuration" (§6.3.3).  This CLI is that replacement:
+
+* ``spmm-bench run`` — benchmark one (matrix, format, variant) cell, wall
+  clock and/or machine model;
+* ``spmm-bench study`` — regenerate any table/figure of the evaluation;
+* ``spmm-bench sweep`` — the Study 3.1 thread-list feature;
+* ``spmm-bench table`` — Table 5.1;
+* ``spmm-bench list`` — formats, matrices, machines, kernel variants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench.params import BenchParams
+from .bench.report import results_to_csv
+from .bench.suite import SpmmBenchmark
+from .bench.sweep import run_thread_sweep
+from .errors import SpmmBenchError
+from .formats.registry import format_names
+from .kernels.dispatch import kernel_variants
+from .machine.machines import MACHINES, get_machine
+from .matrices.suite import matrix_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argparse tree (exposed for tests/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="spmm-bench",
+        description="SpMM-Bench reproduction: sparse-format SpMM benchmarking",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="benchmark one matrix/format/variant cell")
+    run_p.add_argument("--matrix", required=True, help="suite matrix name")
+    run_p.add_argument("--format", required=True, dest="format_name",
+                       help=f"sparse format ({', '.join(format_names())})")
+    run_p.add_argument("--scale", type=int, default=16,
+                       help="divide the paper's matrix rows by this factor")
+    run_p.add_argument("--machine", default=None,
+                       help="attach a machine model (grace-hopper/aries/arm/x86)")
+    run_p.add_argument("--mode", default="wallclock",
+                       choices=["wallclock", "model", "both"])
+    run_p.add_argument("--operation", default="spmm", choices=["spmm", "spmv"])
+    run_p.add_argument("--csv", action="store_true", help="emit a CSV row")
+    BenchParams.add_arguments(run_p)
+
+    study_p = sub.add_parser("study", help="regenerate a table/figure of the paper")
+    study_p.add_argument("study", help="study id (table5.1, study1..study9, study3.1, all)")
+    study_p.add_argument("--scale", type=int, default=None,
+                         help="matrix scale (default: the studies' default)")
+    study_p.add_argument("--out", default=None, help="write the report to a file")
+    study_p.add_argument("--svg", default=None, metavar="DIR",
+                         help="also render each figure table as an SVG bar chart")
+
+    spy_p = sub.add_parser("spy", help="sparsity-pattern visualization of a matrix")
+    spy_p.add_argument("--matrix", required=True, help="suite matrix name")
+    spy_p.add_argument("--scale", type=int, default=32)
+    spy_p.add_argument("--svg", default=None, metavar="FILE",
+                       help="write an SVG spy plot instead of ASCII")
+    spy_p.add_argument("--histogram", action="store_true",
+                       help="also print the nonzeros-per-row histogram")
+
+    sweep_p = sub.add_parser("sweep", help="Study 3.1 thread-list sweep")
+    sweep_p.add_argument("--matrix", required=True)
+    sweep_p.add_argument("--format", required=True, dest="format_name")
+    sweep_p.add_argument("--scale", type=int, default=16)
+    sweep_p.add_argument("--machine", default="arm")
+    sweep_p.add_argument("--mode", default="model", choices=["wallclock", "model"])
+    BenchParams.add_arguments(sweep_p)
+
+    sub.add_parser("table", help="print Table 5.1 (matrix properties)")
+
+    list_p = sub.add_parser("list", help="list registered components")
+    list_p.add_argument("what", choices=["formats", "matrices", "machines", "variants"])
+
+    roof_p = sub.add_parser("roofline", help="roofline placement of kernels on a machine")
+    roof_p.add_argument("--matrix", required=True, help="suite matrix name")
+    roof_p.add_argument("--formats", default="coo,csr,ell,bcsr", dest="format_list")
+    roof_p.add_argument("--scale", type=int, default=32)
+    roof_p.add_argument("--machine", default="arm")
+    roof_p.add_argument("-k", type=int, default=128, dest="k")
+    roof_p.add_argument("-t", "--threads", type=int, default=32)
+    roof_p.add_argument("--execution", default="parallel", choices=["serial", "parallel"])
+
+    select_p = sub.add_parser("select", help="recommend a format for a matrix")
+    select_p.add_argument("--matrix", required=True, help="suite matrix name")
+    select_p.add_argument("--scale", type=int, default=32)
+    select_p.add_argument("--selector", default=None,
+                          help="load a saved selector JSON instead of training")
+    select_p.add_argument("--save", default=None,
+                          help="save the (trained) selector to this path")
+
+    gen_p = sub.add_parser("gen-script",
+                           help="generate a shell runtime script for a grid (paper 6.3.3)")
+    gen_p.add_argument("--matrices", default="cant,torso1",
+                       help="comma-separated suite matrices")
+    gen_p.add_argument("--formats", default="coo,csr,ell,bcsr", dest="format_list")
+    gen_p.add_argument("--variants", default="serial,parallel")
+    gen_p.add_argument("--scale", type=int, default=32)
+    gen_p.add_argument("--machine", default=None)
+    gen_p.add_argument("--mode", default="wallclock",
+                       choices=["wallclock", "model", "both"])
+    gen_p.add_argument("--csv", default="results.csv")
+    gen_p.add_argument("-o", "--output", default="run_grid.sh")
+    BenchParams.add_arguments(gen_p)
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    params = BenchParams.from_args(args)
+    machine = None
+    if args.machine:
+        machine = get_machine(args.machine).with_scaled_caches(args.scale)
+    bench = SpmmBenchmark(
+        args.format_name, params=params, machine=machine, operation=args.operation
+    )
+    bench.load_suite_matrix(args.matrix, scale=args.scale)
+    result = bench.run(mode=args.mode)
+    if args.csv:
+        print(results_to_csv([result]), end="")
+        return 0
+    print(f"matrix        : {result.matrix} (scale 1/{args.scale})")
+    print(f"format        : {result.format_name}  variant: {result.variant}")
+    p = result.properties
+    print(f"shape         : {p.nrows} x {p.ncols}, nnz {p.nnz}, "
+          f"column ratio {p.column_ratio:.1f}")
+    print(f"format time   : {result.format_time_s * 1e3:.3f} ms")
+    print(f"padding ratio : {result.padding_ratio:.3f}")
+    print(f"footprint     : {result.footprint_bytes / 1e6:.3f} MB")
+    if result.timing is not None:
+        print(f"calc time     : {result.timing.mean * 1e3:.3f} ms "
+              f"(best {result.timing.best * 1e3:.3f}, n={result.timing.n})")
+        print(f"measured      : {result.mflops:,.1f} MFLOPS "
+              f"({result.gflops:.3f} GFLOPS)")
+        print(f"verified      : {result.verified}")
+    if result.modeled is not None:
+        print(f"modeled       : {result.modeled_mflops:,.1f} MFLOPS on {machine.name}")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from .studies import STUDIES
+
+    ids = list(STUDIES) if args.study == "all" else [args.study]
+    unknown = [sid for sid in ids if sid not in STUDIES]
+    if unknown:
+        print(f"unknown study {unknown[0]!r}; available: {', '.join(STUDIES)}, all",
+              file=sys.stderr)
+        return 2
+    chunks = []
+    for sid in ids:
+        kwargs = {"scale": args.scale} if args.scale else {}
+        result = STUDIES[sid].run(**kwargs)
+        chunks.append(result.to_text())
+        if args.svg:
+            _write_study_svgs(result, args.svg)
+    report = "\n\n".join(chunks)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def _write_study_svgs(result, out_dir: str) -> None:
+    """Render each figure table of a study as an SVG bar chart."""
+    from pathlib import Path
+
+    from .bench.plots import chart_from_table
+    from .errors import BenchConfigError
+
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    safe_study = result.study_id.replace(" ", "_").replace(".", "_").lower()
+    for i, (title, headers, rows) in enumerate(result.tables):
+        try:
+            chart = chart_from_table(title, headers, rows)
+        except BenchConfigError:
+            continue  # non-numeric table (e.g. best-thread labels)
+        path = directory / f"{safe_study}_{i:02d}.svg"
+        path.write_text(chart.to_svg())
+        print(f"wrote {path}")
+
+
+def _cmd_spy(args: argparse.Namespace) -> int:
+    from .matrices.spy import ascii_spy, row_histogram, svg_spy
+    from .matrices.suite import load_matrix
+
+    triplets = load_matrix(args.matrix, scale=args.scale)
+    if args.svg:
+        with open(args.svg, "w") as fh:
+            fh.write(svg_spy(triplets, title=f"{args.matrix} (scale 1/{args.scale})"))
+        print(f"wrote {args.svg}")
+    else:
+        print(f"{args.matrix} (scale 1/{args.scale}): "
+              f"{triplets.nrows} x {triplets.ncols}, nnz {triplets.nnz}")
+        print(ascii_spy(triplets))
+    if args.histogram:
+        print("\nnonzeros per row:")
+        print(row_histogram(triplets))
+    return 0
+
+
+def _cmd_roofline(args: argparse.Namespace) -> int:
+    from .formats.registry import get_format as _get_format
+    from .kernels.traces import trace_spmm
+    from .machine.roofline import ascii_roofline, roofline_point
+    from .matrices.suite import load_matrix
+
+    machine = get_machine(args.machine).with_scaled_caches(args.scale)
+    triplets = load_matrix(args.matrix, scale=args.scale)
+    points = []
+    for fmt in args.format_list.split(","):
+        fmt = fmt.strip()
+        params = {"block_size": 4} if fmt == "bcsr" else {}
+        A = _get_format(fmt).from_triplets(triplets, **params)
+        points.append(
+            roofline_point(
+                trace_spmm(A, args.k), machine, args.execution, args.threads,
+                label=f"{fmt}",
+            )
+        )
+    print(f"{args.matrix} on {machine.name}, {args.execution}"
+          f"{f' @ {args.threads}t' if args.execution == 'parallel' else ''}, k={args.k}")
+    print(ascii_roofline(points))
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    from .matrices.properties import analyze
+    from .matrices.suite import load_matrix
+    from .select import FormatSelector, train_default_selector
+
+    if args.selector:
+        selector = FormatSelector.load(args.selector)
+        print(f"loaded selector ({selector.target})")
+    else:
+        print("training the default selector (oracle-labeled synthetic corpus)...")
+        selector = train_default_selector()
+    if args.save:
+        selector.save(args.save)
+        print(f"saved selector to {args.save}")
+    triplets = load_matrix(args.matrix, scale=args.scale)
+    props = analyze(triplets, args.matrix)
+    choice = selector.select(triplets)
+    proba = selector.select_proba(triplets)
+    print(f"\n{args.matrix}: column ratio {props.column_ratio:.1f}, "
+          f"avg {props.avg_row_nnz:.1f} nnz/row, "
+          f"ELL padding {props.ell_padding_fraction:.0%}")
+    print(f"recommended format: {choice.upper()}")
+    print("leaf distribution: " + ", ".join(
+        f"{fmt}={p:.0%}" for fmt, p in sorted(proba.items(), key=lambda kv: -kv[1])
+    ))
+    return 0
+
+
+def _cmd_gen_script(args: argparse.Namespace) -> int:
+    from .bench.runner import GridSpec
+    from .bench.scripts import write_runtime_script
+
+    params = BenchParams.from_args(args)
+    spec = GridSpec(
+        matrices=tuple(args.matrices.split(",")),
+        formats=tuple(args.format_list.split(",")),
+        variants=tuple(args.variants.split(",")),
+        k_values=(params.k,),
+        thread_counts=(params.threads,),
+        block_sizes=(params.block_size,),
+        scale=args.scale,
+        base_params=params,
+    )
+    path = write_runtime_script(
+        spec, args.output, csv_path=args.csv, machine=args.machine, mode=args.mode
+    )
+    n_cells = sum(1 for _ in spec.configurations())
+    print(f"wrote {path} ({n_cells} benchmark cells -> {args.csv})")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    params = BenchParams.from_args(args).with_(variant="parallel")
+    machine = get_machine(args.machine).with_scaled_caches(args.scale)
+    bench = SpmmBenchmark(args.format_name, params=params, machine=machine)
+    bench.load_suite_matrix(args.matrix, scale=args.scale)
+    thread_list = params.thread_list or (2, 4, 8, 16, 32, 48, 64, 72)
+    sweep = run_thread_sweep(bench, thread_list, mode=args.mode)
+    print(f"{args.matrix} / {args.format_name} on {machine.name}:")
+    for threads, mflops in sweep.series():
+        marker = "  <-- best" if threads == sweep.best_threads else ""
+        print(f"  t={threads:<3} {mflops:>12,.1f} MFLOPS{marker}")
+    return 0
+
+
+def _cmd_table(_args: argparse.Namespace) -> int:
+    from .studies import table_5_1
+
+    print(table_5_1.run().to_text())
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.what == "formats":
+        for name in format_names():
+            print(name)
+    elif args.what == "matrices":
+        for name in matrix_names():
+            print(name)
+    elif args.what == "machines":
+        seen = set()
+        for name, machine in MACHINES.items():
+            if machine.name in seen:
+                continue
+            seen.add(machine.name)
+            print(f"{machine.name}: {machine.description}")
+    else:
+        for name in kernel_variants("spmm"):
+            print(name)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "study": _cmd_study,
+        "sweep": _cmd_sweep,
+        "table": _cmd_table,
+        "list": _cmd_list,
+        "spy": _cmd_spy,
+        "select": _cmd_select,
+        "gen-script": _cmd_gen_script,
+        "roofline": _cmd_roofline,
+    }
+    try:
+        return handlers[args.command](args)
+    except SpmmBenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

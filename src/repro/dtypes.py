@@ -1,0 +1,116 @@
+"""Data-type policy and memory-footprint accounting.
+
+The paper's future-work section (§6.3.5) observes that its preliminary
+implementation used 64-bit indices and 64-bit values everywhere, doubling the
+memory footprint compared to the 32-bit types that suffice for most matrices
+and contributing to the out-of-memory failures in the cuSPARSE study.  This
+module makes the choice explicit: a :class:`DTypePolicy` carries the index
+and value dtypes used by every format, and helpers report the byte cost of
+each array so the benchmark reports can include footprint columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import FormatError
+
+__all__ = [
+    "DTypePolicy",
+    "POLICY_32",
+    "POLICY_64",
+    "DEFAULT_POLICY",
+    "nbytes_of",
+    "footprint_report",
+]
+
+
+@dataclass(frozen=True)
+class DTypePolicy:
+    """Index/value dtype pair used when building sparse structures.
+
+    Attributes
+    ----------
+    index:
+        Integer dtype for row/column/pointer arrays.
+    value:
+        Floating dtype for nonzero values and dense operands.
+    name:
+        Human-readable policy name used in reports.
+    """
+
+    index: np.dtype
+    value: np.dtype
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        idx = np.dtype(self.index)
+        val = np.dtype(self.value)
+        if idx.kind not in ("i", "u"):
+            raise FormatError(f"index dtype must be integral, got {idx}")
+        if val.kind != "f":
+            raise FormatError(f"value dtype must be floating, got {val}")
+        object.__setattr__(self, "index", idx)
+        object.__setattr__(self, "value", val)
+
+    @property
+    def index_bytes(self) -> int:
+        """Bytes per stored index."""
+        return self.index.itemsize
+
+    @property
+    def value_bytes(self) -> int:
+        """Bytes per stored value."""
+        return self.value.itemsize
+
+    def index_array(self, data, copy: bool = False) -> np.ndarray:
+        """Return ``data`` as a contiguous index array under this policy."""
+        arr = np.asarray(data)
+        if arr.dtype.kind == "f" and arr.size and not np.all(arr == np.trunc(arr)):
+            raise FormatError("non-integral values in index array")
+        out = np.ascontiguousarray(arr, dtype=self.index)
+        if copy and out is arr:
+            out = out.copy()
+        return out
+
+    def value_array(self, data, copy: bool = False) -> np.ndarray:
+        """Return ``data`` as a contiguous value array under this policy."""
+        arr = np.ascontiguousarray(data, dtype=self.value)
+        if copy and arr is data:
+            arr = arr.copy()
+        return arr
+
+    def with_index(self, index) -> "DTypePolicy":
+        """Derive a policy with a different index dtype."""
+        return DTypePolicy(index=np.dtype(index), value=self.value, name="custom")
+
+    def with_value(self, value) -> "DTypePolicy":
+        """Derive a policy with a different value dtype."""
+        return DTypePolicy(index=self.index, value=np.dtype(value), name="custom")
+
+
+#: 32-bit policy the paper recommends for most matrices (§6.3.5).
+POLICY_32 = DTypePolicy(index=np.dtype(np.int32), value=np.dtype(np.float32), name="32-bit")
+
+#: 64-bit policy matching the paper's preliminary implementation.
+POLICY_64 = DTypePolicy(index=np.dtype(np.int64), value=np.dtype(np.float64), name="64-bit")
+
+#: Default: 64-bit values for accuracy with 32-bit indices, a common middle ground.
+DEFAULT_POLICY = DTypePolicy(index=np.dtype(np.int32), value=np.dtype(np.float64), name="mixed")
+
+
+def nbytes_of(*arrays: np.ndarray) -> int:
+    """Total byte footprint of the given arrays."""
+    return int(sum(a.nbytes for a in arrays))
+
+
+def footprint_report(named_arrays: dict[str, np.ndarray]) -> dict[str, int]:
+    """Per-array and total byte footprint, for benchmark reports.
+
+    Returns a dict of ``{name: bytes}`` plus a ``"total"`` entry.
+    """
+    report = {name: int(arr.nbytes) for name, arr in named_arrays.items()}
+    report["total"] = sum(report.values())
+    return report

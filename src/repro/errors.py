@@ -1,0 +1,75 @@
+"""Exception hierarchy for the SpMM-Bench reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`SpmmBenchError` so
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SpmmBenchError",
+    "FormatError",
+    "ConversionError",
+    "ShapeError",
+    "KernelError",
+    "VerificationError",
+    "MachineModelError",
+    "OffloadError",
+    "MatrixMarketError",
+    "GeneratorError",
+    "BenchConfigError",
+]
+
+
+class SpmmBenchError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class FormatError(SpmmBenchError):
+    """A sparse format was constructed from inconsistent data."""
+
+
+class ConversionError(FormatError):
+    """A format conversion could not be performed."""
+
+
+class ShapeError(SpmmBenchError):
+    """Operand shapes are incompatible for the requested operation."""
+
+
+class KernelError(SpmmBenchError):
+    """A kernel variant is unknown or cannot run on the given operands."""
+
+
+class VerificationError(SpmmBenchError):
+    """A benchmark result failed verification against the COO reference."""
+
+
+class MachineModelError(SpmmBenchError):
+    """The analytic machine model was configured inconsistently."""
+
+
+class OffloadError(MachineModelError):
+    """The simulated OpenMP target-offload runtime failed.
+
+    Mirrors the paper's Aries offload failures (evaluation §5.1): runs on
+    the faulty runtime raise this error for the affected matrices and the
+    harness records them as censored data points.
+    """
+
+    def __init__(self, message: str, matrix: str | None = None):
+        super().__init__(message)
+        self.matrix = matrix
+
+
+class MatrixMarketError(SpmmBenchError):
+    """Matrix Market file could not be parsed or written."""
+
+
+class GeneratorError(SpmmBenchError):
+    """A synthetic matrix generator received invalid parameters."""
+
+
+class BenchConfigError(SpmmBenchError):
+    """Benchmark parameters are invalid (bad thread list, k, block size...)."""

@@ -1,0 +1,45 @@
+"""Sparse formats: the paper's four studied formats (COO, CSR, ELLPACK,
+BCSR) plus the two future-work formats it names (Blocked-ELL, CSR5).
+
+All formats build from the COO-like :class:`~repro.matrices.Triplets`
+representation, extend :class:`SparseFormat`, and register themselves by
+name so the benchmark harness and CLI discover them automatically.
+"""
+
+from .base import SparseFormat
+from .registry import register_format, get_format, format_names, iter_formats
+from .coo import COO
+from .csr import CSR
+from .ell import ELL
+from .bcsr import BCSR
+from .bell import BELL
+from .csr5 import CSR5
+from .sell import SELL
+from .convert import convert, from_scipy, to_scipy
+
+#: The four formats the paper's evaluation studies.
+PAPER_FORMATS = ("coo", "csr", "ell", "bcsr")
+
+#: Future-work formats (paper §6.3.1) plus SELL-C-sigma from the cited
+#: literature ([13] Anzt et al.).
+EXTENSION_FORMATS = ("bell", "csr5", "sell")
+
+__all__ = [
+    "SparseFormat",
+    "register_format",
+    "get_format",
+    "format_names",
+    "iter_formats",
+    "COO",
+    "CSR",
+    "ELL",
+    "BCSR",
+    "BELL",
+    "CSR5",
+    "SELL",
+    "convert",
+    "from_scipy",
+    "to_scipy",
+    "PAPER_FORMATS",
+    "EXTENSION_FORMATS",
+]

@@ -1,0 +1,203 @@
+"""Blocked-ELLPACK (BELL) format — future-work format #1 (paper §6.3.1).
+
+"BELL is halfway between ELL and BCSR.  It partitions the matrix into groups
+of rows, and then performs ELL padding by block" (paper §2.2).  Each group of
+``row_block`` consecutive rows gets its own ELL width (the longest row *in
+that group*), so one pathological row only inflates its own slice instead of
+the whole matrix — the fix for ELL's ``torso1`` failure mode, at the cost of
+per-slice bookkeeping.
+
+The paper's first draft of BELL "ran into several issues" and was shelved;
+this is the completed implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..dtypes import DEFAULT_POLICY, DTypePolicy
+from ..errors import FormatError
+from ..matrices.coo_builder import Triplets
+from .base import SparseFormat
+from .registry import register_format
+
+__all__ = ["BELL"]
+
+
+@register_format("bell")
+class BELL(SparseFormat):
+    """Row-sliced ELL: per-slice width, flat padded storage.
+
+    Attributes
+    ----------
+    row_block:
+        Rows per slice.
+    slice_ptr:
+        Offset of each slice's first stored entry in the flat arrays,
+        length ``nslices + 1``.  Slice *s* stores
+        ``rows_in_slice(s) * width[s]`` entries row-major.
+    widths:
+        ELL width per slice.
+    indices, values:
+        Flat padded storage.
+    row_nnz:
+        Real nonzeros per row.
+    """
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        row_block: int,
+        slice_ptr: np.ndarray,
+        widths: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+        row_nnz: np.ndarray,
+        policy: DTypePolicy = DEFAULT_POLICY,
+    ):
+        super().__init__(nrows, ncols, policy)
+        row_block = int(row_block)
+        if row_block < 1:
+            raise FormatError(f"row_block must be >= 1, got {row_block}")
+        nslices = -(-nrows // row_block)
+        slice_ptr = np.ascontiguousarray(slice_ptr, dtype=np.int64)
+        widths = np.ascontiguousarray(widths, dtype=np.int64)
+        indices = policy.index_array(indices)
+        values = policy.value_array(values)
+        row_nnz = np.ascontiguousarray(row_nnz, dtype=np.int64)
+        if slice_ptr.size != nslices + 1 or widths.size != nslices:
+            raise FormatError("BELL slice arrays sized inconsistently")
+        if slice_ptr[0] != 0 or slice_ptr[-1] != values.size:
+            raise FormatError("slice_ptr must start at 0 and end at stored size")
+        if indices.shape != values.shape or indices.ndim != 1:
+            raise FormatError("BELL indices/values must be flat and equally sized")
+        if row_nnz.shape != (nrows,):
+            raise FormatError("BELL row_nnz must have length nrows")
+        self.row_block = row_block
+        self.nslices = nslices
+        self.slice_ptr = slice_ptr
+        self.widths = widths
+        self.indices = indices
+        self.values = values
+        self.row_nnz = row_nnz
+
+    def rows_in_slice(self, s: int) -> int:
+        """Number of real rows in slice ``s`` (last slice may be short)."""
+        return min(self.row_block, self.nrows - s * self.row_block)
+
+    @classmethod
+    def from_triplets(
+        cls,
+        triplets: Triplets,
+        policy: DTypePolicy = DEFAULT_POLICY,
+        *,
+        row_block: int = 32,
+        **params: Any,
+    ) -> "BELL":
+        if params:
+            raise FormatError(f"unknown BELL parameters: {params}")
+        row_block = int(row_block)
+        if row_block < 1:
+            raise FormatError(f"row_block must be >= 1, got {row_block}")
+        nrows, ncols = triplets.nrows, triplets.ncols
+        nslices = -(-nrows // row_block)
+        counts = triplets.row_counts()
+
+        # Per-slice width = max row count within the slice.
+        padded = np.zeros(nslices * row_block, dtype=np.int64)
+        padded[:nrows] = counts
+        widths = padded.reshape(nslices, row_block).max(axis=1)
+        np.clip(widths, 1, None, out=widths)
+
+        rows_per_slice = np.minimum(
+            row_block, nrows - np.arange(nslices) * row_block
+        )
+        slice_sizes = widths * rows_per_slice
+        slice_ptr = np.zeros(nslices + 1, dtype=np.int64)
+        np.cumsum(slice_sizes, out=slice_ptr[1:])
+
+        total = int(slice_ptr[-1])
+        indices = np.zeros(total, dtype=policy.index)
+        values = np.zeros(total, dtype=policy.value)
+        if triplets.nnz:
+            rows = triplets.rows.astype(np.int64)
+            slice_of = rows // row_block
+            row_in_slice = rows % row_block
+            starts = np.cumsum(counts) - counts
+            slot = np.arange(triplets.nnz, dtype=np.int64) - starts[rows]
+            flat = (
+                slice_ptr[slice_of]
+                + row_in_slice * widths[slice_of]
+                + slot
+            )
+            indices[flat] = triplets.cols
+            values[flat] = triplets.values
+            # Locality-preserving padding: repeat each row's last real column.
+            nonempty = counts > 0
+            last_col = np.zeros(nrows, dtype=np.int64)
+            last_col[nonempty] = triplets.cols[(starts + counts - 1)[nonempty]].astype(np.int64)
+            all_rows = np.arange(nrows, dtype=np.int64)
+            row_width = widths[all_rows // row_block]
+            pad_counts = row_width - counts
+            pad_rows = np.repeat(all_rows, pad_counts)
+            within = np.arange(pad_counts.sum(), dtype=np.int64) - np.repeat(
+                np.cumsum(pad_counts) - pad_counts, pad_counts
+            )
+            pad_flat = (
+                slice_ptr[pad_rows // row_block]
+                + (pad_rows % row_block) * widths[pad_rows // row_block]
+                + counts[pad_rows]
+                + within
+            )
+            indices[pad_flat] = last_col[pad_rows]
+        return cls(
+            nrows,
+            ncols,
+            row_block,
+            slice_ptr,
+            widths,
+            indices,
+            values,
+            counts,
+            policy=policy,
+        )
+
+    def to_triplets(self) -> Triplets:
+        all_rows = np.arange(self.nrows, dtype=np.int64)
+        widths = self.widths[all_rows // self.row_block]
+        rows = np.repeat(all_rows, self.row_nnz)
+        slot = np.arange(rows.size, dtype=np.int64) - np.repeat(
+            np.cumsum(self.row_nnz) - self.row_nnz, self.row_nnz
+        )
+        flat = (
+            self.slice_ptr[rows // self.row_block]
+            + (rows % self.row_block) * widths[rows]
+            + slot
+        )
+        return Triplets(
+            nrows=self.nrows,
+            ncols=self.ncols,
+            rows=self.policy.index_array(rows),
+            cols=self.indices[flat].copy(),
+            values=self.values[flat].copy(),
+        )
+
+    @property
+    def nnz(self) -> int:
+        return int(self.row_nnz.sum())
+
+    @property
+    def stored_entries(self) -> int:
+        return int(self.values.size)
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        return {
+            "slice_ptr": self.slice_ptr,
+            "widths": self.widths,
+            "indices": self.indices,
+            "values": self.values,
+            "row_nnz": self.row_nnz,
+        }

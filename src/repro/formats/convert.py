@@ -1,0 +1,77 @@
+"""Format conversions.
+
+The paper's suite routes every format through the COO representation
+(§4.1); conversions here do the same — ``convert(a, "bcsr")`` goes through
+:class:`~repro.matrices.Triplets` — with a few direct fast paths where the
+structures map trivially (CSR ↔ CSR5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+from ..dtypes import DTypePolicy
+from .base import SparseFormat
+from .csr import CSR
+from .csr5 import CSR5
+from .registry import get_format
+
+__all__ = ["convert", "from_scipy", "to_scipy"]
+
+
+def convert(
+    matrix: SparseFormat,
+    target: str | Type[SparseFormat],
+    policy: DTypePolicy | None = None,
+    **params: Any,
+) -> SparseFormat:
+    """Convert a sparse matrix to another registered format.
+
+    ``params`` are target-format knobs (BCSR ``block_size``, BELL
+    ``row_block``, CSR5 ``tile_nnz``).
+    """
+    cls = get_format(target) if isinstance(target, str) else target
+    policy = policy or matrix.policy
+    if isinstance(matrix, CSR) and cls is CSR5:
+        # Fast path: CSR5 shares CSR arrays; skip the triplet round-trip.
+        return CSR5(
+            matrix.nrows,
+            matrix.ncols,
+            matrix.indptr,
+            matrix.indices,
+            matrix.values,
+            tile_nnz=int(params.pop("tile_nnz", 256)),
+            policy=policy,
+        )
+    if isinstance(matrix, CSR5) and cls is CSR and not params:
+        return CSR(
+            matrix.nrows,
+            matrix.ncols,
+            matrix.indptr,
+            matrix.indices,
+            matrix.values,
+            policy=policy,
+        )
+    return cls.from_triplets(matrix.to_triplets(), policy=policy, **params)
+
+
+def from_scipy(sp_matrix, target: str = "csr", policy: DTypePolicy | None = None, **params):
+    """Build a repro format from any scipy.sparse matrix."""
+    from ..dtypes import DEFAULT_POLICY
+    from ..matrices.coo_builder import CooBuilder
+
+    policy = policy or DEFAULT_POLICY
+    coo = sp_matrix.tocoo()
+    builder = CooBuilder(coo.shape[0], coo.shape[1], policy=policy)
+    builder.add_batch(coo.row, coo.col, coo.data)
+    return get_format(target).from_triplets(builder.finish(), policy=policy, **params)
+
+
+def to_scipy(matrix: SparseFormat):
+    """Convert a repro format to a scipy.sparse CSR matrix (for tests)."""
+    import scipy.sparse as sp
+
+    t = matrix.to_triplets()
+    return sp.coo_matrix(
+        (t.values, (t.rows, t.cols)), shape=(t.nrows, t.ncols)
+    ).tocsr()

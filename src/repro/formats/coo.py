@@ -1,0 +1,99 @@
+"""Coordinate (COO) format.
+
+The suite's default format (paper §4.1): "an integer and three arrays" —
+row indices, column indices, and values, kept sorted row-major.  COO doubles
+as the verification reference: the paper's suite verifies every benchmark
+against the COO multiplication (§4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..dtypes import DEFAULT_POLICY, DTypePolicy
+from ..errors import FormatError
+from ..matrices.coo_builder import Triplets
+from .base import SparseFormat
+from .registry import register_format
+
+__all__ = ["COO"]
+
+
+@register_format("coo")
+class COO(SparseFormat):
+    """Row-major-sorted coordinate storage."""
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        policy: DTypePolicy = DEFAULT_POLICY,
+    ):
+        super().__init__(nrows, ncols, policy)
+        rows = policy.index_array(rows)
+        cols = policy.index_array(cols)
+        values = policy.value_array(values)
+        if not (rows.shape == cols.shape == values.shape) or rows.ndim != 1:
+            raise FormatError("COO arrays must be 1-D and equally sized")
+        if rows.size:
+            if rows.min() < 0 or int(rows.max()) >= nrows:
+                raise FormatError("COO row index out of range")
+            if cols.min() < 0 or int(cols.max()) >= ncols:
+                raise FormatError("COO col index out of range")
+            keys = rows.astype(np.int64) * ncols + cols.astype(np.int64)
+            if np.any(np.diff(keys) < 0):
+                raise FormatError("COO entries must be sorted row-major")
+        self.rows = rows
+        self.cols = cols
+        self.values = values
+
+    @classmethod
+    def from_triplets(
+        cls, triplets: Triplets, policy: DTypePolicy = DEFAULT_POLICY, **params: Any
+    ) -> "COO":
+        if params:
+            raise FormatError(f"COO takes no format parameters, got {params}")
+        return cls(
+            triplets.nrows,
+            triplets.ncols,
+            triplets.rows,
+            triplets.cols,
+            triplets.values,
+            policy=policy,
+        )
+
+    def to_triplets(self) -> Triplets:
+        return Triplets(
+            nrows=self.nrows,
+            ncols=self.ncols,
+            rows=self.rows.copy(),
+            cols=self.cols.copy(),
+            values=self.values.copy(),
+        )
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def stored_entries(self) -> int:
+        return self.nnz
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        return {"rows": self.rows, "cols": self.cols, "values": self.values}
+
+    def row_segments(self) -> np.ndarray:
+        """CSR-style row pointer computed on the fly (length nrows+1).
+
+        Used by parallel kernels to partition COO entries by row without
+        reformatting to CSR.
+        """
+        counts = np.bincount(self.rows, minlength=self.nrows)
+        indptr = np.zeros(self.nrows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr

@@ -1,0 +1,103 @@
+"""Compressed Sparse Row (CSR) format.
+
+"CSR also requires an integer and three arrays, but one of these arrays is
+much shorter than the other two" (paper §4.1): a row-pointer array of length
+``nrows + 1`` replaces COO's per-entry row array.  CSR is the paper's
+strongest general-purpose format on CPUs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..dtypes import DEFAULT_POLICY, DTypePolicy
+from ..errors import FormatError
+from ..matrices.coo_builder import Triplets
+from .base import SparseFormat
+from .registry import register_format
+
+__all__ = ["CSR"]
+
+
+@register_format("csr")
+class CSR(SparseFormat):
+    """Row-pointer compressed storage."""
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+        policy: DTypePolicy = DEFAULT_POLICY,
+    ):
+        super().__init__(nrows, ncols, policy)
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = policy.index_array(indices)
+        values = policy.value_array(values)
+        if indptr.ndim != 1 or indptr.size != nrows + 1:
+            raise FormatError(f"indptr must have length nrows+1={nrows + 1}")
+        if indptr[0] != 0 or indptr[-1] != values.size:
+            raise FormatError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        if indices.shape != values.shape or indices.ndim != 1:
+            raise FormatError("indices and values must be 1-D and equally sized")
+        if indices.size and (indices.min() < 0 or int(indices.max()) >= ncols):
+            raise FormatError("CSR column index out of range")
+        self.indptr = indptr
+        self.indices = indices
+        self.values = values
+
+    @classmethod
+    def from_triplets(
+        cls, triplets: Triplets, policy: DTypePolicy = DEFAULT_POLICY, **params: Any
+    ) -> "CSR":
+        if params:
+            raise FormatError(f"CSR takes no format parameters, got {params}")
+        counts = np.bincount(triplets.rows, minlength=triplets.nrows)
+        indptr = np.zeros(triplets.nrows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        # Triplets are already row-major sorted, so cols/values map directly.
+        return cls(
+            triplets.nrows,
+            triplets.ncols,
+            indptr,
+            triplets.cols,
+            triplets.values,
+            policy=policy,
+        )
+
+    def to_triplets(self) -> Triplets:
+        rows = np.repeat(
+            np.arange(self.nrows, dtype=np.int64), np.diff(self.indptr)
+        )
+        return Triplets(
+            nrows=self.nrows,
+            ncols=self.ncols,
+            rows=self.policy.index_array(rows),
+            cols=self.indices.copy(),
+            values=self.values.copy(),
+        )
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def stored_entries(self) -> int:
+        return self.nnz
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        return {"indptr": self.indptr, "indices": self.indices, "values": self.values}
+
+    def expanded_rows(self) -> np.ndarray:
+        """Per-entry row index (COO expansion), used by segment-sum kernels."""
+        return np.repeat(np.arange(self.nrows, dtype=np.int64), np.diff(self.indptr))
+
+    def row_nnz(self) -> np.ndarray:
+        """Nonzeros per row."""
+        return np.diff(self.indptr)

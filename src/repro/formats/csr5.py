@@ -1,0 +1,134 @@
+"""CSR5-style format — future-work format #2 (paper §6.3.1).
+
+CSR5 (Liu & Vinter, 2015) augments CSR with fixed-size 2-D tiles of
+nonzeros so work can be partitioned by *nonzero count* instead of by row,
+giving perfect load balance on matrices with skewed row lengths.  This
+implementation keeps the essential mechanism — CSR arrays plus per-tile
+descriptors recording which rows each tile touches, enabling
+segmented-sum execution over equal-size nnz tiles — and omits the
+bit-flag/transposed-layout micro-optimizations that only pay off in native
+SIMD code.  The simplification is documented in DESIGN.md: the property the
+studies exercise is nnz-balanced partitioning, which is preserved exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..dtypes import DEFAULT_POLICY, DTypePolicy
+from ..errors import FormatError
+from ..matrices.coo_builder import Triplets
+from .base import SparseFormat
+from .csr import CSR
+from .registry import register_format
+
+__all__ = ["CSR5"]
+
+
+@register_format("csr5")
+class CSR5(SparseFormat):
+    """CSR plus equal-nnz tile descriptors for balanced execution.
+
+    Attributes
+    ----------
+    tile_nnz:
+        Nonzeros per tile (last tile may be short).
+    tile_ptr:
+        Entry offset of each tile, length ``ntiles + 1`` (uniform stride
+        except the tail, stored for kernel convenience).
+    tile_first_row, tile_last_row:
+        First/last logical row touched by each tile; a row spanning several
+        tiles is the "dirty row" whose partial sums the kernel merges.
+    """
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+        tile_nnz: int,
+        policy: DTypePolicy = DEFAULT_POLICY,
+    ):
+        super().__init__(nrows, ncols, policy)
+        self._csr = CSR(nrows, ncols, indptr, indices, values, policy=policy)
+        tile_nnz = int(tile_nnz)
+        if tile_nnz < 1:
+            raise FormatError(f"tile_nnz must be >= 1, got {tile_nnz}")
+        self.tile_nnz = tile_nnz
+        nnz = self._csr.nnz
+        ntiles = max(1, -(-nnz // tile_nnz)) if nnz else 0
+        self.ntiles = ntiles
+        self.tile_ptr = np.minimum(
+            np.arange(ntiles + 1, dtype=np.int64) * tile_nnz, nnz
+        )
+        if nnz:
+            expanded = self._csr.expanded_rows()
+            self.tile_first_row = expanded[self.tile_ptr[:-1]]
+            self.tile_last_row = expanded[self.tile_ptr[1:] - 1]
+        else:
+            self.tile_first_row = np.empty(0, dtype=np.int64)
+            self.tile_last_row = np.empty(0, dtype=np.int64)
+
+    # Delegate the CSR structure.
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row pointer."""
+        return self._csr.indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column indices."""
+        return self._csr.indices
+
+    @property
+    def values(self) -> np.ndarray:
+        """CSR values."""
+        return self._csr.values
+
+    def expanded_rows(self) -> np.ndarray:
+        """Per-entry row index (see :meth:`CSR.expanded_rows`)."""
+        return self._csr.expanded_rows()
+
+    @classmethod
+    def from_triplets(
+        cls,
+        triplets: Triplets,
+        policy: DTypePolicy = DEFAULT_POLICY,
+        *,
+        tile_nnz: int = 256,
+        **params: Any,
+    ) -> "CSR5":
+        if params:
+            raise FormatError(f"unknown CSR5 parameters: {params}")
+        csr = CSR.from_triplets(triplets, policy=policy)
+        return cls(
+            triplets.nrows,
+            triplets.ncols,
+            csr.indptr,
+            csr.indices,
+            csr.values,
+            tile_nnz=tile_nnz,
+            policy=policy,
+        )
+
+    def to_triplets(self) -> Triplets:
+        return self._csr.to_triplets()
+
+    @property
+    def nnz(self) -> int:
+        return self._csr.nnz
+
+    @property
+    def stored_entries(self) -> int:
+        return self._csr.nnz
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        out = dict(self._csr.arrays())
+        out["tile_ptr"] = self.tile_ptr
+        out["tile_first_row"] = self.tile_first_row
+        out["tile_last_row"] = self.tile_last_row
+        return out

@@ -1,0 +1,61 @@
+"""Format registry — the suite's extensibility hook.
+
+The paper's first contribution is an *easily extensible* benchmark suite
+(§1): a new format "will simply extend the class, and re-implement the
+calculation and formatting functions."  Registering the subclass here makes
+it visible to the CLI, the grid runner, and the studies without touching any
+of them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Type
+
+from ..errors import FormatError
+from .base import SparseFormat
+
+__all__ = ["register_format", "get_format", "format_names", "iter_formats"]
+
+_REGISTRY: dict[str, Type[SparseFormat]] = {}
+
+
+def register_format(name: str):
+    """Class decorator registering a :class:`SparseFormat` subclass.
+
+    >>> @register_format("myfmt")
+    ... class MyFormat(SparseFormat):
+    ...     ...
+    """
+
+    def decorator(cls: Type[SparseFormat]) -> Type[SparseFormat]:
+        if not (isinstance(cls, type) and issubclass(cls, SparseFormat)):
+            raise FormatError(f"{cls!r} is not a SparseFormat subclass")
+        key = name.lower()
+        if key in _REGISTRY and _REGISTRY[key] is not cls:
+            raise FormatError(f"format name {name!r} already registered")
+        cls.format_name = key
+        _REGISTRY[key] = cls
+        return cls
+
+    return decorator
+
+
+def get_format(name: str) -> Type[SparseFormat]:
+    """Look up a registered format class by name (case-insensitive)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise FormatError(
+            f"unknown format {name!r}; registered: {', '.join(sorted(_REGISTRY))}"
+        )
+    return _REGISTRY[key]
+
+
+def format_names() -> list[str]:
+    """Sorted names of all registered formats."""
+    return sorted(_REGISTRY)
+
+
+def iter_formats() -> Iterator[tuple[str, Type[SparseFormat]]]:
+    """Iterate ``(name, class)`` pairs in sorted-name order."""
+    for name in format_names():
+        yield name, _REGISTRY[name]

@@ -1,0 +1,25 @@
+"""SpMM/SpMV kernels: serial, CPU-parallel, GPU-simulated, transpose, and
+manually-optimized variants for every registered format, plus the
+:class:`~repro.kernels.traces.KernelTrace` accounting that drives the
+analytic machine model.
+
+The paper provides "serial, parallel, GPU, serial transpose, parallel
+transpose, and GPU transpose kernels" per format (§4.2); the dispatch table
+in :mod:`repro.kernels.dispatch` mirrors that matrix of variants.
+"""
+
+from .dispatch import run_spmm, run_spmv, kernel_variants, get_kernel
+from .traces import KernelTrace, trace_spmm, trace_spmv
+from .spgemm import spgemm, spgemm_flops
+
+__all__ = [
+    "run_spmm",
+    "run_spmv",
+    "kernel_variants",
+    "get_kernel",
+    "KernelTrace",
+    "trace_spmm",
+    "trace_spmv",
+    "spgemm",
+    "spgemm_flops",
+]

@@ -1,0 +1,101 @@
+"""Kernel dispatch: the suite's variant matrix.
+
+The paper provides, per format, "serial, parallel, GPU, serial transpose,
+parallel transpose, and GPU transpose kernels" (§4.2), plus the Study 9
+manually-optimized variants.  ``run_spmm(A, B, variant=...)`` routes a
+format instance to the right implementation; the table is keyed by variant
+name only because every implementation internally dispatches on format type,
+matching the paper's "re-implement the calculation function" extension
+model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import KernelError
+from .gpu import gpu_spmm
+from .grouped import grouped_spmm
+from .optimized import optimized_spmm
+from .parallel import parallel_spmm
+from .serial import serial_spmm
+from .spmv import parallel_spmv, serial_spmv
+from .transpose import transpose_spmm
+
+__all__ = ["run_spmm", "run_spmv", "kernel_variants", "get_kernel", "SPMM_VARIANTS"]
+
+
+def _serial_transpose(A, B, k=None, **opts):
+    opts.pop("threads", None)
+    return transpose_spmm(A, B, k, threads=1, **opts)
+
+
+def _parallel_transpose(A, B, k=None, *, threads: int = 32, **opts):
+    return transpose_spmm(A, B, k, threads=threads, **opts)
+
+
+def _gpu_transpose(A, B, k=None, *, runtime=None, **opts):
+    if runtime is not None:
+        runtime.check_launch(A)
+    opts.pop("threads", None)
+    return transpose_spmm(A, B, k, threads=1, **opts)
+
+
+def _optimized_parallel(A, B, k=None, *, threads: int = 32, **opts):
+    # Specialized planning plus thread fan-out: the Study 9 parallel runs.
+    opts.pop("runtime", None)
+    return parallel_spmm(A, B, k, threads=threads, **opts)
+
+
+SPMM_VARIANTS: dict[str, Callable] = {
+    "serial": serial_spmm,
+    "parallel": parallel_spmm,
+    "gpu": gpu_spmm,
+    "serial_transpose": _serial_transpose,
+    "parallel_transpose": _parallel_transpose,
+    "gpu_transpose": _gpu_transpose,
+    "optimized": optimized_spmm,
+    "optimized_parallel": _optimized_parallel,
+    "grouped": lambda A, B, k=None, **o: grouped_spmm(A, B, k, threads=1),
+    "grouped_parallel": lambda A, B, k=None, *, threads=32, **o: grouped_spmm(
+        A, B, k, threads=threads
+    ),
+}
+
+SPMV_VARIANTS: dict[str, Callable] = {
+    "serial": lambda A, x, **o: serial_spmv(A, x, **o),
+    "parallel": lambda A, x, **o: parallel_spmv(A, x, **o),
+    "gpu": lambda A, x, *, runtime=None, **o: (
+        runtime.check_launch(A) if runtime is not None else None,
+        serial_spmv(A, x, **o),
+    )[1],
+}
+
+
+def kernel_variants(operation: str = "spmm") -> list[str]:
+    """Names of the available kernel variants for an operation."""
+    table = SPMM_VARIANTS if operation == "spmm" else SPMV_VARIANTS
+    return sorted(table)
+
+
+def get_kernel(variant: str, operation: str = "spmm") -> Callable:
+    """Look up a kernel implementation by variant name."""
+    table = SPMM_VARIANTS if operation == "spmm" else SPMV_VARIANTS
+    try:
+        return table[variant]
+    except KeyError:
+        raise KernelError(
+            f"unknown {operation} variant {variant!r}; available: {', '.join(sorted(table))}"
+        )
+
+
+def run_spmm(A, B: np.ndarray, variant: str = "serial", k: int | None = None, **options: Any) -> np.ndarray:
+    """Execute ``C = A @ B`` with the named kernel variant."""
+    return get_kernel(variant, "spmm")(A, B, k, **options)
+
+
+def run_spmv(A, x: np.ndarray, variant: str = "serial", **options: Any) -> np.ndarray:
+    """Execute ``y = A @ x`` with the named kernel variant."""
+    return get_kernel(variant, "spmv")(A, x, **options)

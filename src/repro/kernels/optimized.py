@@ -1,0 +1,133 @@
+"""Manually-optimized SpMM kernels (Study 9).
+
+The paper's last study makes two hand optimizations (§5.11): it hoists the
+sparse-value load out of the k loop, and it uses C++ templates to hard-code
+the k trip count so the compiler emits SIMD and unrolled loops.  The Python
+analog of "template instantiation" is *kernel specialization*: for a given
+``(matrix, k)`` pair we precompute everything that the generic kernel
+recomputes per call — the row pointer for COO, the gathered column layout,
+the chunk schedule — and close over it, so repeated calls (exactly the
+benchmark-loop scenario) skip the bookkeeping.  The SIMD effect itself is a
+compiler property; the analytic machine model applies it through the
+trace's ``fixed_k`` flag, which is set for these kernels.
+
+``specialize_spmm`` is the template: it returns a callable taking only B.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import KernelError
+from ..formats.bcsr import BCSR
+from ..formats.coo import COO
+from ..formats.csr import CSR
+from ..formats.csr5 import CSR5
+from ..formats.ell import ELL
+from .common import iter_row_chunks, segment_sum
+from .serial import serial_spmm
+
+__all__ = ["specialize_spmm", "optimized_spmm"]
+
+
+def _specialize_stream(A, indptr: np.ndarray, indices, values, k: int) -> Callable:
+    # Hoisted out of the per-call path: chunk schedule and per-chunk
+    # pointer slices — the Python analog of loop-invariant code motion.
+    chunks = []
+    for c0, c1 in iter_row_chunks(indptr, k):
+        e0, e1 = int(indptr[c0]), int(indptr[c1])
+        chunks.append((c0, c1, e0, e1, indptr[c0 : c1 + 1] - e0))
+    # Values pre-broadcast to a column, hoisting the load "outside the
+    # k loop" exactly as the paper's first manual optimization does.
+    values_col = np.ascontiguousarray(values)[:, None]
+    nrows = A.nrows
+    dtype = A.policy.value
+
+    def kernel(B: np.ndarray) -> np.ndarray:
+        B = A.check_dense_operand(B, k)
+        C = np.empty((nrows, B.shape[1]), dtype=dtype)
+        C[:] = 0
+        for c0, c1, e0, e1, local_ptr in chunks:
+            if e0 == e1:
+                continue
+            products = values_col[e0:e1] * B[indices[e0:e1]]
+            segment_sum(products, local_ptr, out=C[c0:c1])
+        return C
+
+    return kernel
+
+
+def specialize_spmm(A, k: int) -> Callable[[np.ndarray], np.ndarray]:
+    """Build a fixed-k kernel for matrix ``A`` (the "template" analog).
+
+    The returned callable accepts the dense operand and returns C; all
+    k-dependent planning has been done at specialization time.
+    """
+    if k < 1:
+        raise KernelError(f"k must be >= 1, got {k}")
+
+    if isinstance(A, COO):
+        indptr = A.row_segments()  # hoisted: generic kernel rebuilds this per call
+        return _specialize_stream(A, indptr, A.cols, A.values, k)
+    if isinstance(A, (CSR, CSR5)):
+        return _specialize_stream(A, A.indptr, A.indices, A.values, k)
+    if isinstance(A, ELL):
+        # Pre-split the slot columns once (hoisted loads).
+        slot_vals = [np.ascontiguousarray(A.values[:, j])[:, None] for j in range(A.width)]
+        slot_idx = [np.ascontiguousarray(A.indices[:, j]) for j in range(A.width)]
+        nrows, dtype = A.nrows, A.policy.value
+
+        def ell_kernel(B: np.ndarray) -> np.ndarray:
+            B = A.check_dense_operand(B, k)
+            C = np.zeros((nrows, B.shape[1]), dtype=dtype)
+            for val, idx in zip(slot_vals, slot_idx):
+                C += val * B[idx]
+            return C
+
+        return ell_kernel
+    if isinstance(A, BCSR):
+        br, bc = A.block_shape
+        flat_cols = (
+            A.block_cols.astype(np.int64)[:, None] * bc + np.arange(bc)[None, :]
+        ).reshape(-1)  # hoisted gather plan
+        brow_ptr = A.indptr
+        pad_rows = A.nblockcols * bc - A.ncols
+        nrows, dtype = A.nrows, A.policy.value
+        blocks = A.blocks
+
+        def bcsr_kernel(B: np.ndarray) -> np.ndarray:
+            B = A.check_dense_operand(B, k)
+            kk = B.shape[1]
+            Bp = np.vstack([B, np.zeros((pad_rows, kk), dtype=B.dtype)]) if pad_rows else B
+            panels = Bp[flat_cols].reshape(A.nblocks, bc, kk)
+            prods = np.einsum("nrc,nck->nrk", blocks, panels)
+            summed = segment_sum(prods.reshape(A.nblocks, br * kk), brow_ptr)
+            Cp = summed.reshape(A.nblockrows * br, kk)
+            return np.ascontiguousarray(Cp[:nrows])
+
+        return bcsr_kernel
+    # BELL/SELL gain little from specialization; reuse the serial kernel.
+    return lambda B: serial_spmm(A, B, k)
+
+
+_SPECIALIZATION_CACHE: dict[tuple[int, int], Callable] = {}
+
+
+def optimized_spmm(A, B: np.ndarray, k: int | None = None, **_opts) -> np.ndarray:
+    """Run the fixed-k specialized kernel, caching specializations.
+
+    The cache key is ``(id(A), k)`` — the benchmark loop calls the same
+    matrix repeatedly, which is exactly when template specialization pays.
+    """
+    B_arr = np.asarray(B)
+    kk = k if k is not None else B_arr.shape[1]
+    key = (id(A), kk)
+    kernel = _SPECIALIZATION_CACHE.get(key)
+    if kernel is None:
+        kernel = specialize_spmm(A, kk)
+        if len(_SPECIALIZATION_CACHE) > 256:
+            _SPECIALIZATION_CACHE.clear()
+        _SPECIALIZATION_CACHE[key] = kernel
+    return kernel(B_arr)

@@ -1,0 +1,234 @@
+"""CPU-parallel SpMM kernels (the paper's OpenMP kernels).
+
+The paper parallelizes the outer row loop with OpenMP (§4.2); here each
+format partitions its natural work unit — rows for COO/CSR/ELL/BELL, block
+rows for BCSR, equal-nnz tiles for CSR5 — into contiguous ranges executed on
+a ``ThreadPoolExecutor``.  Workers write disjoint row ranges of C, so no
+locking is needed (CSR5 merges boundary "dirty rows" after the join).  NumPy
+releases the GIL inside its kernels, so the threads genuinely overlap.
+
+Two schedules mirror OpenMP's: ``static`` hands each thread one balanced
+contiguous range; ``dynamic`` over-decomposes into ``threads * 4`` chunks
+that workers pull as they finish — the paper's skewed matrices (``torso1``)
+are where dynamic pays.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..errors import KernelError
+from ..formats.bcsr import BCSR
+from ..formats.bell import BELL
+from ..formats.coo import COO
+from ..formats.csr import CSR
+from ..formats.csr5 import CSR5
+from ..formats.ell import ELL
+from ..formats.sell import SELL
+from .common import balanced_partitions
+from .serial import _segmented_stream_spmm
+
+__all__ = ["parallel_spmm", "PARALLEL_PARTITIONERS"]
+
+DEFAULT_THREADS = 32  # the paper's default for all parallel studies (§5.1)
+
+
+def _resolve_chunks(indptr: np.ndarray, threads: int, schedule: str) -> list[tuple[int, int]]:
+    if schedule == "static":
+        parts = threads
+    elif schedule == "dynamic":
+        parts = threads * 4
+    else:
+        raise KernelError(f"unknown schedule {schedule!r}; use 'static' or 'dynamic'")
+    return [rng for rng in balanced_partitions(indptr, parts) if rng[0] < rng[1]]
+
+
+def _run_workers(fn, chunks, threads: int) -> None:
+    if threads <= 1 or len(chunks) <= 1:
+        for c in chunks:
+            fn(c)
+        return
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        # Consume results to propagate worker exceptions.
+        list(pool.map(fn, chunks))
+
+
+# -- per-format row-range executors ----------------------------------------
+
+def _stream_rows(A, indptr, indices, values, B, C, rng) -> None:
+    _segmented_stream_spmm(indptr, indices, values, B, C, row_range=rng)
+
+
+def _ell_rows(A: ELL, B: np.ndarray, C: np.ndarray, rng: tuple[int, int]) -> None:
+    r0, r1 = rng
+    idx = A.indices[r0:r1]
+    val = A.values[r0:r1]
+    for j in range(A.width):
+        C[r0:r1] += val[:, j, None] * B[idx[:, j]]
+
+
+def _bell_rows(A: BELL, B: np.ndarray, C: np.ndarray, rng: tuple[int, int]) -> None:
+    r0, r1 = rng
+    # Process slice fragments covered by [r0, r1).
+    s = r0 // A.row_block
+    row = r0
+    while row < r1:
+        slice_start = s * A.row_block
+        rows_here = min(A.rows_in_slice(s) - (row - slice_start), r1 - row)
+        width = int(A.widths[s])
+        base = int(A.slice_ptr[s]) + (row - slice_start) * width
+        idx = A.indices[base : base + rows_here * width].reshape(rows_here, width)
+        val = A.values[base : base + rows_here * width].reshape(rows_here, width)
+        for j in range(width):
+            C[row : row + rows_here] += val[:, j, None] * B[idx[:, j]]
+        row += rows_here
+        s = row // A.row_block
+
+
+def _bcsr_block_rows(
+    A: BCSR, Bp: np.ndarray, Cp: np.ndarray, rng: tuple[int, int]
+) -> None:
+    br0, br1 = rng
+    b0, b1 = int(A.indptr[br0]), int(A.indptr[br1])
+    if b0 == b1:
+        return
+    br, bc = A.block_shape
+    kk = Bp.shape[1]
+    cols = A.block_cols[b0:b1].astype(np.int64)
+    panels = Bp[(cols[:, None] * bc + np.arange(bc)[None, :]).reshape(-1)]
+    panels = panels.reshape(b1 - b0, bc, kk)
+    prods = np.einsum("nrc,nck->nrk", A.blocks[b0:b1], panels)
+    from .common import segment_sum
+
+    local_ptr = A.indptr[br0 : br1 + 1] - b0
+    summed = segment_sum(prods.reshape(b1 - b0, br * kk), local_ptr)
+    Cp[br0 * br : br1 * br] = summed.reshape((br1 - br0) * br, kk)
+
+
+def parallel_spmm(
+    A,
+    B: np.ndarray,
+    k: int | None = None,
+    *,
+    threads: int = DEFAULT_THREADS,
+    schedule: str = "static",
+    **_opts,
+) -> np.ndarray:
+    """Dispatch the CPU-parallel kernel for any registered paper format."""
+    if threads < 1:
+        raise KernelError(f"threads must be >= 1, got {threads}")
+    B = A.check_dense_operand(B, k)
+    kk = B.shape[1]
+    C = np.zeros((A.nrows, kk), dtype=A.policy.value)
+
+    if isinstance(A, COO):
+        indptr = A.row_segments()
+        chunks = _resolve_chunks(indptr, threads, schedule)
+        _run_workers(lambda rng: _stream_rows(A, indptr, A.cols, A.values, B, C, rng), chunks, threads)
+        return C
+
+    if isinstance(A, CSR5):
+        return _csr5_parallel(A, B, C, threads, schedule)
+
+    if isinstance(A, CSR):
+        chunks = _resolve_chunks(A.indptr, threads, schedule)
+        _run_workers(lambda rng: _stream_rows(A, A.indptr, A.indices, A.values, B, C, rng), chunks, threads)
+        return C
+
+    if isinstance(A, ELL):
+        # Every row has identical work (the width), so partition row counts.
+        indptr = np.arange(A.nrows + 1, dtype=np.int64)
+        chunks = _resolve_chunks(indptr, threads, schedule)
+        _run_workers(lambda rng: _ell_rows(A, B, C, rng), chunks, threads)
+        return C
+
+    if isinstance(A, BELL):
+        indptr = np.zeros(A.nrows + 1, dtype=np.int64)
+        per_row = A.widths[
+            np.minimum(np.arange(A.nrows) // A.row_block, A.nslices - 1)
+        ]
+        np.cumsum(per_row, out=indptr[1:])
+        chunks = _resolve_chunks(indptr, threads, schedule)
+        _run_workers(lambda rng: _bell_rows(A, B, C, rng), chunks, threads)
+        return C
+
+    if isinstance(A, SELL):
+        # Chunks write disjoint (permuted) output rows: partition chunks by
+        # their stored size — chunk work is width * rows, already balanced
+        # by the sigma sort.
+        indptr = A.chunk_ptr
+        chunk_ranges = _resolve_chunks(indptr, threads, schedule)
+
+        def sell_work(rng: tuple[int, int]) -> None:
+            c0, c1 = rng
+            for c in range(c0, c1):
+                rows = A.rows_in_chunk(c)
+                width = int(A.widths[c])
+                base = int(A.chunk_ptr[c])
+                idx = A.indices[base : base + rows * width].reshape(rows, width)
+                val = A.values[base : base + rows * width].reshape(rows, width)
+                out_rows = A.permutation[c * A.chunk : c * A.chunk + rows]
+                acc = np.zeros((rows, kk), dtype=A.policy.value)
+                for j in range(width):
+                    acc += val[:, j, None] * B[idx[:, j]]
+                C[out_rows] = acc
+
+        _run_workers(sell_work, chunk_ranges, threads)
+        return C
+
+    if isinstance(A, BCSR):
+        br, bc = A.block_shape
+        pad_rows = A.nblockcols * bc - A.ncols
+        Bp = np.vstack([B, np.zeros((pad_rows, kk), dtype=B.dtype)]) if pad_rows else B
+        Cp = np.zeros((A.nblockrows * br, kk), dtype=A.policy.value)
+        chunks = _resolve_chunks(A.indptr, threads, schedule)
+        _run_workers(lambda rng: _bcsr_block_rows(A, Bp, Cp, rng), chunks, threads)
+        C[:] = Cp[: A.nrows]
+        return C
+
+    raise KernelError(f"no parallel SpMM kernel for format {type(A).__name__}")
+
+
+def _csr5_parallel(
+    A: CSR5, B: np.ndarray, C: np.ndarray, threads: int, schedule: str
+) -> np.ndarray:
+    """Tile-partitioned CSR5 execution with dirty-row merging.
+
+    Workers own contiguous tile ranges (equal nnz each — the CSR5 load
+    balance story).  A row spanning two workers gets partial sums from both;
+    partials are returned per worker and merged on the main thread.
+    """
+    if A.ntiles == 0:
+        return C
+    parts = threads if schedule == "static" else threads * 4
+    parts = min(parts, A.ntiles)
+    bounds = np.linspace(0, A.ntiles, parts + 1, dtype=np.int64)
+    kk = B.shape[1]
+
+    def work(p: int):
+        t0, t1 = int(bounds[p]), int(bounds[p + 1])
+        if t0 == t1:
+            return None
+        e0, e1 = int(A.tile_ptr[t0]), int(A.tile_ptr[t1])
+        r_first = int(A.tile_first_row[t0])
+        r_last = int(A.tile_last_row[t1 - 1])
+        products = A.values[e0:e1, None] * B[A.indices[e0:e1]]
+        local_ptr = np.clip(A.indptr[r_first : r_last + 2] - e0, 0, e1 - e0)
+        from .common import segment_sum
+
+        local = segment_sum(products, local_ptr)
+        return r_first, r_last, local
+
+    if threads <= 1 or parts <= 1:
+        results = [work(p) for p in range(parts)]
+    else:
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            results = list(pool.map(work, range(parts)))
+    for res in results:
+        if res is None:
+            continue
+        r_first, r_last, local = res
+        C[r_first : r_last + 1] += local
+    return C

@@ -1,0 +1,116 @@
+"""Sparse-sparse matrix multiplication (SpGEMM).
+
+The paper's future work stops short of SpGEMM: "Supporting SpGEMM would be
+interesting, but doing so would likely require significant modification
+(unless the operation is on one type of format)" (§6.3.4).  This module
+takes exactly the carve-out the paper identifies — both operands in one
+format family (CSR-like) — and implements Gustavson's row-merge algorithm:
+
+    C[i, :] = sum over j in A[i, :] of A[i, j] * B[j, :]
+
+with a dense accumulator per output row (scatter-add, harvest, reset).
+Accepts any registered format (converted to CSR arrays internally) and
+returns Triplets, so the result can be formatted into anything — including
+back into the benchmark suite for an SpMM on the product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..formats.base import SparseFormat
+from ..formats.coo import COO
+from ..formats.csr import CSR
+from ..formats.csr5 import CSR5
+from ..matrices.coo_builder import Triplets
+
+__all__ = ["spgemm", "spgemm_flops"]
+
+
+def _csr_arrays(M: SparseFormat) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    if isinstance(M, (CSR, CSR5)):
+        return M.indptr, M.indices, M.values
+    if isinstance(M, COO):
+        return M.row_segments(), M.cols, M.values
+    # Any other registered format: route through CSR (the paper's
+    # "one type of format" restriction, applied by conversion).
+    from ..formats.convert import convert
+
+    csr = convert(M, "csr")
+    return csr.indptr, csr.indices, csr.values
+
+
+def spgemm_flops(A: SparseFormat, B: SparseFormat) -> int:
+    """Multiply-add count of Gustavson's algorithm: sum over entries
+    A[i,j] of nnz(B[j, :]) — the standard SpGEMM work metric."""
+    if A.ncols != B.nrows:
+        raise ShapeError(f"inner dimensions differ: {A.ncols} vs {B.nrows}")
+    _, a_cols, _ = _csr_arrays(A)
+    b_ptr, _, _ = _csr_arrays(B)
+    b_row_nnz = np.diff(b_ptr)
+    return int(2 * b_row_nnz[np.asarray(a_cols, dtype=np.int64)].sum())
+
+
+def spgemm(A: SparseFormat, B: SparseFormat) -> Triplets:
+    """C = A @ B for two sparse operands; returns row-sorted Triplets.
+
+    Gustavson row merge with one dense accumulator recycled across rows:
+    for each row i of A, scatter-add A[i, j] * B[j, :] into the
+    accumulator, then harvest the touched columns.  Memory is
+    O(ncols + output), independent of the multiply's intermediate size.
+    """
+    if A.ncols != B.nrows:
+        raise ShapeError(f"inner dimensions differ: {A.ncols} vs {B.nrows}")
+    a_ptr, a_cols, a_vals = _csr_arrays(A)
+    b_ptr, b_cols, b_vals = _csr_arrays(B)
+    a_cols = np.asarray(a_cols, dtype=np.int64)
+    b_cols = np.asarray(b_cols, dtype=np.int64)
+
+    ncols = B.ncols
+    accumulator = np.zeros(ncols, dtype=np.float64)
+    touched = np.zeros(ncols, dtype=bool)
+
+    out_rows: list[np.ndarray] = []
+    out_cols: list[np.ndarray] = []
+    out_vals: list[np.ndarray] = []
+    for i in range(A.nrows):
+        e0, e1 = int(a_ptr[i]), int(a_ptr[i + 1])
+        if e0 == e1:
+            continue
+        for e in range(e0, e1):
+            j = int(a_cols[e])
+            f0, f1 = int(b_ptr[j]), int(b_ptr[j + 1])
+            if f0 == f1:
+                continue
+            cols_j = b_cols[f0:f1]
+            accumulator[cols_j] += a_vals[e] * b_vals[f0:f1]
+            touched[cols_j] = True
+        cols_touched = np.nonzero(touched)[0]
+        if cols_touched.size:
+            vals_i = accumulator[cols_touched].copy()
+            keep = vals_i != 0.0  # numerical cancellation drops entries
+            cols_i = cols_touched[keep]
+            if cols_i.size:
+                out_rows.append(np.full(cols_i.size, i, dtype=np.int64))
+                out_cols.append(cols_i)
+                out_vals.append(vals_i[keep])
+            accumulator[cols_touched] = 0.0
+            touched[cols_touched] = False
+
+    if out_rows:
+        rows = np.concatenate(out_rows)
+        cols = np.concatenate(out_cols)
+        vals = np.concatenate(out_vals)
+    else:
+        rows = np.empty(0, dtype=np.int64)
+        cols = np.empty(0, dtype=np.int64)
+        vals = np.empty(0, dtype=np.float64)
+    policy = A.policy
+    return Triplets(
+        nrows=A.nrows,
+        ncols=ncols,
+        rows=policy.index_array(rows),
+        cols=policy.index_array(cols),
+        values=policy.value_array(vals),
+    )

@@ -1,0 +1,127 @@
+"""SpMV kernels (paper §6.3.4, future work).
+
+"Modifying our suite for this should be trivial.  At the moment, the suite
+automatically generates a dense matrix.  Modifying it to generate a vector
+rather than a matrix should be relatively straightforward."  Indeed: SpMV is
+SpMM with ``k = 1``, and these kernels share the SpMM machinery while
+avoiding the ``(n, 1)`` broadcasting overhead with dedicated 1-D paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError, ShapeError
+from ..formats.bcsr import BCSR
+from ..formats.bell import BELL
+from ..formats.coo import COO
+from ..formats.csr import CSR
+from ..formats.csr5 import CSR5
+from ..formats.ell import ELL
+from .common import balanced_partitions, segment_sum
+
+__all__ = ["serial_spmv", "parallel_spmv"]
+
+
+def _check_vector(A, x) -> np.ndarray:
+    x = np.asarray(x)
+    if x.ndim != 1:
+        raise ShapeError(f"SpMV operand must be 1-D, got ndim={x.ndim}")
+    if x.shape[0] != A.ncols:
+        raise ShapeError(f"operand length {x.shape[0]} != matrix cols {A.ncols}")
+    return np.ascontiguousarray(x, dtype=A.policy.value)
+
+
+def _segment_sum_1d(flat: np.ndarray, indptr: np.ndarray, out: np.ndarray) -> np.ndarray:
+    out[:] = 0
+    if flat.size == 0:
+        return out
+    seg_len = np.diff(indptr)
+    nonempty = seg_len > 0
+    out[nonempty] = np.add.reduceat(flat, indptr[:-1][nonempty])
+    return out
+
+
+def serial_spmv(A, x: np.ndarray, **_opts) -> np.ndarray:
+    """y = A @ x, serial, for any registered paper format."""
+    x = _check_vector(A, x)
+    y = np.zeros(A.nrows, dtype=A.policy.value)
+    if isinstance(A, COO):
+        prods = A.values * x[A.cols]
+        return _segment_sum_1d(prods, A.row_segments(), y)
+    if isinstance(A, (CSR, CSR5)):
+        prods = A.values * x[A.indices]
+        return _segment_sum_1d(prods, A.indptr, y)
+    if isinstance(A, ELL):
+        for j in range(A.width):
+            y += A.values[:, j] * x[A.indices[:, j]]
+        return y
+    if isinstance(A, BELL):
+        for s in range(A.nslices):
+            r0 = s * A.row_block
+            rows = A.rows_in_slice(s)
+            width = int(A.widths[s])
+            base = int(A.slice_ptr[s])
+            idx = A.indices[base : base + rows * width].reshape(rows, width)
+            val = A.values[base : base + rows * width].reshape(rows, width)
+            y[r0 : r0 + rows] = (val * x[idx]).sum(axis=1)
+        return y
+    from ..formats.sell import SELL
+
+    if isinstance(A, SELL):
+        for c in range(A.nchunks):
+            rows = A.rows_in_chunk(c)
+            width = int(A.widths[c])
+            base = int(A.chunk_ptr[c])
+            idx = A.indices[base : base + rows * width].reshape(rows, width)
+            val = A.values[base : base + rows * width].reshape(rows, width)
+            out_rows = A.permutation[c * A.chunk : c * A.chunk + rows]
+            y[out_rows] = (val * x[idx]).sum(axis=1)
+        return y
+    if isinstance(A, BCSR):
+        br, bc = A.block_shape
+        pad = A.nblockcols * bc - A.ncols
+        xp = np.concatenate([x, np.zeros(pad, dtype=x.dtype)]) if pad else x
+        cols = A.block_cols.astype(np.int64)
+        panels = xp[(cols[:, None] * bc + np.arange(bc)[None, :])]  # (nblocks, bc)
+        prods = np.einsum("nrc,nc->nr", A.blocks, panels)  # (nblocks, br)
+        yp = np.zeros(A.nblockrows * br, dtype=A.policy.value)
+        summed = segment_sum(prods, A.indptr)
+        yp[:] = summed.reshape(-1)
+        return yp[: A.nrows]
+    raise KernelError(f"no SpMV kernel for format {type(A).__name__}")
+
+
+def parallel_spmv(A, x: np.ndarray, *, threads: int = 32, **_opts) -> np.ndarray:
+    """Row-partitioned parallel SpMV (same partitioning as parallel SpMM)."""
+    if threads < 1:
+        raise KernelError(f"threads must be >= 1, got {threads}")
+    x = _check_vector(A, x)
+    if isinstance(A, COO):
+        indptr = A.row_segments()
+        indices, values = A.cols, A.values
+    elif isinstance(A, (CSR, CSR5)):
+        indptr, indices, values = A.indptr, A.indices, A.values
+    else:
+        # Blocked formats: the serial vector kernels are already one
+        # vectorized sweep; thread fan-out adds nothing observable here.
+        return serial_spmv(A, x)
+
+    y = np.zeros(A.nrows, dtype=A.policy.value)
+    chunks = [rng for rng in balanced_partitions(indptr, threads) if rng[0] < rng[1]]
+
+    def work(rng):
+        r0, r1 = rng
+        e0, e1 = int(indptr[r0]), int(indptr[r1])
+        prods = values[e0:e1] * x[indices[e0:e1]]
+        _segment_sum_1d(prods, indptr[r0 : r1 + 1] - e0, y[r0:r1])
+
+    if threads <= 1 or len(chunks) <= 1:
+        for c in chunks:
+            work(c)
+    else:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            list(pool.map(work, chunks))
+    return y

@@ -1,0 +1,388 @@
+"""Kernel traces: the accounting layer between kernels and machine models.
+
+A :class:`KernelTrace` summarizes what an SpMM/SpMV kernel *does* — useful
+vs. executed flops (padding!), bytes streamed from the format arrays, dense
+gathers and their *reuse-distance histogram*, per-partition work
+distribution — without any hardware assumptions.  The analytic machine
+models in :mod:`repro.machine` turn a trace into predicted seconds on a
+specific machine.  This split mirrors the paper's observation that a format
+is not inherently good or bad: the trace captures the format/matrix
+interaction, the machine model captures the hardware.
+
+Reuse distances
+---------------
+In SpMM every stored entry gathers a full row of B (``k * value_bytes``
+bytes), so what decides cache behavior is not spatial gaps between column
+indices but how soon the *same* B row is gathered again.  For each format we
+extract the gather stream in the order its kernel traverses storage and
+record a log2 histogram of distances between repeated gathers of the same B
+row (an LRU stack-distance approximation; distances count stream steps, an
+upper bound on distinct-line distance).  The machine model converts cache
+capacity into "how many gathers fit" and reads the hit rate straight off the
+histogram — reproducing, e.g., why banded matrices parallelize well while
+scattered ones saturate memory bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import singledispatch
+
+import numpy as np
+
+from ..errors import KernelError
+from ..formats.base import SparseFormat
+from ..formats.bcsr import BCSR
+from ..formats.bell import BELL
+from ..formats.coo import COO
+from ..formats.csr import CSR
+from ..formats.csr5 import CSR5
+from ..formats.ell import ELL
+from ..formats.sell import SELL
+
+__all__ = ["KernelTrace", "trace_spmm", "trace_spmv", "reuse_distance_histogram"]
+
+#: Log2 buckets in reuse histograms: bucket i counts distances in
+#: [2**i, 2**(i+1)); 48 buckets cover any realistic stream.
+REUSE_BUCKETS = 48
+
+#: Elements per cache line when classifying gather locality for SIMT
+#: coalescing (64-byte lines, 8-byte values).
+_LINE_ELEMENTS = 8
+
+
+def reuse_distance_histogram(stream: np.ndarray, nbuckets: int = REUSE_BUCKETS) -> tuple[np.ndarray, int]:
+    """Histogram of reuse distances in a gather-id stream.
+
+    Returns ``(hist, unique)`` where ``hist[i]`` counts repeat gathers whose
+    distance (in stream steps) falls in ``[2**i, 2**(i+1))`` and ``unique``
+    is the number of distinct ids (= compulsory misses).
+    """
+    stream = np.ascontiguousarray(stream).ravel()
+    hist = np.zeros(nbuckets, dtype=np.int64)
+    if stream.size == 0:
+        return hist, 0
+    order = np.argsort(stream, kind="stable")
+    sorted_ids = stream[order]
+    same = sorted_ids[1:] == sorted_ids[:-1]
+    unique = int(stream.size - same.sum())
+    if same.any():
+        dists = (order[1:] - order[:-1])[same]
+        # Stable sort keeps positions ascending within equal ids.
+        buckets = np.floor(np.log2(np.maximum(dists, 1))).astype(np.int64)
+        np.clip(buckets, 0, nbuckets - 1, out=buckets)
+        hist += np.bincount(buckets, minlength=nbuckets)
+    return hist, unique
+
+
+@dataclass(frozen=True)
+class KernelTrace:
+    """Hardware-independent execution summary of one kernel invocation."""
+
+    format_name: str
+    operation: str
+    k: int
+    nrows: int
+    ncols: int
+    nnz: int
+    stored_entries: int
+    useful_flops: int
+    executed_flops: int
+    #: Bytes of format arrays streamed once per multiply.
+    bytes_format: int
+    #: Number of gather operations from the dense operand.
+    gather_ops: int
+    #: Dense rows fetched per gather (1, or bc for BCSR panels).
+    gather_unit_rows: int
+    #: Log2 reuse-distance histogram over the gather stream.
+    reuse_hist: np.ndarray
+    #: Distinct gather targets (compulsory misses).
+    unique_gathers: int
+    #: Fraction of adjacent gathers within a cache line (SIMT coalescing).
+    gather_locality: float
+    #: Bytes written+read on the accumulator C.
+    bytes_c: int
+    #: Work per partition unit, for thread-imbalance modeling.
+    row_work: np.ndarray
+    #: Format bookkeeping ops per stored entry (index math, loop control).
+    bookkeeping_ops_per_entry: float
+    #: Inner loops have compile-time-known trip counts (ELL width, block
+    #: dims) — the paper's SIMD-friendliness criterion.
+    regular_inner_loop: bool
+    value_bytes: int
+    partition_unit: str
+    fixed_k: bool = False
+    transpose_b: bool = False
+
+    @property
+    def bytes_per_gather(self) -> int:
+        """Bytes fetched from B by one gather operation."""
+        return self.gather_unit_rows * self.k * self.value_bytes
+
+    @property
+    def bytes_b_gathered(self) -> int:
+        """Bytes requested from the dense operand, before cache filtering."""
+        return self.gather_ops * self.bytes_per_gather
+
+    @property
+    def bytes_b_compulsory(self) -> int:
+        """Bytes of B that must come from memory at least once."""
+        return self.unique_gathers * self.bytes_per_gather
+
+    @property
+    def total_bytes(self) -> int:
+        """Naive total traffic (format + gathers + C), before cache model."""
+        return self.bytes_format + self.bytes_b_gathered + self.bytes_c
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Executed flops per naive byte."""
+        return self.executed_flops / max(self.total_bytes, 1)
+
+    @property
+    def padding_flops(self) -> int:
+        """Wasted work: flops spent on padding entries."""
+        return self.executed_flops - self.useful_flops
+
+    def gather_hit_fraction(self, capacity_gathers: float) -> float:
+        """Fraction of gathers whose reuse distance fits ``capacity_gathers``.
+
+        ``capacity_gathers`` is how many distinct gather units a cache can
+        hold; hits are repeat gathers with a shorter reuse distance.
+        """
+        total = self.gather_ops
+        if total == 0:
+            return 0.0
+        if capacity_gathers <= 1:
+            return 0.0
+        max_bucket = int(np.floor(np.log2(max(capacity_gathers, 1))))
+        hits = int(self.reuse_hist[: max_bucket + 1].sum())
+        return min(hits / total, 1.0)
+
+    def imbalance(self, parts: int) -> float:
+        """Achievable max/mean work over ``parts`` partitions of row_work.
+
+        Uses the optimal-partition lower bound ``max(1, parts * max_unit /
+        total)``: a schedule can balance partitions down to the largest
+        indivisible unit (one row / block row / tile), and no further.  The
+        residual imbalance — a single huge row that cannot be split — is
+        what throttles parallel CSR/COO on skewed matrices like ``torso1``.
+        """
+        if parts < 1:
+            raise KernelError(f"parts must be >= 1, got {parts}")
+        work = self.row_work
+        total = float(work.sum())
+        if total == 0 or parts == 1 or work.size == 0:
+            return 1.0
+        return max(1.0, parts * float(work.max()) / total)
+
+    def with_options(
+        self, *, fixed_k: bool | None = None, transpose_b: bool | None = None
+    ) -> "KernelTrace":
+        """Copy with variant flags toggled (Study 8/9 variants)."""
+        kwargs = {}
+        if fixed_k is not None:
+            kwargs["fixed_k"] = fixed_k
+        if transpose_b is not None:
+            kwargs["transpose_b"] = transpose_b
+        return replace(self, **kwargs)
+
+
+def _spatial_locality(cols: np.ndarray) -> float:
+    """Fraction of adjacent gathers within a cache line — the SIMT
+    coalescing proxy."""
+    if cols.size < 2:
+        return 1.0
+    gaps = np.abs(np.diff(cols.astype(np.int64)))
+    return float(np.mean(gaps <= _LINE_ELEMENTS))
+
+
+def _base_trace(
+    A: SparseFormat,
+    k: int,
+    *,
+    gather_stream: np.ndarray,
+    gather_unit_rows: int,
+    row_work: np.ndarray,
+    bookkeeping: float,
+    regular: bool,
+    partition_unit: str,
+) -> KernelTrace:
+    value_bytes = A.policy.value_bytes
+    stored = A.stored_entries
+    hist, unique = reuse_distance_histogram(gather_stream)
+    return KernelTrace(
+        format_name=A.format_name,
+        operation="spmm",
+        k=k,
+        nrows=A.nrows,
+        ncols=A.ncols,
+        nnz=A.nnz,
+        stored_entries=stored,
+        useful_flops=2 * A.nnz * k,
+        executed_flops=2 * stored * k,
+        bytes_format=A.nbytes,
+        gather_ops=int(gather_stream.size),
+        gather_unit_rows=gather_unit_rows,
+        reuse_hist=hist,
+        unique_gathers=unique,
+        gather_locality=_spatial_locality(gather_stream),
+        bytes_c=A.nrows * k * value_bytes * 2,  # accumulate: read + write
+        row_work=np.ascontiguousarray(row_work, dtype=np.int64),
+        bookkeeping_ops_per_entry=bookkeeping,
+        regular_inner_loop=regular,
+        value_bytes=value_bytes,
+        partition_unit=partition_unit,
+    )
+
+
+@singledispatch
+def trace_spmm(
+    A: SparseFormat, k: int, *, fixed_k: bool = False, transpose_b: bool = False
+) -> KernelTrace:
+    """Build the :class:`KernelTrace` for ``A @ B`` with ``B`` of width k."""
+    raise KernelError(f"no trace rule for format {type(A).__name__}")
+
+
+@trace_spmm.register
+def _(A: COO, k: int, *, fixed_k: bool = False, transpose_b: bool = False) -> KernelTrace:
+    indptr = A.row_segments()
+    t = _base_trace(
+        A,
+        k,
+        gather_stream=A.cols,
+        gather_unit_rows=1,
+        row_work=np.diff(indptr),
+        # COO reads a row *and* a column index per entry and cannot hoist
+        # the output row across entries.
+        bookkeeping=3.0,
+        regular=False,
+        partition_unit="rows",
+    )
+    return t.with_options(fixed_k=fixed_k, transpose_b=transpose_b)
+
+
+@trace_spmm.register
+def _(A: CSR, k: int, *, fixed_k: bool = False, transpose_b: bool = False) -> KernelTrace:
+    t = _base_trace(
+        A,
+        k,
+        gather_stream=A.indices,
+        gather_unit_rows=1,
+        row_work=np.diff(A.indptr),
+        # One column index per entry; the row pointer amortizes over the row.
+        bookkeeping=1.5,
+        regular=False,
+        partition_unit="rows",
+    )
+    return t.with_options(fixed_k=fixed_k, transpose_b=transpose_b)
+
+
+@trace_spmm.register
+def _(A: ELL, k: int, *, fixed_k: bool = False, transpose_b: bool = False) -> KernelTrace:
+    # The ELL kernel walks slot-major: slot j over all rows, then j+1.
+    # Padded slots re-gather the row's last column, which was last touched
+    # one slot earlier (distance = nrows) — usually a capacity miss, which
+    # is exactly ELL's padding tax.
+    stream = np.ascontiguousarray(A.indices.T).ravel()
+    t = _base_trace(
+        A,
+        k,
+        gather_stream=stream,
+        gather_unit_rows=1,
+        # Every row costs `width` regardless of its real nnz: perfectly
+        # balanced partitions (ELL's parallel strength) but wasted flops.
+        row_work=np.full(A.nrows, A.width, dtype=np.int64),
+        bookkeeping=1.0,
+        # The width is a runtime value, so the inner loop stays scalar just
+        # like CSR's (Study 9's fixed-k templates are what vectorize it).
+        regular=False,
+        partition_unit="rows",
+    )
+    return t.with_options(fixed_k=fixed_k, transpose_b=transpose_b)
+
+
+@trace_spmm.register
+def _(A: BCSR, k: int, *, fixed_k: bool = False, transpose_b: bool = False) -> KernelTrace:
+    br, bc = A.block_shape
+    blocks_per_brow = np.diff(A.indptr)
+    t = _base_trace(
+        A,
+        k,
+        # One panel gather (bc consecutive B rows) per stored tile.
+        gather_stream=A.block_cols,
+        gather_unit_rows=bc,
+        row_work=blocks_per_brow * (br * bc),
+        # Two nested block loops plus block-pointer arithmetic: the paper
+        # calls BCSR "the most expensive in terms of loops and
+        # format-specific computation".
+        bookkeeping=2.0 / max(br * bc, 1) + 0.5,
+        regular=True,
+        partition_unit="blockrows",
+    )
+    return t.with_options(fixed_k=fixed_k, transpose_b=transpose_b)
+
+
+@trace_spmm.register
+def _(A: BELL, k: int, *, fixed_k: bool = False, transpose_b: bool = False) -> KernelTrace:
+    # Kernel order is slot-major within each slice; flat storage order is a
+    # row-major approximation with the same per-slice footprint.
+    per_row_width = A.widths[
+        np.minimum(np.arange(A.nrows, dtype=np.int64) // A.row_block, max(A.nslices - 1, 0))
+    ]
+    t = _base_trace(
+        A,
+        k,
+        gather_stream=A.indices,
+        gather_unit_rows=1,
+        row_work=per_row_width,
+        bookkeeping=1.2,
+        # Per-slice widths are runtime values: scalar regime, like ELL.
+        regular=False,
+        partition_unit="rows",
+    )
+    return t.with_options(fixed_k=fixed_k, transpose_b=transpose_b)
+
+
+@trace_spmm.register
+def _(A: CSR5, k: int, *, fixed_k: bool = False, transpose_b: bool = False) -> KernelTrace:
+    # Tiles have equal nnz by construction: near-perfect balance.
+    tile_work = np.diff(A.tile_ptr) if A.ntiles else np.zeros(1, dtype=np.int64)
+    t = _base_trace(
+        A,
+        k,
+        gather_stream=A.indices,
+        gather_unit_rows=1,
+        row_work=tile_work,
+        # Segmented-sum bookkeeping: tile descriptors + dirty-row merges.
+        bookkeeping=2.0,
+        regular=True,
+        partition_unit="tiles",
+    )
+    return t.with_options(fixed_k=fixed_k, transpose_b=transpose_b)
+
+
+@trace_spmm.register
+def _(A: SELL, k: int, *, fixed_k: bool = False, transpose_b: bool = False) -> KernelTrace:
+    # Chunk-major traversal = the flat storage order; sigma-sorting makes
+    # per-chunk work (width) near-uniform, the format's load-balance story.
+    pos = np.arange(A.nrows, dtype=np.int64)
+    per_pos_width = A.widths[np.minimum(pos // A.chunk, max(A.nchunks - 1, 0))]
+    t = _base_trace(
+        A,
+        k,
+        gather_stream=A.indices,
+        gather_unit_rows=1,
+        row_work=per_pos_width,
+        bookkeeping=1.2,
+        # Chunk width C is a compile-time constant in native SELL kernels.
+        regular=True,
+        partition_unit="chunks",
+    )
+    return t.with_options(fixed_k=fixed_k, transpose_b=transpose_b)
+
+
+def trace_spmv(A: SparseFormat, *, fixed_k: bool = False) -> KernelTrace:
+    """Trace for the SpMV special case (k = 1, no transpose variant)."""
+    t = trace_spmm(A, 1, fixed_k=fixed_k)
+    return replace(t, operation="spmv")

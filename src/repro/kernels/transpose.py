@@ -1,0 +1,158 @@
+"""Transpose-B SpMM kernels (Study 8).
+
+The paper's eighth study transposes the dense operand before multiplying:
+"in theory, transposing matrix B should yield performance improvements since
+it allows B to be accessed in a linear manner ... however, there is a
+potential performance cost because B has to be transposed before we can
+perform the calculation" (§5.10).  These kernels take B, physically
+transpose it (the cost the study charges), and run the multiplication
+against the ``(k, ncols)`` layout, where each gather walks a *strided*
+column instead of a contiguous row — the access-pattern flip whose cache
+behavior the study measures.
+
+Variants exist for the four paper formats; serial and parallel forms share
+the same partitioning as the non-transposed kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError
+from ..formats.bcsr import BCSR
+from ..formats.coo import COO
+from ..formats.csr import CSR
+from ..formats.csr5 import CSR5
+from ..formats.ell import ELL
+from .common import DEFAULT_CHUNK_ELEMENTS, balanced_partitions, iter_row_chunks, segment_sum
+
+__all__ = ["transpose_spmm", "transpose_operand"]
+
+
+def transpose_operand(B: np.ndarray) -> np.ndarray:
+    """Materialize B^T contiguously — the preprocessing cost of Study 8."""
+    return np.ascontiguousarray(np.asarray(B).T)
+
+
+def _stream_transpose(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    values: np.ndarray,
+    Bt: np.ndarray,
+    C: np.ndarray,
+    row_range: tuple[int, int],
+    max_elements: int = DEFAULT_CHUNK_ELEMENTS,
+) -> None:
+    """Entry-stream SpMM against a transposed operand.
+
+    Gathers ``Bt[:, col]`` (strided columns) per entry — the layout the
+    study evaluates — then segment-sums along the entry axis.
+    """
+    k = Bt.shape[0]
+    r_lo, r_hi = row_range
+    sub_ptr = indptr[r_lo : r_hi + 1]
+    for c0, c1 in iter_row_chunks(sub_ptr - sub_ptr[0], k, max_elements):
+        e0, e1 = int(sub_ptr[c0]), int(sub_ptr[c1])
+        if e0 == e1:
+            continue
+        # (k, entries) strided gather, scaled by values broadcast on axis 0.
+        gathered = Bt[:, indices[e0:e1]] * values[e0:e1][None, :]
+        local_ptr = sub_ptr[c0 : c1 + 1] - e0
+        summed = segment_sum(np.ascontiguousarray(gathered.T), local_ptr)
+        C[r_lo + c0 : r_lo + c1] = summed
+
+
+def _ell_transpose_rows(A: ELL, Bt: np.ndarray, C: np.ndarray, rng: tuple[int, int]) -> None:
+    r0, r1 = rng
+    for j in range(A.width):
+        C[r0:r1] += A.values[r0:r1, j, None] * Bt[:, A.indices[r0:r1, j]].T
+
+
+def _bcsr_transpose_block_rows(A: BCSR, Bt: np.ndarray, Cp: np.ndarray, rng: tuple[int, int]) -> None:
+    br0, br1 = rng
+    b0, b1 = int(A.indptr[br0]), int(A.indptr[br1])
+    if b0 == b1:
+        return
+    br, bc = A.block_shape
+    kk = Bt.shape[0]
+    cols = A.block_cols[b0:b1].astype(np.int64)
+    flat_cols = (cols[:, None] * bc + np.arange(bc)[None, :]).reshape(-1)
+    panels = Bt[:, flat_cols].reshape(kk, b1 - b0, bc)  # strided gather
+    prods = np.einsum("nrc,knc->nrk", A.blocks[b0:b1], panels)
+    local_ptr = A.indptr[br0 : br1 + 1] - b0
+    summed = segment_sum(prods.reshape(b1 - b0, br * kk), local_ptr)
+    Cp[br0 * br : br1 * br] = summed.reshape((br1 - br0) * br, kk)
+
+
+def transpose_spmm(
+    A,
+    B: np.ndarray,
+    k: int | None = None,
+    *,
+    threads: int = 1,
+    pre_transposed: bool = False,
+    **_opts,
+) -> np.ndarray:
+    """SpMM with a transposed dense operand.
+
+    ``threads=1`` gives the serial-transpose kernel; larger values give the
+    parallel-transpose kernel (the only one the paper evaluates, since
+    transposing serially "would have been very time consuming").  When
+    ``pre_transposed`` is true, ``B`` is already ``(k, ncols)``.
+    """
+    if pre_transposed:
+        Bt = np.ascontiguousarray(B, dtype=A.policy.value)
+        if k is not None and k < Bt.shape[0]:
+            Bt = Bt[:k]
+        if Bt.shape[1] != A.ncols:
+            raise KernelError(
+                f"pre-transposed operand has {Bt.shape[1]} cols, expected {A.ncols}"
+            )
+    else:
+        Bv = A.check_dense_operand(B, k)
+        Bt = transpose_operand(Bv)
+    kk = Bt.shape[0]
+    C = np.zeros((A.nrows, kk), dtype=A.policy.value)
+
+    # BCSR tiles need padded block columns.
+    if isinstance(A, BCSR):
+        br, bc = A.block_shape
+        pad = A.nblockcols * bc - A.ncols
+        if pad:
+            Bt = np.hstack([Bt, np.zeros((kk, pad), dtype=Bt.dtype)])
+        Cp = np.zeros((A.nblockrows * br, kk), dtype=A.policy.value)
+        chunks = [
+            rng for rng in balanced_partitions(A.indptr, max(threads, 1)) if rng[0] < rng[1]
+        ]
+        _fan_out(lambda rng: _bcsr_transpose_block_rows(A, Bt, Cp, rng), chunks, threads)
+        C[:] = Cp[: A.nrows]
+        return C
+
+    if isinstance(A, ELL):
+        indptr = np.arange(A.nrows + 1, dtype=np.int64)
+        chunks = [rng for rng in balanced_partitions(indptr, max(threads, 1)) if rng[0] < rng[1]]
+        _fan_out(lambda rng: _ell_transpose_rows(A, Bt, C, rng), chunks, threads)
+        return C
+
+    if isinstance(A, COO):
+        indptr = A.row_segments()
+        indices, values = A.cols, A.values
+    elif isinstance(A, (CSR, CSR5)):
+        indptr, indices, values = A.indptr, A.indices, A.values
+    else:
+        raise KernelError(f"no transpose SpMM kernel for format {type(A).__name__}")
+
+    chunks = [rng for rng in balanced_partitions(indptr, max(threads, 1)) if rng[0] < rng[1]]
+    _fan_out(lambda rng: _stream_transpose(indptr, indices, values, Bt, C, rng), chunks, threads)
+    return C
+
+
+def _fan_out(fn, chunks, threads: int) -> None:
+    if threads <= 1 or len(chunks) <= 1:
+        for c in chunks:
+            fn(c)
+        return
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        list(pool.map(fn, chunks))

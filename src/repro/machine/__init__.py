@@ -1,0 +1,73 @@
+"""Analytic machine models for the paper's two systems.
+
+The paper measures on real hardware — an Nvidia Grace Hopper superchip
+("Arm": 72 Grace cores + H100) and "Aries" (2x AMD EPYC Milan 7413, 48
+physical/96 SMT cores + A100).  Offline we replace the hardware with
+analytic models that consume :class:`~repro.kernels.KernelTrace` summaries:
+
+* :mod:`repro.machine.core` — per-core compute model (frequency, scalar vs
+  SIMD issue, the paper's Study 9 vectorization effect);
+* :mod:`repro.machine.cache` — a set-associative LRU cache simulator used to
+  validate the reuse-distance hit-rate model;
+* :mod:`repro.machine.smt` — hyperthreading throughput (Study 3.1's "blocked
+  formats like SMT" effect);
+* :mod:`repro.machine.gpu` / :mod:`repro.machine.cusparse` — SIMT execution
+  models for OpenMP offload and the tuned vendor library (Study 7);
+* :mod:`repro.machine.offload` — the faulty Aries offload runtime
+  (deterministic failure injection);
+* :mod:`repro.machine.machines` — the GRACE_HOPPER and ARIES presets;
+* :mod:`repro.machine.costmodel` — trace x machine -> predicted seconds.
+
+Calibration: headline constants (scalar flops/cycle, effective gather
+bandwidth, parallel-efficiency decay, offload efficiency) are fitted to the
+MFLOPS bands the paper reports (serial ~5-7k, parallel 10-30k, Study 3
+speedups of ~5-6x on Arm and ~4x on Aries) and are all data on the
+:class:`~repro.machine.machines.Machine` preset, not code.
+"""
+
+from .core import CoreModel
+from .topology import Topology
+from .smt import SmtModel
+from .cache import SetAssociativeCache, CacheHierarchy
+from .gpu import GPUModel
+from .cusparse import CuSparseModel
+from .offload import FaultyOffloadRuntime, HealthyOffloadRuntime
+from .machines import Machine, GRACE_HOPPER, ARIES, MACHINES, get_machine
+from .costmodel import (
+    predict_spmm_time,
+    predict_mflops,
+    CostBreakdown,
+    gpu_memory_required,
+)
+from .validation import GatherValidation, validate_hit_model, gather_stream
+from .calibration import CalibrationCheck, audit as calibration_audit
+from .roofline import RooflinePoint, roofline_point, ascii_roofline
+
+__all__ = [
+    "CoreModel",
+    "Topology",
+    "SmtModel",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "GPUModel",
+    "CuSparseModel",
+    "FaultyOffloadRuntime",
+    "HealthyOffloadRuntime",
+    "Machine",
+    "GRACE_HOPPER",
+    "ARIES",
+    "MACHINES",
+    "get_machine",
+    "predict_spmm_time",
+    "predict_mflops",
+    "CostBreakdown",
+    "gpu_memory_required",
+    "GatherValidation",
+    "validate_hit_model",
+    "gather_stream",
+    "CalibrationCheck",
+    "calibration_audit",
+    "RooflinePoint",
+    "roofline_point",
+    "ascii_roofline",
+]

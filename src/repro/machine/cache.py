@@ -1,0 +1,120 @@
+"""Set-associative LRU cache simulator.
+
+The analytic cost model reads gather hit rates off the trace's
+reuse-distance histogram; this simulator is the ground truth that model is
+validated against (see ``tests/machine/test_cache.py``) and powers the
+cache-model ablation benchmark.  It is a faithful functional simulation:
+addresses map to sets by line index, each set keeps true LRU order, and a
+multi-level hierarchy counts hits per level with inclusive semantics.
+
+Pure-Python per-access simulation is O(ways) per access; callers sample
+long streams (the :meth:`CacheHierarchy.simulate` ``max_accesses`` cap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import MachineModelError
+
+__all__ = ["SetAssociativeCache", "CacheHierarchy", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """One level of set-associative cache with LRU replacement."""
+
+    def __init__(self, size_bytes: int, line_bytes: int = 64, ways: int = 8, name: str = "L?"):
+        if size_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise MachineModelError("cache dimensions must be positive")
+        if size_bytes % (line_bytes * ways) != 0:
+            raise MachineModelError(
+                f"{name}: size {size_bytes} not divisible by line*ways={line_bytes * ways}"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.nsets = size_bytes // (line_bytes * ways)
+        # Per-set LRU order: most-recent-last lists of line tags.
+        self._sets: list[list[int]] = [[] for _ in range(self.nsets)]
+        self.stats = CacheStats()
+
+    def reset(self) -> None:
+        """Clear contents and counters."""
+        self._sets = [[] for _ in range(self.nsets)]
+        self.stats = CacheStats()
+
+    def access(self, address: int) -> bool:
+        """Touch one byte address; returns True on hit."""
+        line = address // self.line_bytes
+        s = self._sets[line % self.nsets]
+        self.stats.accesses += 1
+        try:
+            s.remove(line)
+            s.append(line)
+            self.stats.hits += 1
+            return True
+        except ValueError:
+            s.append(line)
+            if len(s) > self.ways:
+                s.pop(0)
+            return False
+
+    def contains(self, address: int) -> bool:
+        """Whether the line holding ``address`` is resident (no side effects)."""
+        line = address // self.line_bytes
+        return line in self._sets[line % self.nsets]
+
+
+@dataclass
+class CacheHierarchy:
+    """Inclusive multi-level hierarchy; a miss at level i probes level i+1."""
+
+    levels: list[SetAssociativeCache] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise MachineModelError("hierarchy needs at least one level")
+        sizes = [lvl.size_bytes for lvl in self.levels]
+        if sizes != sorted(sizes):
+            raise MachineModelError("levels must be ordered smallest (closest) first")
+
+    def reset(self) -> None:
+        for lvl in self.levels:
+            lvl.reset()
+
+    def access(self, address: int) -> int:
+        """Touch one address; returns the level index that hit, or
+        ``len(levels)`` for a memory access."""
+        for i, lvl in enumerate(self.levels):
+            if lvl.access(address):
+                # Refresh recency in the levels above (inclusive model).
+                return i
+        return len(self.levels)
+
+    def simulate(
+        self, addresses: np.ndarray, max_accesses: int = 200_000
+    ) -> dict[str, CacheStats]:
+        """Run an address stream (sampling a prefix if too long)."""
+        addresses = np.asarray(addresses, dtype=np.int64).ravel()[:max_accesses]
+        for addr in addresses:
+            self.access(int(addr))
+        return {lvl.name: lvl.stats for lvl in self.levels}

@@ -1,0 +1,162 @@
+"""Calibration audit: the paper bands the machine constants were fit to.
+
+The presets in :mod:`repro.machine.machines` carry constants marked
+*calibrated*; this module declares the target bands those constants were
+fit against — each one a sentence from the paper's evaluation chapter —
+and re-derives the measured value from the current models, so any future
+re-tuning can see exactly which paper claims it preserves or breaks.
+
+``audit()`` returns one :class:`CalibrationCheck` per target;
+``tests/machine/test_calibration.py`` asserts they all pass, making the
+calibration itself regression-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..formats.registry import get_format
+from ..kernels.traces import trace_spmm
+from ..matrices.suite import load_matrix
+from .costmodel import predict_mflops, predict_spmm_time
+from .machines import ARIES, GRACE_HOPPER
+
+__all__ = ["CalibrationCheck", "TARGETS", "audit"]
+
+_SCALE = 32
+_K = 128
+
+
+def _trace(matrix: str, fmt: str, k: int = _K, block: int = 4):
+    t = load_matrix(matrix, scale=_SCALE)
+    params = {"block_size": block} if fmt == "bcsr" else {}
+    return trace_spmm(get_format(fmt).from_triplets(t, **params), k)
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """One paper band and the value the current models produce."""
+
+    name: str
+    paper_claim: str
+    lo: float
+    hi: float
+    measured: float
+
+    @property
+    def passed(self) -> bool:
+        return self.lo <= self.measured <= self.hi
+
+
+def _serial_arm() -> float:
+    return predict_mflops(_trace("cant", "csr"), GRACE_HOPPER, "serial")
+
+
+def _serial_x86() -> float:
+    return predict_mflops(_trace("cant", "csr"), ARIES, "serial")
+
+
+def _speedup(machine) -> float:
+    tr = _trace("x104", "csr")
+    s = predict_spmm_time(tr, machine, "serial").seconds
+    p = predict_spmm_time(tr, machine, "parallel", threads=32).seconds
+    return s / p
+
+
+def _fixed_k_gain(machine) -> float:
+    base = _trace("cant", "csr")
+    return predict_mflops(base.with_options(fixed_k=True), machine, "serial") / (
+        predict_mflops(base, machine, "serial")
+    )
+
+
+def _bcsr_arch_ratio() -> float:
+    tr = _trace("cant", "bcsr")
+    return predict_mflops(tr, GRACE_HOPPER, "serial") / predict_mflops(
+        tr, ARIES, "serial"
+    )
+
+
+def _ell_torso1_collapse() -> float:
+    ell = predict_mflops(_trace("torso1", "ell"), GRACE_HOPPER, "serial")
+    csr = predict_mflops(_trace("torso1", "csr"), GRACE_HOPPER, "serial")
+    return csr / max(ell, 1e-9)
+
+
+def _cusparse_arm_ratio() -> float:
+    tr = _trace("cant", "csr", k=64)
+    return predict_mflops(tr, GRACE_HOPPER, "cusparse") / predict_mflops(
+        tr, GRACE_HOPPER, "gpu"
+    )
+
+
+#: (name, paper sentence, low, high, derivation).
+TARGETS: list[tuple[str, str, float, float, Callable[[], float]]] = [
+    (
+        "serial-arm-mflops",
+        "single core computations on Arm average around 5k MFLOPs (5.3)",
+        3500, 6500, _serial_arm,
+    ),
+    (
+        "serial-x86-mflops",
+        "average computational speed for Aries was around 7k MFLOPs (5.3)",
+        5500, 8500, _serial_x86,
+    ),
+    (
+        "parallel-speedup-arm",
+        "parallel to serial speedup on Arm was 5-6x (5.3)",
+        4.5, 7.5, lambda: _speedup(GRACE_HOPPER),
+    ),
+    (
+        "parallel-speedup-x86",
+        "for Aries, the speedup was around 4x (5.3)",
+        3.0, 6.0, lambda: _speedup(ARIES),
+    ),
+    (
+        "fixed-k-arm-neutral",
+        "serial Arm versions did not lead to positive improvements (5.11)",
+        1.0, 1.12, lambda: _fixed_k_gain(GRACE_HOPPER),
+    ),
+    (
+        "fixed-k-x86-positive",
+        "on Aries almost every format showed positive increases (5.11)",
+        1.15, 1.6, lambda: _fixed_k_gain(ARIES),
+    ),
+    (
+        "bcsr-arm-advantage",
+        "all three versions of BCSR performed better on Arm (5.8)",
+        1.05, 3.0, _bcsr_arch_ratio,
+    ),
+    (
+        "ell-torso1-collapse",
+        "one row with a lot of non-zeros -> very poor performance (4.3)",
+        10.0, float("inf"), _ell_torso1_collapse,
+    ),
+    (
+        "cusparse-arm-wins",
+        "cuSparse did better on all but one/two matrices on Arm (5.9)",
+        1.2, 5.0, _cusparse_arm_ratio,
+    ),
+]
+
+
+def audit() -> list[CalibrationCheck]:
+    """Evaluate every calibration target against the current models."""
+    return [
+        CalibrationCheck(name, claim, lo, hi, float(fn()))
+        for name, claim, lo, hi, fn in TARGETS
+    ]
+
+
+def report() -> str:
+    """Human-readable audit table."""
+    lines = ["Calibration audit (paper bands vs current models):"]
+    for check in audit():
+        status = "PASS" if check.passed else "FAIL"
+        hi = "inf" if check.hi == float("inf") else f"{check.hi:g}"
+        lines.append(
+            f"  [{status}] {check.name}: {check.measured:.3g} "
+            f"(band {check.lo:g}..{hi}) — {check.paper_claim}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Per-core CPU compute model.
+
+Three issue regimes matter to the paper:
+
+* **scalar** — the generic kernels leave ``k`` unknown at compile time, so
+  "SIMD instructions were not being used" (Study 9): COO/CSR/ELL/BELL run
+  here.  The Milan core wins this regime (the paper's "Aries seems to yield
+  better results across the board" for COO/CSR/ELL, Study 6).
+* **blocked** — BCSR's ``br x bc`` tile loops have fixed trip counts the
+  compiler vectorizes regardless of ``k``.  Short fixed loops suit NEON's
+  four 128-bit pipes and waste most of AVX's width on prologue/remainder —
+  the mechanism behind "all three versions of BCSR performed better on Arm"
+  while the blocked formats "did not perform well serially" on Aries.
+* **fixed-k** — Study 9's template specialization vectorizes the k loop
+  itself.  The per-machine ``fixed_k_speedup`` reproduces the study's
+  split: "on Aries ... almost every format showed positive performance
+  increases", on Arm the serial changes were neutral (Grace's compiler
+  already schedules the runtime-k loop well).
+
+Rates are *effective* (calibrated to the paper's serial MFLOPS bands), not
+datasheet peaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MachineModelError
+
+__all__ = ["CoreModel"]
+
+
+@dataclass(frozen=True)
+class CoreModel:
+    """One CPU core.
+
+    Attributes
+    ----------
+    name:
+        Microarchitecture label.
+    freq_ghz:
+        Sustained clock under full load.
+    scalar_flops_per_cycle:
+        Effective double-precision flops/cycle in the scalar regime
+        (includes realistic ILP, load-latency stalls, loop overhead).
+    blocked_flops_per_cycle:
+        Effective flops/cycle on short fixed-trip vector loops (BCSR tiles).
+    fixed_k_speedup:
+        Multiplier on the scalar rate when the k loop is compile-time
+        specialized (Study 9).
+    bookkeeping_ipc:
+        Integer ops/cycle available for format bookkeeping (index loads,
+        pointer arithmetic, loop control).
+    stream_bw_gbs:
+        Single-core sustainable memory bandwidth (GB/s) for the streaming +
+        gather mix of SpMM.
+    """
+
+    name: str
+    freq_ghz: float
+    scalar_flops_per_cycle: float
+    blocked_flops_per_cycle: float
+    fixed_k_speedup: float
+    bookkeeping_ipc: float
+    stream_bw_gbs: float
+
+    def __post_init__(self) -> None:
+        for field in (
+            "freq_ghz",
+            "scalar_flops_per_cycle",
+            "blocked_flops_per_cycle",
+            "fixed_k_speedup",
+            "bookkeeping_ipc",
+            "stream_bw_gbs",
+        ):
+            if getattr(self, field) <= 0:
+                raise MachineModelError(f"{field} must be positive")
+
+    def flops_per_second(self, *, regular_inner_loop: bool, fixed_k: bool) -> float:
+        """Effective double-precision flops/s for a kernel's regime.
+
+        Fixed-k specialization applies on top of whichever base regime the
+        kernel runs in (it helps the blocked loops too, slightly).
+        """
+        if regular_inner_loop:
+            rate = self.blocked_flops_per_cycle
+            if fixed_k:
+                rate *= max(1.0, 1.0 + (self.fixed_k_speedup - 1.0) * 0.25)
+        else:
+            rate = self.scalar_flops_per_cycle
+            if fixed_k:
+                rate *= self.fixed_k_speedup
+        return self.freq_ghz * 1e9 * rate
+
+    def bookkeeping_ops_per_second(self) -> float:
+        """Integer bookkeeping throughput, ops/s."""
+        return self.freq_ghz * 1e9 * self.bookkeeping_ipc
+
+    def stream_bytes_per_second(self) -> float:
+        """Single-core memory bandwidth in bytes/s."""
+        return self.stream_bw_gbs * 1e9

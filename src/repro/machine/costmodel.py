@@ -1,0 +1,246 @@
+"""Cost model: :class:`~repro.kernels.KernelTrace` x :class:`Machine` ->
+predicted seconds and MFLOPS.
+
+CPU formula (serial)::
+
+    compute = executed_flops / flops_rate(regime)          # regime: scalar /
+    book    = stored * bookkeeping_ops / bookkeeping_rate  #   blocked / fixed-k
+    memory  = dram_bytes / core_bw + l3_bytes / l3_bw
+    time    = max(compute + book, memory)                  # OoO overlap
+
+DRAM gather traffic is filtered through the trace's reuse-distance
+histogram: a gather hits L2 (or L3) if its reuse distance fits the cache's
+capacity in gather units — the capacity shrinks as ``k`` grows, which is
+what caps the k-loop study on the bandwidth-poorer Aries (§5.6).
+
+Parallel runs scale the compute term by the machine's efficiency curve
+(times the partition imbalance) and the memory term by aggregate bandwidth,
+plus fork/join overhead.  GPU and cuSPARSE runs delegate to the SIMT models
+with warp statistics derived from the same trace.
+
+The reported MFLOPS always counts *useful* flops (``2 * nnz * k``) over
+predicted time, matching the paper's metric: padded work in ELL/BCSR slows
+the clock without adding useful flops — exactly how the ``torso1`` collapse
+shows up in the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MachineModelError
+from ..kernels.gpu import WARP_SIZE, GpuStats
+from ..kernels.traces import KernelTrace
+from .machines import Machine
+
+__all__ = [
+    "CostBreakdown",
+    "predict_spmm_time",
+    "predict_mflops",
+    "warp_stats_from_trace",
+    "gpu_memory_required",
+]
+
+_CACHE_LINE = 64
+_EXECUTIONS = ("serial", "parallel", "gpu", "cusparse")
+
+#: Random gathers defeat the hardware prefetcher; DRAM-missing gather
+#: traffic costs this factor over streaming bandwidth.  Transposed-B
+#: kernels scan B^T monotonically per k-slice, so they don't pay it —
+#: which is why Study 8 finds a few high-spatial-locality matrices where
+#: transposing wins despite the extra traffic.
+_RANDOM_GATHER_PENALTY = 1.35
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Predicted cost of one kernel invocation."""
+
+    execution: str
+    seconds: float
+    compute_s: float
+    memory_s: float
+    overhead_s: float
+    imbalance: float
+    useful_flops: int
+
+    @property
+    def mflops(self) -> float:
+        """Useful MFLOPS — the paper's headline metric."""
+        return self.useful_flops / self.seconds / 1e6 if self.seconds > 0 else 0.0
+
+
+def warp_stats_from_trace(trace: KernelTrace) -> GpuStats:
+    """SIMT warp statistics from a trace's work distribution.
+
+    Matches :func:`repro.kernels.gpu.gpu_execution_stats`: one lane per
+    partition unit, units assigned to warps consecutively.
+    """
+    work = trace.row_work.astype(np.int64)
+    n = work.size
+    if n == 0:
+        return GpuStats(0, 0, 0, 1.0, 1.0)
+    pad = (-n) % WARP_SIZE
+    padded = np.pad(work, (0, pad))
+    warp_max = padded.reshape(-1, WARP_SIZE).max(axis=1)
+    coalesced = trace.gather_locality if not trace.transpose_b else trace.gather_locality * 0.25
+    tail = 1.0 if pad == 0 else (WARP_SIZE - pad) / WARP_SIZE
+    return GpuStats(
+        warps=warp_max.size,
+        warp_cycles=int(warp_max.sum()) * trace.k,
+        lane_work=int(work.sum()) * trace.k,
+        coalesced_fraction=float(coalesced),
+        occupancy_tail=tail,
+    )
+
+
+def _gather_traffic(trace: KernelTrace, machine: Machine) -> tuple[float, float, float]:
+    """(dram_bytes, l3_bytes, prep_bytes) for the dense-operand gathers."""
+    bpg = max(trace.bytes_per_gather, 1)
+    if trace.transpose_b:
+        # Study 8 layout: per k-slice, each entry touches 8 bytes of a
+        # strided B^T row.  Entries at within-line gaps (the locality
+        # fraction) amortize to compulsory traffic — each B^T line streams
+        # in once while the band slides; the rest pull a full line per
+        # access.  Sequential B^T scans prefetch, so no random penalty.
+        loc = trace.gather_locality
+        compulsory = trace.ncols * trace.k * trace.value_bytes
+        dram = loc * compulsory + (1.0 - loc) * trace.gather_ops * trace.k * _CACHE_LINE
+        # Materializing B^T: read B, write B^T (charged per multiply, as
+        # the suite transposes inside the timed calculation).
+        prep = 3.0 * trace.ncols * trace.k * trace.value_bytes
+        return float(dram), 0.0, float(prep)
+    hit2 = trace.gather_hit_fraction(machine.l2_bytes / bpg)
+    hit3 = max(hit2, trace.gather_hit_fraction(machine.l3_bytes / bpg))
+    dram = trace.gather_ops * (1.0 - hit3) * bpg * _RANDOM_GATHER_PENALTY
+    l3 = trace.gather_ops * (hit3 - hit2) * bpg
+    return float(dram), float(l3), 0.0
+
+
+def _cpu_breakdown(trace: KernelTrace, machine: Machine, threads: int) -> CostBreakdown:
+    if threads < 1:
+        raise MachineModelError(f"threads must be >= 1, got {threads}")
+    core = machine.core
+    rate = core.flops_per_second(
+        regular_inner_loop=trace.regular_inner_loop, fixed_k=trace.fixed_k
+    )
+    compute = trace.executed_flops / rate
+    book = (
+        trace.stored_entries
+        * trace.bookkeeping_ops_per_entry
+        / core.bookkeeping_ops_per_second()
+    )
+    dram_gather, l3_gather, prep = _gather_traffic(trace, machine)
+    dram_bytes = trace.bytes_format + trace.bytes_c + dram_gather + prep
+
+    if threads == 1:
+        memory = dram_bytes / core.stream_bytes_per_second() + l3_gather / (
+            machine.l3_bw_gbs * 1e9
+        )
+        seconds = max(compute + book, memory)
+        return CostBreakdown(
+            execution="serial",
+            seconds=seconds,
+            compute_s=compute + book,
+            memory_s=memory,
+            overhead_s=0.0,
+            imbalance=1.0,
+            useful_flops=trace.useful_flops,
+        )
+
+    scaling = machine.compute_scaling(threads, trace.regular_inner_loop)
+    parts = min(threads, max(int(trace.row_work.size), 1))
+    imbalance = trace.imbalance(parts)
+    compute_par = (compute + book) * imbalance / scaling
+    memory = dram_bytes / machine.memory_bandwidth(threads) + l3_gather / (
+        machine.l3_bw_gbs * 1e9
+    )
+    overhead = machine.sync_overhead_s * threads + 3e-6
+    seconds = max(compute_par, memory) + overhead
+    return CostBreakdown(
+        execution="parallel",
+        seconds=seconds,
+        compute_s=compute_par,
+        memory_s=memory,
+        overhead_s=overhead,
+        imbalance=imbalance,
+        useful_flops=trace.useful_flops,
+    )
+
+
+def predict_spmm_time(
+    trace: KernelTrace,
+    machine: Machine,
+    execution: str = "serial",
+    *,
+    threads: int = 1,
+    gpu_stats: GpuStats | None = None,
+) -> CostBreakdown:
+    """Predict one kernel invocation's cost on a machine.
+
+    ``execution``: ``serial`` | ``parallel`` | ``gpu`` (OpenMP offload
+    model) | ``cusparse`` (vendor-library model, COO/CSR only).
+    """
+    if execution not in _EXECUTIONS:
+        raise MachineModelError(
+            f"unknown execution {execution!r}; use one of {_EXECUTIONS}"
+        )
+    if execution == "serial":
+        return _cpu_breakdown(trace, machine, 1)
+    if execution == "parallel":
+        return _cpu_breakdown(trace, machine, threads)
+
+    stats = gpu_stats or warp_stats_from_trace(trace)
+    if execution == "gpu":
+        if machine.gpu is None:
+            raise MachineModelError(f"machine {machine.name} has no GPU")
+        seconds = machine.gpu.predict_time(trace, stats)
+        overhead = machine.gpu.launch_overhead_s
+    else:
+        if machine.cusparse is None:
+            raise MachineModelError(f"machine {machine.name} has no cuSPARSE model")
+        seconds = machine.cusparse.predict_time(trace, stats)
+        overhead = machine.gpu.launch_overhead_s if machine.gpu else 0.0
+    return CostBreakdown(
+        execution=execution,
+        seconds=seconds,
+        compute_s=seconds - overhead,
+        memory_s=0.0,
+        overhead_s=overhead,
+        imbalance=stats.divergence,
+        useful_flops=trace.useful_flops,
+    )
+
+
+def predict_mflops(
+    trace: KernelTrace, machine: Machine, execution: str = "serial", **kwargs
+) -> float:
+    """Shorthand: predicted useful MFLOPS for one invocation."""
+    return predict_spmm_time(trace, machine, execution, **kwargs).mflops
+
+
+def gpu_memory_required(
+    nrows: int,
+    ncols: int,
+    nnz: int,
+    k: int | None = None,
+    *,
+    value_bytes: int = 8,
+    index_bytes: int = 8,
+) -> int:
+    """Device bytes the suite's working set needs (paper's 64-bit layout).
+
+    The suite keeps the original COO matrix *and* the formatted matrix on
+    device, plus dense B and C (§6.3.5).  When ``-k`` is unset — the
+    cuSPARSE study — B is ``ncols x ncols``, which is what pushes the five
+    largest matrices past the H100's memory and also drops ``nd24k`` on the
+    smaller A100.
+    """
+    if k is None:
+        k = ncols
+    coo_bytes = nnz * (2 * index_bytes + value_bytes)
+    formatted_bytes = coo_bytes  # CSR/COO-sized; blocked formats only grow it
+    dense_bytes = (ncols + nrows) * k * value_bytes
+    return int(coo_bytes + formatted_bytes + dense_bytes)

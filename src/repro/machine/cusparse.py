@@ -1,0 +1,74 @@
+"""cuSPARSE model (Study 7).
+
+The paper compares its OpenMP-offload COO and CSR kernels against the
+vendor library: "For COO, cuSparse did better on all but two of the
+matrices.  For CSR, it did better on all but one" (§5.9).  The library
+model is the same SIMT machine with a tuned-kernel multiplier: vendor
+kernels use warp-cooperative row processing (divergence largely amortized)
+and staged shared-memory gathers (coalescing floor raised).  Only COO and
+CSR are supported — "they are the only two formats provided by cuSparse
+that provide a direct comparison to our formats".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MachineModelError
+from ..kernels.gpu import GpuStats
+from ..kernels.traces import KernelTrace
+from .gpu import GPUModel
+
+__all__ = ["CuSparseModel", "CUSPARSE_FORMATS"]
+
+#: Formats cuSPARSE SpMM supports for this comparison.
+CUSPARSE_FORMATS = ("coo", "csr")
+
+
+@dataclass(frozen=True)
+class CuSparseModel:
+    """Tuned-library wrapper around a :class:`GPUModel`.
+
+    ``kernel_speedup`` is the end-to-end tuned-vs-offload rate ratio;
+    ``divergence_damping`` in [0, 1] is how much of the warp-divergence
+    penalty the library's warp-cooperative scheme removes.
+    """
+
+    device: GPUModel
+    kernel_speedup: float = 2.6
+    divergence_damping: float = 0.85
+    coalesce_floor: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.kernel_speedup <= 0:
+            raise MachineModelError("kernel_speedup must be positive")
+        if not (0 <= self.divergence_damping <= 1):
+            raise MachineModelError("divergence_damping must be in [0, 1]")
+        if not (0 < self.coalesce_floor <= 1):
+            raise MachineModelError("coalesce_floor must be in (0, 1]")
+
+    def supports(self, format_name: str) -> bool:
+        """Whether the library provides an SpMM for this format."""
+        return format_name in CUSPARSE_FORMATS
+
+    def predict_time(self, trace: KernelTrace, stats: GpuStats) -> float:
+        """Seconds for one library SpMM launch."""
+        if not self.supports(trace.format_name):
+            raise MachineModelError(
+                f"cuSPARSE SpMM does not cover format {trace.format_name!r}"
+            )
+        damped_div = 1.0 + (stats.divergence - 1.0) * (1.0 - self.divergence_damping)
+        compute_time = trace.executed_flops * damped_div / (
+            self.device.effective_gflops * self.kernel_speedup * 1e9
+        )
+        coalesced = max(stats.coalesced_fraction, self.coalesce_floor)
+        eff_bw = self.device.mem_bw_gbs * 1e9 * self.device.coalesce_efficiency(coalesced)
+        capacity = self.device.l2_bytes / max(trace.bytes_per_gather, 1)
+        hit = trace.gather_hit_fraction(capacity)
+        dram_bytes = (
+            trace.bytes_format
+            + trace.bytes_c
+            + trace.gather_ops * (1.0 - hit) * trace.bytes_per_gather
+        )
+        memory_time = dram_bytes / eff_bw
+        return max(compute_time, memory_time) + self.device.launch_overhead_s

@@ -1,0 +1,85 @@
+"""GPU execution model for the OpenMP target-offload kernels.
+
+The paper's GPU numbers come from OpenMP target offload, which it notes "is
+not known to do well on the GPU" (§5.9): measured GPU MFLOPS sit in the same
+10-30k band as the parallel CPU kernels, orders of magnitude under the
+devices' peaks.  The model therefore centers on an *effective* offload rate
+(calibrated, documented on the preset) modulated by the two SIMT mechanisms
+the functional simulation measures:
+
+* **divergence** — warps run at the speed of their longest row
+  (:class:`repro.kernels.gpu.GpuStats`), hurting skewed matrices in
+  row-mapped CSR/COO kernels and sparing uniform-width ELL;
+* **coalescing** — adjacent lanes gathering nearby B rows merge memory
+  transactions; scattered matrices pay full-width transactions.
+
+A device-memory capacity check reproduces the paper's out-of-memory
+omissions in the cuSPARSE study (§5.9): with ``-k`` unset, B and C are
+``n x n`` dense and the biggest five matrices exceed the H100's memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MachineModelError
+from ..kernels.gpu import GpuStats
+from ..kernels.traces import KernelTrace
+
+__all__ = ["GPUModel"]
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """One GPU plus the offload runtime driving it.
+
+    ``effective_gflops`` is the sustained double-precision rate of the
+    OpenMP-offload SpMM kernels at zero divergence and full coalescing —
+    an end-to-end calibrated figure, not the datasheet peak.
+    """
+
+    name: str
+    effective_gflops: float
+    mem_bw_gbs: float
+    memory_bytes: int
+    launch_overhead_s: float = 200e-6
+    #: Device L2 bytes (filters repeated gathers like the CPU caches).
+    l2_bytes: int = 50_000_000
+    #: Memory-transaction efficiency at zero coalescing (1/32 lanes useful
+    #: would be ~0.03; offload kernels batch somewhat better).
+    min_coalesce_efficiency: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.effective_gflops <= 0 or self.mem_bw_gbs <= 0 or self.memory_bytes <= 0:
+            raise MachineModelError("GPU rates and memory must be positive")
+        if not (0 < self.min_coalesce_efficiency <= 1):
+            raise MachineModelError("min_coalesce_efficiency must be in (0, 1]")
+
+    def coalesce_efficiency(self, coalesced_fraction: float) -> float:
+        """Memory efficiency as a function of the coalesced gather share."""
+        f = min(max(coalesced_fraction, 0.0), 1.0)
+        return self.min_coalesce_efficiency + (1.0 - self.min_coalesce_efficiency) * f
+
+    def predict_time(self, trace: KernelTrace, stats: GpuStats) -> float:
+        """Seconds for one SpMM launch under this model."""
+        divergence = stats.divergence
+        compute_time = (
+            trace.executed_flops * divergence / (self.effective_gflops * 1e9)
+        )
+        eff_bw = self.mem_bw_gbs * 1e9 * self.coalesce_efficiency(
+            stats.coalesced_fraction
+        )
+        # Device L2 filters gathers exactly like the CPU model does.
+        capacity = self.l2_bytes / max(trace.bytes_per_gather, 1)
+        hit = trace.gather_hit_fraction(capacity)
+        dram_bytes = (
+            trace.bytes_format
+            + trace.bytes_c
+            + trace.gather_ops * (1.0 - hit) * trace.bytes_per_gather
+        )
+        memory_time = dram_bytes / eff_bw
+        return max(compute_time, memory_time) + self.launch_overhead_s
+
+    def fits(self, required_bytes: int) -> bool:
+        """Whether a working set fits device memory."""
+        return required_bytes <= self.memory_bytes

@@ -1,0 +1,135 @@
+"""Roofline analysis on top of the cost model.
+
+The roofline model bounds attainable performance by
+``min(peak_compute, bandwidth * arithmetic_intensity)``.  Mapping each
+(matrix, format, k) trace onto a machine's roofline makes the studies'
+regimes visible at a glance: low-k SpMM sits on the bandwidth slope (the
+Study 4 ramp), high-k compute-bound kernels pin to the format's issue-
+regime ceiling (scalar vs blocked — the Study 6 split), and padding-heavy
+formats show *useful* performance far below their *executed* point.
+
+``ascii_roofline`` renders the log-log plot without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..kernels.traces import KernelTrace
+from .costmodel import _gather_traffic, predict_spmm_time
+from .machines import Machine
+
+__all__ = ["RooflinePoint", "roofline_point", "ascii_roofline"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on a machine's roofline."""
+
+    label: str
+    #: Executed flops per DRAM byte (after cache filtering).
+    intensity: float
+    #: Attained GFLOP/s counting executed flops.
+    executed_gflops: float
+    #: Attained GFLOP/s counting useful flops (the paper's metric).
+    useful_gflops: float
+    #: Machine ceilings for this kernel's issue regime, GFLOP/s.
+    compute_ceiling: float
+    bandwidth_gbs: float
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity where the bandwidth slope meets the compute ceiling."""
+        return self.compute_ceiling / self.bandwidth_gbs
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.intensity < self.ridge_intensity
+
+    @property
+    def ceiling_fraction(self) -> float:
+        """Attained (executed) fraction of the applicable bound."""
+        bound = min(self.compute_ceiling, self.bandwidth_gbs * self.intensity)
+        return self.executed_gflops / bound if bound > 0 else 0.0
+
+
+def roofline_point(
+    trace: KernelTrace,
+    machine: Machine,
+    execution: str = "parallel",
+    threads: int = 32,
+    label: str | None = None,
+) -> RooflinePoint:
+    """Place one trace on a machine's roofline."""
+    breakdown = predict_spmm_time(trace, machine, execution, threads=threads)
+    dram_gather, l3_gather, prep = _gather_traffic(trace, machine)
+    dram_bytes = trace.bytes_format + trace.bytes_c + dram_gather + prep
+    seconds = breakdown.seconds
+    rate = machine.core.flops_per_second(
+        regular_inner_loop=trace.regular_inner_loop, fixed_k=trace.fixed_k
+    )
+    if execution == "parallel":
+        ceiling = rate * machine.compute_scaling(threads, trace.regular_inner_loop)
+        bw = machine.memory_bandwidth(threads)
+    else:
+        ceiling = rate
+        bw = machine.core.stream_bytes_per_second()
+    return RooflinePoint(
+        label=label or f"{trace.format_name}/k={trace.k}",
+        intensity=trace.executed_flops / max(dram_bytes, 1.0),
+        executed_gflops=trace.executed_flops / seconds / 1e9,
+        useful_gflops=trace.useful_flops / seconds / 1e9,
+        compute_ceiling=ceiling / 1e9,
+        bandwidth_gbs=bw / 1e9,
+    )
+
+
+def ascii_roofline(
+    points: list[RooflinePoint], width: int = 68, height: int = 18
+) -> str:
+    """Log-log roofline plot: the roof of the first point's machine
+    parameters, every point marked by its index."""
+    if not points:
+        return "(no points)"
+    ceiling = max(p.compute_ceiling for p in points)
+    bw = points[0].bandwidth_gbs
+    xs = [p.intensity for p in points]
+    x_lo = min(min(xs) / 2, ceiling / bw / 8)
+    x_hi = max(max(xs) * 2, ceiling / bw * 8)
+    y_hi = ceiling * 2
+    y_lo = min(min(p.useful_gflops for p in points) / 2, ceiling / 64)
+
+    def x_col(x: float) -> int:
+        t = (np.log10(x) - np.log10(x_lo)) / (np.log10(x_hi) - np.log10(x_lo))
+        return int(np.clip(t * (width - 1), 0, width - 1))
+
+    def y_row(y: float) -> int:
+        t = (np.log10(max(y, y_lo)) - np.log10(y_lo)) / (np.log10(y_hi) - np.log10(y_lo))
+        return int(np.clip((1 - t) * (height - 1), 0, height - 1))
+
+    canvas = [[" "] * width for _ in range(height)]
+    # The roof: bandwidth slope then compute ceiling.
+    for col in range(width):
+        x = 10 ** (np.log10(x_lo) + col / (width - 1) * (np.log10(x_hi) - np.log10(x_lo)))
+        roof = min(ceiling, bw * x)
+        canvas[y_row(roof)][col] = "-" if roof >= ceiling else "/"
+    # Points: executed (index letter) and useful (same letter lowercase
+    # when they differ materially — the padding gap).
+    legend = []
+    for i, p in enumerate(points):
+        mark = chr(ord("A") + (i % 26))
+        canvas[y_row(p.executed_gflops)][x_col(p.intensity)] = mark
+        if p.useful_gflops < 0.8 * p.executed_gflops:
+            canvas[y_row(p.useful_gflops)][x_col(p.intensity)] = mark.lower()
+        legend.append(
+            f"  {mark}: {p.label} — {p.executed_gflops:.1f} GF/s executed, "
+            f"{p.useful_gflops:.1f} useful, AI {p.intensity:.2f} "
+            f"({'memory' if p.memory_bound else 'compute'}-bound)"
+        )
+    lines = ["GFLOP/s (log)  roof: / = bandwidth slope, - = compute ceiling"]
+    lines += ["".join(row) for row in canvas]
+    lines.append("arithmetic intensity (flops/DRAM byte, log) ->")
+    lines.extend(legend)
+    return "\n".join(lines)

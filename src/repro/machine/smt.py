@@ -1,0 +1,50 @@
+"""Simultaneous multithreading (hyperthreading) throughput model.
+
+Study 3.1's headline x86 observation: "many matrices tended to do best with
+a thread count closer to the number of physical cores ... however, there
+were a few instances of certain matrices gaining huge performance increases
+with hyperthreading.  Interestingly, this generally happened with the
+blocked formats."
+
+Mechanism encoded here: two SMT threads share one core's issue ports.  An
+*irregular* kernel (COO/CSR pointer chasing) already keeps the ports busy
+between cache misses, so the sibling thread adds little and the extra
+working set can evict useful lines (a small negative is possible).  A
+*regular* kernel (blocked formats: predictable short loops, more stalls on
+gathered panels) leaves issue slots a sibling can fill — SMT pays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MachineModelError
+
+__all__ = ["SmtModel"]
+
+
+@dataclass(frozen=True)
+class SmtModel:
+    """Throughput of SMT-shared cores.
+
+    ``gain_regular`` / ``gain_irregular`` are the marginal throughput each
+    sibling thread adds to an already-occupied core, as a fraction of a full
+    core (0 = useless, 1 = perfect scaling).
+    """
+
+    gain_regular: float = 0.40
+    gain_irregular: float = 0.05
+
+    def __post_init__(self) -> None:
+        for field in ("gain_regular", "gain_irregular"):
+            v = getattr(self, field)
+            if not (-0.5 <= v <= 1.0):
+                raise MachineModelError(f"{field} out of range [-0.5, 1]: {v}")
+
+    def effective_cores(self, physical: int, smt_extra: int, regular: bool) -> float:
+        """Core-equivalents delivered by ``physical`` cores plus
+        ``smt_extra`` sibling threads."""
+        if physical < 0 or smt_extra < 0:
+            raise MachineModelError("thread counts must be non-negative")
+        gain = self.gain_regular if regular else self.gain_irregular
+        return physical + smt_extra * gain

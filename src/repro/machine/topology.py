@@ -1,0 +1,51 @@
+"""CPU topology: sockets, physical cores, SMT threads.
+
+The paper's Aries machine exposes 96 hardware threads over 48 physical
+cores ("the 48 cores were hyperthreaded to 96 cores", Study 3.1), while
+Grace Hopper's 72 cores have no SMT.  Thread counts above the physical core
+count enter the SMT regime modeled in :mod:`repro.machine.smt`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MachineModelError
+
+__all__ = ["Topology"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Socket/core/thread layout of a machine."""
+
+    sockets: int
+    cores_per_socket: int
+    threads_per_core: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.sockets, self.cores_per_socket, self.threads_per_core) < 1:
+            raise MachineModelError("topology dimensions must be >= 1")
+
+    @property
+    def physical_cores(self) -> int:
+        """Total physical cores across sockets."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def hardware_threads(self) -> int:
+        """Total schedulable threads (physical x SMT)."""
+        return self.physical_cores * self.threads_per_core
+
+    def split_threads(self, threads: int) -> tuple[int, int]:
+        """Decompose a requested thread count into (physical, smt_extra).
+
+        The OS packs one thread per physical core first; threads beyond
+        that share cores via SMT.  Requests beyond the hardware thread
+        count are oversubscribed onto the same hardware (no extra benefit).
+        """
+        if threads < 1:
+            raise MachineModelError(f"threads must be >= 1, got {threads}")
+        threads = min(threads, self.hardware_threads)
+        physical = min(threads, self.physical_cores)
+        return physical, threads - physical

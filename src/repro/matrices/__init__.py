@@ -1,0 +1,50 @@
+"""Matrix substrate: builders, synthetic generators, the 14-matrix suite,
+Table 5.1 property metrics, and Matrix Market I/O.
+
+The paper evaluates 14 SuiteSparse matrices; offline we synthesize analogs
+whose row-nonzero distributions match every column of Table 5.1 (see
+:mod:`repro.matrices.suite`).
+"""
+
+from .coo_builder import CooBuilder, Triplets
+from .properties import MatrixProperties, analyze
+from .generators import (
+    banded_matrix,
+    fem_matrix,
+    uniform_random_matrix,
+    powerlaw_matrix,
+    stencil_matrix,
+    diagonal_band_matrix,
+)
+from .suite import SUITE, MatrixSpec, load_matrix, matrix_names, properties_table
+from .mmio import read_matrix_market, write_matrix_market
+from .spy import ascii_spy, density_grid, row_histogram, svg_spy
+from .reorder import bandwidth, permute, profile, reverse_cuthill_mckee
+
+__all__ = [
+    "CooBuilder",
+    "Triplets",
+    "MatrixProperties",
+    "analyze",
+    "banded_matrix",
+    "fem_matrix",
+    "uniform_random_matrix",
+    "powerlaw_matrix",
+    "stencil_matrix",
+    "diagonal_band_matrix",
+    "SUITE",
+    "MatrixSpec",
+    "load_matrix",
+    "matrix_names",
+    "properties_table",
+    "read_matrix_market",
+    "write_matrix_market",
+    "ascii_spy",
+    "density_grid",
+    "row_histogram",
+    "svg_spy",
+    "bandwidth",
+    "permute",
+    "profile",
+    "reverse_cuthill_mckee",
+]

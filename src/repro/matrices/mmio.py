@@ -1,0 +1,100 @@
+"""Matrix Market I/O.
+
+The paper loads SuiteSparse inputs from Matrix Market files, whose triplet
+layout "directly corresponds" to the COO representation the suite builds on
+(§6.3.5).  This module implements the coordinate-format subset of the spec —
+real/integer/pattern fields, general/symmetric/skew-symmetric symmetry —
+without depending on :mod:`scipy.io`, so the suite remains self-contained.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+
+import numpy as np
+
+from ..dtypes import DEFAULT_POLICY, DTypePolicy
+from ..errors import MatrixMarketError
+from .coo_builder import CooBuilder, Triplets
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_HEADER = "%%MatrixMarket"
+_FIELDS = {"real", "integer", "pattern"}
+_SYMMETRIES = {"general", "symmetric", "skew-symmetric"}
+
+
+def _open(path: Path, mode: str):
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def read_matrix_market(
+    path, policy: DTypePolicy = DEFAULT_POLICY
+) -> Triplets:
+    """Parse a Matrix Market coordinate file into :class:`Triplets`.
+
+    Symmetric and skew-symmetric files are expanded to full storage, as the
+    suite's kernels assume general matrices.  ``pattern`` files get value 1.0
+    for every entry.
+    """
+    path = Path(path)
+    with _open(path, "r") as fh:
+        header = fh.readline().split()
+        if len(header) < 5 or header[0] != _HEADER:
+            raise MatrixMarketError(f"{path}: missing MatrixMarket header")
+        _, obj, fmt, field, symmetry = (tok.lower() for tok in header[:5])
+        if obj != "matrix" or fmt != "coordinate":
+            raise MatrixMarketError(
+                f"{path}: only 'matrix coordinate' files supported, got {obj} {fmt}"
+            )
+        if field not in _FIELDS:
+            raise MatrixMarketError(f"{path}: unsupported field {field!r}")
+        if symmetry not in _SYMMETRIES:
+            raise MatrixMarketError(f"{path}: unsupported symmetry {symmetry!r}")
+
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        try:
+            nrows, ncols, nnz = (int(tok) for tok in line.split())
+        except ValueError as exc:
+            raise MatrixMarketError(f"{path}: bad size line {line!r}") from exc
+
+        body = fh.read().split()
+
+    per_entry = 2 if field == "pattern" else 3
+    if len(body) != nnz * per_entry:
+        raise MatrixMarketError(
+            f"{path}: expected {nnz} entries ({nnz * per_entry} tokens), got {len(body)} tokens"
+        )
+    tokens = np.asarray(body, dtype=object).reshape(nnz, per_entry) if nnz else np.empty((0, per_entry), dtype=object)
+    rows = tokens[:, 0].astype(np.int64) - 1
+    cols = tokens[:, 1].astype(np.int64) - 1
+    if field == "pattern":
+        values = np.ones(nnz, dtype=np.float64)
+    else:
+        values = tokens[:, 2].astype(np.float64)
+
+    builder = CooBuilder(nrows, ncols, policy=policy)
+    builder.add_batch(rows, cols, values)
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off_diag = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        builder.add_batch(cols[off_diag], rows[off_diag], sign * values[off_diag])
+    return builder.finish()
+
+
+def write_matrix_market(path, triplets: Triplets, comment: str | None = None) -> None:
+    """Write triplets as a general real coordinate Matrix Market file."""
+    path = Path(path)
+    with _open(path, "w") as fh:
+        fh.write(f"{_HEADER} matrix coordinate real general\n")
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        fh.write(f"{triplets.nrows} {triplets.ncols} {triplets.nnz}\n")
+        for r, c, v in zip(triplets.rows, triplets.cols, triplets.values):
+            fh.write(f"{int(r) + 1} {int(c) + 1} {float(v):.17g}\n")

@@ -1,0 +1,90 @@
+"""Matrix property metrics — the paper's Table 5.1 columns.
+
+The suite reports, for each input matrix (paper §4.3): rows, columns, number
+of nonzeros, maximum nonzeros in a row ("Max"), average nonzeros per row
+("Avg"), the ratio of max to average ("Ratio", the *column ratio* / ELL
+ratio), and the variance and standard deviation of nonzeros per row.  The
+column ratio is the headline predictor of blocked-format behavior: ELLPACK
+pads every row to the longest one, so a high ratio means mostly-padding rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .coo_builder import Triplets
+
+__all__ = ["MatrixProperties", "analyze"]
+
+
+@dataclass(frozen=True)
+class MatrixProperties:
+    """Table 5.1 row for one matrix."""
+
+    name: str
+    nrows: int
+    ncols: int
+    nnz: int
+    max_row_nnz: int
+    avg_row_nnz: float
+    column_ratio: float
+    variance: float
+    std_dev: float
+
+    def as_paper_row(self) -> tuple:
+        """Row formatted like Table 5.1 (integers, rounded stats)."""
+        return (
+            self.name,
+            self.nrows,
+            self.nnz,
+            self.max_row_nnz,
+            int(round(self.avg_row_nnz)),
+            int(round(self.column_ratio)),
+            int(round(self.variance)),
+            int(round(self.std_dev)),
+        )
+
+    @property
+    def density(self) -> float:
+        """Fraction of stored entries over the full matrix."""
+        return self.nnz / (self.nrows * self.ncols)
+
+    @property
+    def ell_padding_fraction(self) -> float:
+        """Fraction of an ELL structure that would be padding.
+
+        ELL stores ``nrows * max_row_nnz`` slots; padding is whatever is not
+        a real nonzero.  High column ratio drives this toward 1.
+        """
+        slots = self.nrows * self.max_row_nnz
+        if slots == 0:
+            return 0.0
+        return 1.0 - self.nnz / slots
+
+
+def analyze(triplets: Triplets, name: str = "matrix") -> MatrixProperties:
+    """Compute :class:`MatrixProperties` from triplets.
+
+    Statistics are over the nonzeros-per-row distribution, matching the
+    paper's definitions: variance and standard deviation are population
+    statistics across all rows (including empty rows).
+    """
+    counts = triplets.row_counts().astype(np.float64)
+    nnz = triplets.nnz
+    max_row = int(counts.max()) if counts.size else 0
+    avg_row = float(counts.mean()) if counts.size else 0.0
+    ratio = (max_row / avg_row) if avg_row > 0 else 0.0
+    variance = float(counts.var()) if counts.size else 0.0
+    return MatrixProperties(
+        name=name,
+        nrows=triplets.nrows,
+        ncols=triplets.ncols,
+        nnz=nnz,
+        max_row_nnz=max_row,
+        avg_row_nnz=avg_row,
+        column_ratio=ratio,
+        variance=variance,
+        std_dev=float(np.sqrt(variance)),
+    )

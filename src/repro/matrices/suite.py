@@ -1,0 +1,198 @@
+"""The 14-matrix evaluation suite (Table 5.1 analogs).
+
+The paper evaluates 14 square SuiteSparse matrices.  Offline we rebuild each
+as a synthetic matrix whose row-nonzero distribution matches every column of
+Table 5.1: number of rows, nonzeros, max row nnz ("Max"), average row nnz
+("Avg"), column ratio, variance, and standard deviation.  These statistics —
+not the exact sparsity pattern — are what the paper's studies correlate with
+performance, so matching them preserves the experiments' shape.
+
+Matrices can be loaded at reduced ``scale`` (rows divided by the scale
+factor, per-row statistics preserved) so the pure-Python kernels and the
+SIMT functional simulator stay tractable; ``scale=1`` reproduces the paper's
+full sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Literal
+
+import numpy as np
+
+from ..dtypes import DEFAULT_POLICY, DTypePolicy
+from ..errors import GeneratorError
+from .coo_builder import Triplets
+from .generators import (
+    matrix_from_row_counts,
+    row_counts_constant,
+    row_counts_lognormal,
+    row_counts_normal,
+)
+from .properties import MatrixProperties, analyze
+
+__all__ = ["MatrixSpec", "SUITE", "matrix_names", "load_matrix", "properties_table"]
+
+Kind = Literal["constant", "normal", "lognormal"]
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """Recipe for one Table 5.1 analog.
+
+    ``avg``/``max_nnz``/``std`` are the target row-nnz statistics from the
+    paper; ``kind`` selects the row-count distribution; ``spread`` controls
+    column scattering (1 = contiguous band = best spatial locality).
+    """
+
+    name: str
+    nrows: int
+    avg: float
+    max_nnz: int
+    std: float
+    kind: Kind
+    spread: int = 1
+    sigma: float = 1.2  # lognormal shape (heavy-tail matrices only)
+    seed: int = 0
+
+    @property
+    def paper_nnz(self) -> int:
+        """Approximate nonzero count at full scale (avg * rows)."""
+        return int(self.avg * self.nrows)
+
+    def build(self, scale: int = 1, policy: DTypePolicy = DEFAULT_POLICY) -> Triplets:
+        """Generate the matrix at ``1/scale`` of the paper's row count."""
+        if scale < 1:
+            raise GeneratorError(f"scale must be >= 1, got {scale}")
+        n = max(int(self.nrows // scale), self.max_nnz + 1, 64)
+        rng = np.random.default_rng(self.seed + 7919 * scale)
+        if self.kind == "constant":
+            jitter = int(round(self.std))
+            counts = row_counts_constant(n, int(round(self.avg)), jitter, rng=rng)
+            np.clip(counts, 1, self.max_nnz, out=counts)
+            if self.max_nnz > self.avg:
+                counts[int(rng.integers(n))] = self.max_nnz
+        elif self.kind == "normal":
+            counts = row_counts_normal(n, self.avg, self.std, self.max_nnz, rng=rng)
+        elif self.kind == "lognormal":
+            counts = row_counts_lognormal(n, self.avg, self.max_nnz, self.sigma, rng=rng)
+        else:  # pragma: no cover - dataclass is frozen and validated by type
+            raise GeneratorError(f"unknown kind {self.kind!r}")
+        return matrix_from_row_counts(
+            counts, n, spread=self.spread, seed=self.seed + 13, policy=policy
+        )
+
+
+# One spec per paper matrix; (avg, max, std) copied from Table 5.1.
+# ``spread`` encodes the qualitative structure: FEM/stencil matrices are
+# banded (spread 1-2), electromagnetic/graph matrices are scattered.
+SUITE: dict[str, MatrixSpec] = {
+    spec.name: spec
+    for spec in [
+        MatrixSpec("2cubes_sphere", 101492, 8.6, 24, 3.7, "normal", spread=8, seed=101),
+        MatrixSpec("af23560", 23560, 20.6, 21, 1.0, "constant", spread=1, seed=102),
+        MatrixSpec("bcsstk13", 2003, 21.4, 84, 14.0, "normal", spread=2, seed=103),
+        MatrixSpec("bcsstk17", 10974, 20.0, 108, 8.9, "normal", spread=2, seed=104),
+        MatrixSpec("cant", 62451, 32.6, 40, 7.3, "normal", spread=1, seed=105),
+        MatrixSpec("cop20k_A", 121192, 11.2, 24, 6.7, "normal", spread=8, seed=106),
+        MatrixSpec("crankseg_2", 63838, 111.3, 297, 48.4, "normal", spread=2, seed=107),
+        MatrixSpec("dw4096", 8192, 5.1, 8, 0.4, "constant", spread=1, seed=108),
+        MatrixSpec("nd24k", 72000, 199.9, 481, 81.6, "normal", spread=2, seed=109),
+        MatrixSpec("pdb1HYS", 36417, 60.2, 184, 27.4, "normal", spread=2, seed=110),
+        MatrixSpec("rma10", 46835, 50.7, 145, 27.8, "normal", spread=2, seed=111),
+        MatrixSpec("shallow_water1", 81920, 2.5, 4, 0.5, "constant", spread=1, seed=112),
+        MatrixSpec("torso1", 116158, 73.3, 3263, 419.0, "lognormal", spread=16, sigma=1.6, seed=113),
+        MatrixSpec("x104", 108384, 47.4, 204, 17.7, "normal", spread=1, seed=114),
+    ]
+}
+
+
+def matrix_names() -> list[str]:
+    """Names of the 14 suite matrices, in Table 5.1 order."""
+    return list(SUITE)
+
+
+@lru_cache(maxsize=64)
+def _load_cached(name: str, scale: int, policy_key: tuple) -> Triplets:
+    index, value = policy_key
+    policy = DTypePolicy(index=np.dtype(index), value=np.dtype(value))
+    return SUITE[name].build(scale=scale, policy=policy)
+
+
+def load_matrix(
+    name: str, scale: int = 1, policy: DTypePolicy = DEFAULT_POLICY
+) -> Triplets:
+    """Load (generate) a suite matrix by name.
+
+    Results are cached per ``(name, scale, dtypes)`` since studies reuse the
+    same matrices across formats and kernels.
+    """
+    if name not in SUITE:
+        raise GeneratorError(
+            f"unknown suite matrix {name!r}; available: {', '.join(SUITE)}"
+        )
+    return _load_cached(name, int(scale), (policy.index.str, policy.value.str))
+
+
+def properties_table(
+    scale: int = 1, policy: DTypePolicy = DEFAULT_POLICY
+) -> list[MatrixProperties]:
+    """Table 5.1: properties of every suite matrix at the given scale."""
+    return [analyze(load_matrix(name, scale, policy), name) for name in SUITE]
+
+
+def paper_table_5_1() -> list[dict]:
+    """The paper's published Table 5.1 values (for EXPERIMENTS.md diffs)."""
+    published = [
+        ("2cubes_sphere", 101492, 874378, 24, 8, 3, 14, 3),
+        ("af23560", 23560, 484256, 21, 20, 1, 1, 1),
+        ("bcsstk13", 2003, 42943, 84, 21, 4, 197, 14),
+        ("bcsstk17", 10974, 219812, 108, 20, 5, 79, 8),
+        ("cant", 62451, 2034917, 40, 32, 1, 54, 7),
+        ("cop20k_A", 121192, 1362087, 24, 11, 2, 45, 6),
+        ("crankseg_2", 63838, 7106348, 297, 111, 2, 2339, 48),
+        ("dw4096", 8192, 41746, 8, 5, 1, 0, 0),
+        ("nd24k", 72000, 14393817, 481, 199, 2, 6652, 81),
+        ("pdb1HYS", 36417, 2190591, 184, 60, 3, 753, 27),
+        ("rma10", 46835, 2374001, 145, 50, 2, 772, 27),
+        ("shallow_water1", 81920, 204800, 4, 2, 2, 0, 0),
+        ("torso1", 116158, 8516500, 3263, 73, 44, 176054, 419),
+        ("x104", 108384, 5138004, 204, 47, 4, 313, 17),
+    ]
+    keys = ("name", "size", "nnz", "max", "avg", "ratio", "variance", "std_dev")
+    return [dict(zip(keys, row)) for row in published]
+
+
+def scaled_suite_scale_for(max_nnz_budget: int = 2_000_000) -> int:
+    """Pick a power-of-two scale so the heaviest matrix fits the budget.
+
+    Used by studies to choose a default reduction that keeps the whole grid
+    tractable in pure Python while preserving per-row statistics.
+    """
+    heaviest = max(spec.paper_nnz for spec in SUITE.values())
+    scale = 1
+    while heaviest // scale > max_nnz_budget:
+        scale *= 2
+    return scale
+
+
+def _spec_consistency_check(spec: MatrixSpec) -> list[str]:
+    """Internal: sanity-compare a spec against the published table.
+
+    Returns a list of human-readable deviations; empty means consistent.
+    Exposed for the test suite.
+    """
+    issues = []
+    published = {row["name"]: row for row in paper_table_5_1()}
+    row = published.get(spec.name)
+    if row is None:
+        return [f"{spec.name}: not in published table"]
+    if spec.nrows != row["size"]:
+        issues.append(f"{spec.name}: nrows {spec.nrows} != published {row['size']}")
+    if spec.max_nnz != row["max"]:
+        issues.append(f"{spec.name}: max {spec.max_nnz} != published {row['max']}")
+    if not math.isclose(spec.avg, row["avg"], abs_tol=1.0):
+        issues.append(f"{spec.name}: avg {spec.avg} vs published {row['avg']}")
+    return issues

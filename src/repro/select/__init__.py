@@ -1,0 +1,36 @@
+"""Learned sparse-format selection.
+
+The paper's related work (§3) revolves around frameworks that pick the
+ideal sparse format from matrix metrics — "[18] and [9] present studies of
+sparse matrix operations and formats in an attempt to create a machine
+learning framework for selecting the ideal sparse matrix format", with the
+ELL ratio (our column ratio) as the canonical feature.  The paper itself
+closes with the observation that no formula exists and the choice depends
+on matrix, algorithm, and device (§6.1).
+
+This subpackage builds that framework on top of the reproduction: feature
+extraction from the Table 5.1 metrics plus trace-level locality/reuse
+summaries, a from-scratch CART decision tree, training data generated from
+the synthetic matrix generators labeled by the machine-model oracle, and a
+regret-based evaluation (how much performance a learned choice loses
+against the oracle's).
+"""
+
+from .features import FEATURE_NAMES, extract_features
+from .tree import DecisionTreeClassifier
+from .dataset import generate_dataset, oracle_label, CANDIDATE_FORMATS
+from .selector import FormatSelector, train_default_selector
+from .evaluate import evaluate_selector, SelectionReport
+
+__all__ = [
+    "FEATURE_NAMES",
+    "extract_features",
+    "DecisionTreeClassifier",
+    "generate_dataset",
+    "oracle_label",
+    "CANDIDATE_FORMATS",
+    "FormatSelector",
+    "train_default_selector",
+    "evaluate_selector",
+    "SelectionReport",
+]

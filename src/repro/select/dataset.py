@@ -1,0 +1,129 @@
+"""Training data for format selection.
+
+Samples come from the synthetic generators spanning the structures the
+suite covers (banded, FEM, stencil, scattered, heavy-tailed); labels come
+from the *machine-model oracle* — the format with the highest predicted
+MFLOPS for a target (machine, execution, k) configuration.  This mirrors
+the related-work pipelines ([18], [9]) where training labels are measured
+best formats; here the measurement is the calibrated model, which keeps the
+dataset deterministic and free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats.registry import get_format
+from ..kernels.traces import trace_spmm
+from ..machine.costmodel import predict_mflops
+from ..machine.machines import GRACE_HOPPER, Machine
+from ..matrices.coo_builder import Triplets
+from ..matrices.generators import (
+    banded_matrix,
+    fem_matrix,
+    matrix_from_row_counts,
+    powerlaw_matrix,
+    stencil_matrix,
+    uniform_random_matrix,
+)
+from .features import extract_features
+
+__all__ = ["CANDIDATE_FORMATS", "LabeledMatrix", "oracle_label", "generate_dataset", "sample_matrix"]
+
+#: Formats the selector chooses between (the paper's four).
+CANDIDATE_FORMATS = ("coo", "csr", "ell", "bcsr")
+
+
+@dataclass(frozen=True)
+class LabeledMatrix:
+    """One training sample."""
+
+    features: np.ndarray
+    label: str
+    #: Predicted MFLOPS per candidate (for regret evaluation).
+    scores: dict[str, float]
+    kind: str
+
+
+def oracle_label(
+    triplets: Triplets,
+    machine: Machine = GRACE_HOPPER,
+    execution: str = "parallel",
+    k: int = 128,
+    threads: int = 32,
+) -> tuple[str, dict[str, float]]:
+    """Best format under the machine model, plus all candidates' scores."""
+    scores: dict[str, float] = {}
+    for fmt in CANDIDATE_FORMATS:
+        params = {"block_size": 4} if fmt == "bcsr" else {}
+        A = get_format(fmt).from_triplets(triplets, **params)
+        scores[fmt] = predict_mflops(
+            trace_spmm(A, k), machine, execution, threads=threads
+        )
+    return max(scores, key=scores.get), scores
+
+
+def sample_matrix(kind: str, rng: np.random.Generator, size: int = 600) -> Triplets:
+    """Draw one random matrix of a structural family."""
+    seed = int(rng.integers(1 << 30))
+    n = int(size * rng.uniform(0.6, 1.4))
+    if kind == "banded":
+        return banded_matrix(n, int(rng.integers(3, 24)), seed=seed)
+    if kind == "fem":
+        avg = float(rng.uniform(8, 50))
+        return fem_matrix(
+            n, avg_nnz=avg, max_nnz=int(avg * rng.uniform(1.2, 3.0)),
+            std=avg * rng.uniform(0.1, 0.5), seed=seed,
+        )
+    if kind == "stencil":
+        side = max(int(np.sqrt(n)), 4)
+        return stencil_matrix(side, side, points=5 if rng.random() < 0.5 else 9, seed=seed)
+    if kind == "scattered":
+        counts = np.maximum(
+            rng.normal(rng.uniform(4, 16), 2, size=n).astype(np.int64), 1
+        )
+        return matrix_from_row_counts(
+            counts, n, spread=int(rng.integers(16, 200)), seed=seed
+        )
+    if kind == "heavy_tail":
+        avg = float(rng.uniform(5, 30))
+        max_nnz = min(int(avg * rng.uniform(10, 60)), n - 1)
+        return powerlaw_matrix(
+            n, avg_nnz=avg, max_nnz=max_nnz,
+            sigma=float(rng.uniform(1.2, 2.0)), seed=seed,
+        )
+    if kind == "uniform":
+        return uniform_random_matrix(n, float(rng.uniform(0.005, 0.05)), seed=seed)
+    raise ValueError(f"unknown matrix family {kind!r}")
+
+
+KINDS = ("banded", "fem", "stencil", "scattered", "heavy_tail", "uniform")
+
+
+def generate_dataset(
+    n_samples: int = 120,
+    *,
+    machine: Machine = GRACE_HOPPER,
+    execution: str = "parallel",
+    k: int = 128,
+    seed: int = 0,
+    size: int = 600,
+) -> list[LabeledMatrix]:
+    """Balanced samples across structural families, oracle-labeled."""
+    rng = np.random.default_rng(seed)
+    samples: list[LabeledMatrix] = []
+    for i in range(n_samples):
+        kind = KINDS[i % len(KINDS)]
+        triplets = sample_matrix(kind, rng, size=size)
+        label, scores = oracle_label(triplets, machine, execution, k)
+        samples.append(
+            LabeledMatrix(
+                features=extract_features(triplets),
+                label=label,
+                scores=scores,
+                kind=kind,
+            )
+        )
+    return samples

@@ -1,0 +1,74 @@
+"""Selector evaluation: accuracy and performance regret.
+
+Accuracy alone overstates failure — picking the second-best format that is
+1% slower is fine.  The regret metric (lost MFLOPS fraction versus the
+oracle's choice) is what the related-work selection papers optimize, so the
+report carries both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import LabeledMatrix
+from .selector import FormatSelector
+
+__all__ = ["SelectionReport", "evaluate_selector"]
+
+
+@dataclass(frozen=True)
+class SelectionReport:
+    """Held-out evaluation of one selector."""
+
+    n_samples: int
+    accuracy: float
+    #: Mean fraction of oracle MFLOPS lost by the selector's choices.
+    mean_regret: float
+    worst_regret: float
+    per_kind_accuracy: dict[str, float]
+    confusion: dict[tuple[str, str], int]
+
+    def summary(self) -> str:
+        lines = [
+            f"samples: {self.n_samples}",
+            f"accuracy: {self.accuracy:.1%}",
+            f"mean regret: {self.mean_regret:.2%} of oracle MFLOPS",
+            f"worst regret: {self.worst_regret:.1%}",
+            "per-family accuracy:",
+        ]
+        for kind, acc in sorted(self.per_kind_accuracy.items()):
+            lines.append(f"  {kind:<12} {acc:.0%}")
+        return "\n".join(lines)
+
+
+def evaluate_selector(
+    selector: FormatSelector, samples: list[LabeledMatrix]
+) -> SelectionReport:
+    """Score a selector on labeled samples (features precomputed)."""
+    X = np.vstack([s.features for s in samples])
+    predictions = selector.tree.predict(X)
+    correct = 0
+    regrets = []
+    per_kind_hits: dict[str, list[int]] = {}
+    confusion: dict[tuple[str, str], int] = {}
+    for sample, pred in zip(samples, predictions):
+        pred = str(pred)
+        hit = pred == sample.label
+        correct += hit
+        best = sample.scores[sample.label]
+        chosen = sample.scores.get(pred, 0.0)
+        regrets.append(0.0 if best <= 0 else max(0.0, 1.0 - chosen / best))
+        per_kind_hits.setdefault(sample.kind, []).append(int(hit))
+        confusion[(sample.label, pred)] = confusion.get((sample.label, pred), 0) + 1
+    return SelectionReport(
+        n_samples=len(samples),
+        accuracy=correct / len(samples),
+        mean_regret=float(np.mean(regrets)),
+        worst_regret=float(np.max(regrets)),
+        per_kind_accuracy={
+            kind: float(np.mean(hits)) for kind, hits in per_kind_hits.items()
+        },
+        confusion=confusion,
+    )

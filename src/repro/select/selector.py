@@ -1,0 +1,96 @@
+"""The format selector: features + tree + persistence.
+
+Usage::
+
+    selector = train_default_selector()          # or FormatSelector.load(path)
+    fmt = selector.select(triplets)              # "csr" / "ell" / "bcsr" / "coo"
+    A = selector.build(triplets)                 # formatted, ready to spmm
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..formats.base import SparseFormat
+from ..formats.registry import get_format
+from ..machine.machines import GRACE_HOPPER, Machine
+from ..matrices.coo_builder import Triplets
+from .dataset import CANDIDATE_FORMATS, generate_dataset
+from .features import FEATURE_NAMES, extract_features
+from .tree import DecisionTreeClassifier, SelectionError
+
+__all__ = ["FormatSelector", "train_default_selector"]
+
+
+class FormatSelector:
+    """Predicts the best of the paper's four formats for a matrix."""
+
+    def __init__(self, tree: DecisionTreeClassifier, target: str = "grace-hopper/parallel"):
+        self.tree = tree
+        #: Human-readable description of the (machine, execution) the
+        #: selector was trained for.
+        self.target = target
+
+    def select(self, triplets: Triplets) -> str:
+        """Best-format prediction for one matrix."""
+        return str(self.tree.predict(extract_features(triplets)[None, :])[0])
+
+    def select_proba(self, triplets: Triplets) -> dict[str, float]:
+        """Per-format probability estimate from the leaf distribution."""
+        proba = self.tree.predict_proba(extract_features(triplets)[None, :])[0]
+        return dict(zip(self.tree.classes_, map(float, proba)))
+
+    def build(self, triplets: Triplets, **params) -> SparseFormat:
+        """Format the matrix with the selected format (block 4 for BCSR)."""
+        fmt = self.select(triplets)
+        if fmt == "bcsr":
+            params.setdefault("block_size", 4)
+        return get_format(fmt).from_triplets(triplets, **params)
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        payload = {
+            "feature_names": list(FEATURE_NAMES),
+            "candidates": list(CANDIDATE_FORMATS),
+            "target": self.target,
+            "tree": self.tree.to_dict(),
+        }
+        path.write_text(json.dumps(payload, indent=1))
+        return path
+
+    @classmethod
+    def load(cls, path) -> "FormatSelector":
+        data = json.loads(Path(path).read_text())
+        if tuple(data.get("feature_names", ())) != FEATURE_NAMES:
+            raise SelectionError(
+                "selector file was trained with a different feature set"
+            )
+        return cls(
+            DecisionTreeClassifier.from_dict(data["tree"]),
+            target=data.get("target", "unknown"),
+        )
+
+
+def train_default_selector(
+    n_samples: int = 120,
+    *,
+    machine: Machine = GRACE_HOPPER,
+    execution: str = "parallel",
+    k: int = 128,
+    seed: int = 0,
+    max_depth: int = 6,
+) -> FormatSelector:
+    """Train a selector on the synthetic corpus with oracle labels."""
+    samples = generate_dataset(
+        n_samples, machine=machine, execution=execution, k=k, seed=seed
+    )
+    X = np.vstack([s.features for s in samples])
+    y = np.array([s.label for s in samples])
+    tree = DecisionTreeClassifier(max_depth=max_depth, min_samples_leaf=3)
+    tree.fit(X, y)
+    return FormatSelector(tree, target=f"{machine.name}/{execution}")

@@ -1,0 +1,224 @@
+"""A from-scratch CART decision-tree classifier.
+
+Pure NumPy, no scikit-learn: recursive binary splits minimizing weighted
+Gini impurity, thresholds scanned at midpoints between sorted distinct
+feature values.  Small and deterministic — the training sets here are a few
+hundred matrices, so readability beats asymptotics.  Trees serialize to
+plain dicts (JSON-safe) so a trained selector ships as data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SpmmBenchError
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+class SelectionError(SpmmBenchError):
+    """Selector/tree misuse (fit/predict contract violations)."""
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "._Node | None" = None
+    right: "._Node | None" = None
+    #: Class-probability vector at the node (leaves and internals both, for
+    #: debuggability).
+    proba: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(class_counts: np.ndarray) -> float:
+    total = class_counts.sum()
+    if total == 0:
+        return 0.0
+    p = class_counts / total
+    return float(1.0 - (p * p).sum())
+
+
+class DecisionTreeClassifier:
+    """CART classifier with Gini splits.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap (root = depth 0).
+    min_samples_leaf:
+        A split is rejected if either side would hold fewer samples.
+    min_impurity_decrease:
+        Minimum Gini improvement for a split to be kept.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_leaf: int = 3,
+        min_impurity_decrease: float = 1e-4,
+    ):
+        if max_depth < 0 or min_samples_leaf < 1:
+            raise SelectionError("invalid tree hyperparameters")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self.classes_: list[str] = []
+        self._root: _Node | None = None
+        self.n_features_: int = 0
+
+    # -- training -----------------------------------------------------------
+
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2 or X.shape[0] != y.shape[0] or X.shape[0] == 0:
+            raise SelectionError("X must be (n, d) with matching y")
+        self.classes_ = sorted(set(map(str, y)))
+        class_index = {c: i for i, c in enumerate(self.classes_)}
+        yi = np.array([class_index[str(label)] for label in y], dtype=np.int64)
+        self.n_features_ = X.shape[1]
+        self._root = self._build(X, yi, depth=0)
+        return self
+
+    def _class_counts(self, yi: np.ndarray) -> np.ndarray:
+        return np.bincount(yi, minlength=len(self.classes_)).astype(np.float64)
+
+    def _build(self, X: np.ndarray, yi: np.ndarray, depth: int) -> _Node:
+        counts = self._class_counts(yi)
+        node = _Node(proba=counts / counts.sum())
+        if (
+            depth >= self.max_depth
+            or yi.size < 2 * self.min_samples_leaf
+            or _gini(counts) == 0.0
+        ):
+            return node
+        feature, threshold, gain = self._best_split(X, yi, counts)
+        if feature < 0 or gain < self.min_impurity_decrease:
+            return node
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], yi[mask], depth + 1)
+        node.right = self._build(X[~mask], yi[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, X: np.ndarray, yi: np.ndarray, parent_counts: np.ndarray
+    ) -> tuple[int, float, float]:
+        n = yi.size
+        parent_gini = _gini(parent_counts)
+        best = (-1, 0.0, 0.0)
+        nclasses = len(self.classes_)
+        onehot = np.eye(nclasses)[yi]
+        for f in range(X.shape[1]):
+            order = np.argsort(X[:, f], kind="stable")
+            xs = X[order, f]
+            # Cumulative class counts for every prefix split.
+            prefix = np.cumsum(onehot[order], axis=0)
+            # Candidate split after position i (1..n-1) where value changes.
+            change = np.nonzero(xs[1:] > xs[:-1])[0]
+            for i in change:
+                n_left = i + 1
+                n_right = n - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                left_counts = prefix[i]
+                right_counts = parent_counts - left_counts
+                weighted = (
+                    n_left * _gini(left_counts) + n_right * _gini(right_counts)
+                ) / n
+                gain = parent_gini - weighted
+                if gain > best[2]:
+                    best = (f, float((xs[i] + xs[i + 1]) / 2.0), float(gain))
+        return best
+
+    # -- inference ------------------------------------------------------------
+
+    def _leaf_for(self, x: np.ndarray) -> _Node:
+        node = self._require_fitted()
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node
+
+    def predict(self, X) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != self.n_features_:
+            raise SelectionError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        return np.array(
+            [self.classes_[int(np.argmax(self._leaf_for(x).proba))] for x in X]
+        )
+
+    def predict_proba(self, X) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return np.vstack([self._leaf_for(x).proba for x in X])
+
+    def depth(self) -> int:
+        def d(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(d(node.left), d(node.right))
+
+        return d(self._require_fitted())
+
+    def n_leaves(self) -> int:
+        def count(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return count(node.left) + count(node.right)
+
+        return count(self._require_fitted())
+
+    def _require_fitted(self) -> _Node:
+        if self._root is None:
+            raise SelectionError("tree is not fitted")
+        return self._root
+
+    # -- persistence ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+
+        def encode(node: _Node) -> dict:
+            out = {"proba": node.proba.tolist()}
+            if not node.is_leaf:
+                out.update(
+                    feature=node.feature,
+                    threshold=node.threshold,
+                    left=encode(node.left),
+                    right=encode(node.right),
+                )
+            return out
+
+        return {
+            "classes": self.classes_,
+            "n_features": self.n_features_,
+            "max_depth": self.max_depth,
+            "root": encode(self._require_fitted()),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecisionTreeClassifier":
+        tree = cls(max_depth=data.get("max_depth", 6))
+        tree.classes_ = list(data["classes"])
+        tree.n_features_ = int(data["n_features"])
+
+        def decode(enc: dict) -> _Node:
+            node = _Node(proba=np.asarray(enc["proba"], dtype=np.float64))
+            if "feature" in enc:
+                node.feature = int(enc["feature"])
+                node.threshold = float(enc["threshold"])
+                node.left = decode(enc["left"])
+                node.right = decode(enc["right"])
+            return node
+
+        tree._root = decode(data["root"])
+        return tree

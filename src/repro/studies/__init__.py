@@ -1,0 +1,47 @@
+"""The paper's evaluation chapter: Table 5.1 and the nine studies.
+
+Each module regenerates one table or figure family at a configurable matrix
+``scale`` (1 = the paper's full sizes; studies default to a reduced scale
+with the machine models' caches scaled to match, see
+:meth:`repro.machine.Machine.with_scaled_caches`).
+
+Every study returns a :class:`~repro.studies.common.StudyResult` holding
+the figure series, an ASCII report, and a ``findings`` dict of the
+qualitative claims the paper makes — the integration tests assert those
+findings hold, and EXPERIMENTS.md records them against the paper's text.
+"""
+
+from .common import StudyResult, DEFAULT_SCALE, PAPER_FORMAT_LIST
+from . import (
+    table_5_1,
+    study1_formats,
+    study2_kernels,
+    study3_parallelism,
+    study3_1_best_threads,
+    study4_kloop,
+    study5_bcsr,
+    study6_architecture,
+    study7_cusparse,
+    study8_transpose,
+    study9_manual_opt,
+    memory_footprint,
+)
+
+#: Registry used by the CLI: study id -> module (each exposes ``run``).
+STUDIES = {
+    "table5.1": table_5_1,
+    "study1": study1_formats,
+    "study2": study2_kernels,
+    "study3": study3_parallelism,
+    "study3.1": study3_1_best_threads,
+    "study4": study4_kloop,
+    "study5": study5_bcsr,
+    "study6": study6_architecture,
+    "study7": study7_cusparse,
+    "study8": study8_transpose,
+    "study9": study9_manual_opt,
+    # Extension: the paper's 6.3.5 future-work memory quantification.
+    "memory": memory_footprint,
+}
+
+__all__ = ["STUDIES", "StudyResult", "DEFAULT_SCALE", "PAPER_FORMAT_LIST"]

@@ -1,0 +1,128 @@
+"""Shared study plumbing: trace caching, modeled MFLOPS, result containers.
+
+Studies evaluate the analytic machine models over kernel traces.  Traces
+depend only on (matrix, scale, format, format params, k, variant flags), so
+they are cached — the heavy part (building a format and running the
+reuse-distance analysis) happens once per combination across all studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..bench.report import format_table
+from ..formats.registry import get_format
+from ..kernels.traces import KernelTrace, trace_spmm
+from ..machine.costmodel import predict_spmm_time
+from ..machine.machines import ARIES, GRACE_HOPPER, Machine
+from ..matrices.suite import load_matrix, matrix_names
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "DEFAULT_K",
+    "DEFAULT_THREADS",
+    "PAPER_FORMAT_LIST",
+    "StudyResult",
+    "cached_trace",
+    "modeled_mflops",
+    "machines_for_scale",
+]
+
+#: Default reduction of the paper's matrix sizes (rows / 16); preserves all
+#: per-row statistics, and machine caches are scaled to match.
+DEFAULT_SCALE = 16
+#: The paper's defaults: k = 128, 32 threads, BCSR block size 4 (§5.1).
+DEFAULT_K = 128
+DEFAULT_THREADS = 32
+PAPER_FORMAT_LIST = ("coo", "csr", "ell", "bcsr")
+
+
+@lru_cache(maxsize=512)
+def cached_trace(
+    matrix: str,
+    scale: int,
+    format_name: str,
+    k: int,
+    block_size: int = 4,
+    fixed_k: bool = False,
+    transpose_b: bool = False,
+) -> KernelTrace:
+    """Build (once) the kernel trace for a study grid cell.
+
+    The format object is transient — only the compact trace is retained, so
+    even full-width ELL structures for ``torso1`` don't accumulate.
+    """
+    triplets = load_matrix(matrix, scale=scale)
+    params = {"block_size": block_size} if format_name == "bcsr" else {}
+    A = get_format(format_name).from_triplets(triplets, **params)
+    return trace_spmm(A, k, fixed_k=fixed_k, transpose_b=transpose_b)
+
+
+@lru_cache(maxsize=8)
+def machines_for_scale(scale: int) -> tuple[Machine, Machine]:
+    """(Grace Hopper, Aries) with caches scaled to the matrix scale."""
+    return GRACE_HOPPER.with_scaled_caches(scale), ARIES.with_scaled_caches(scale)
+
+
+def modeled_mflops(
+    matrix: str,
+    format_name: str,
+    machine: Machine,
+    execution: str,
+    *,
+    scale: int = DEFAULT_SCALE,
+    k: int = DEFAULT_K,
+    threads: int = DEFAULT_THREADS,
+    block_size: int = 4,
+    fixed_k: bool = False,
+    transpose_b: bool = False,
+) -> float:
+    """Predicted useful MFLOPS for one study grid cell."""
+    trace = cached_trace(
+        matrix, scale, format_name, k, block_size, fixed_k, transpose_b
+    )
+    return predict_spmm_time(trace, machine, execution, threads=threads).mflops
+
+
+@dataclass
+class StudyResult:
+    """Output of one study: figures as tables, plus testable findings."""
+
+    study_id: str
+    title: str
+    #: (figure title, column headers, rows) triples — one per paper figure.
+    tables: list[tuple[str, tuple, list]] = field(default_factory=list)
+    #: Qualitative claims, computed from the data; tests assert on these.
+    findings: dict = field(default_factory=dict)
+    #: Data points censored by offload faults / device memory, as the paper
+    #: omits them from its figures.
+    censored: list[str] = field(default_factory=list)
+    notes: str = ""
+
+    def add_table(self, title: str, headers: tuple, rows: list) -> None:
+        self.tables.append((title, headers, rows))
+
+    def to_text(self) -> str:
+        """Human-readable report (the figures as ASCII tables)."""
+        parts = [f"== {self.study_id}: {self.title} =="]
+        if self.notes:
+            parts.append(self.notes)
+        for title, headers, rows in self.tables:
+            parts.append("")
+            parts.append(format_table(headers, rows, title=title))
+        if self.censored:
+            parts.append("")
+            parts.append("Censored data points (omitted, as in the paper):")
+            parts.extend(f"  - {line}" for line in self.censored)
+        if self.findings:
+            parts.append("")
+            parts.append("Findings:")
+            for key, value in self.findings.items():
+                parts.append(f"  {key}: {value}")
+        return "\n".join(parts)
+
+
+def all_matrices() -> list[str]:
+    """The 14 evaluation matrices in Table 5.1 order."""
+    return matrix_names()

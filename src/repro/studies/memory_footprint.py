@@ -1,0 +1,100 @@
+"""Memory-footprint study (paper §6.3.5, future work).
+
+"While we did not quantify or study this directly ... we noticed that they
+used a huge amount of the available RAM."  The paper attributes the blow-up
+to (a) retaining the original COO matrix next to the formatted one, (b) the
+dense B and C operands, and (c) 64-bit types everywhere, and predicts that
+32-bit types "would cut our memory use in half".
+
+This study quantifies all three at the paper's full matrix sizes (computed
+analytically from the format layouts — no allocation needed): per-format
+structure bytes, the benchmark-resident working set (COO + format + B + C
+at k = 128), and the 64-bit vs 32-bit ratio.
+"""
+
+from __future__ import annotations
+
+from ..dtypes import POLICY_32, POLICY_64, DTypePolicy
+from ..formats.registry import get_format
+from ..matrices.suite import load_matrix, paper_table_5_1
+from .common import DEFAULT_K, DEFAULT_SCALE, PAPER_FORMAT_LIST, StudyResult, all_matrices
+
+__all__ = ["run", "format_bytes_fullscale", "working_set_bytes"]
+
+
+def format_bytes_fullscale(
+    matrix: str, fmt: str, policy: DTypePolicy, scale: int, block_size: int = 4
+) -> int:
+    """Structure bytes at the paper's full size, extrapolated from scale.
+
+    Build the scaled analog, take its per-entry/per-row layout, and scale
+    the row-proportional arrays back up (per-row statistics are scale
+    invariant, so stored-entries-per-row carries over).
+    """
+    params = {"block_size": block_size} if fmt == "bcsr" else {}
+    t = load_matrix(matrix, scale=scale)
+    A = get_format(fmt).from_triplets(t, policy=policy, **params)
+    return int(A.nbytes * scale)
+
+
+def working_set_bytes(
+    matrix_rows: int, nnz: int, fmt_bytes: int, k: int, policy: DTypePolicy
+) -> int:
+    """The benchmark-resident set: retained COO + format + B + C (§6.3.5)."""
+    coo_bytes = nnz * (2 * policy.index_bytes + policy.value_bytes)
+    dense = 2 * matrix_rows * k * policy.value_bytes
+    return coo_bytes + fmt_bytes + dense
+
+
+def run(scale: int = DEFAULT_SCALE) -> StudyResult:
+    """Quantify §6.3.5: footprints per format, per dtype policy."""
+    result = StudyResult(
+        study_id="Memory study",
+        title="Memory footprint (paper 6.3.5, future work)",
+        notes=(
+            "Full-scale bytes extrapolated from the scaled analogs "
+            f"(structure layout measured at scale 1/{scale}); working set = "
+            f"retained COO + formatted matrix + dense B and C at k={DEFAULT_K}."
+        ),
+    )
+    published = {r["name"]: r for r in paper_table_5_1()}
+
+    rows = []
+    halving_ratios = []
+    ell_vs_csr = []
+    for name in all_matrices():
+        pub = published[name]
+        per_fmt = {}
+        for fmt in PAPER_FORMAT_LIST:
+            b64 = format_bytes_fullscale(name, fmt, POLICY_64, scale)
+            per_fmt[fmt] = b64
+        b32_csr = format_bytes_fullscale(name, "csr", POLICY_32, scale)
+        halving_ratios.append(per_fmt["csr"] / max(b32_csr, 1))
+        ell_vs_csr.append(per_fmt["ell"] / max(per_fmt["csr"], 1))
+        ws = working_set_bytes(
+            pub["size"], pub["nnz"], per_fmt["csr"], DEFAULT_K, POLICY_64
+        )
+        rows.append(
+            (
+                name,
+                *(round(per_fmt[f] / 1e6) for f in PAPER_FORMAT_LIST),
+                round(b32_csr / 1e6),
+                round(ws / 1e6),
+            )
+        )
+    result.add_table(
+        "Full-scale structure footprint (MB, 64-bit) + benchmark working set",
+        ("matrix", *PAPER_FORMAT_LIST, "csr-32bit", "working set"),
+        rows,
+    )
+
+    mean_halving = sum(halving_ratios) / len(halving_ratios)
+    worst_ell = max(ell_vs_csr)
+    result.findings = {
+        "mean_64_to_32_ratio": round(mean_halving, 2),
+        "paper_halving_claim_holds": 1.7 <= mean_halving <= 2.1,
+        "worst_ell_over_csr": round(worst_ell, 1),
+        "ell_blowup_is_torso1": ell_vs_csr.index(worst_ell)
+        == all_matrices().index("torso1"),
+    }
+    return result

@@ -1,0 +1,124 @@
+"""Study 1 (Figures 5.1, 5.2): all formats across all matrices.
+
+"Our goal for this study is to see which format in each environment
+(serial CPU, multicore CPU, GPU) does the best overall" (§5.3), at the
+paper's defaults: k = 128, 32 threads, BCSR block size 4.
+
+Paper shapes this study reproduces:
+
+* serial Arm ~5k MFLOPS with CSR usually best and BCSR winning a handful;
+* serial Aries ~7k MFLOPS with COO/CSR on top and blocked formats behind;
+* parallel speedups ~5-6x on Arm, ~4x on Aries;
+* Aries GPU results censored by the faulty offload runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import OffloadError
+from ..machine.machines import ARIES
+from .common import (
+    DEFAULT_K,
+    DEFAULT_SCALE,
+    DEFAULT_THREADS,
+    PAPER_FORMAT_LIST,
+    StudyResult,
+    all_matrices,
+    machines_for_scale,
+    modeled_mflops,
+)
+
+__all__ = ["run", "ENVIRONMENTS"]
+
+ENVIRONMENTS = ("serial", "parallel", "gpu")
+
+
+def _grid(machine, execution, scale, censored, runtime=None):
+    """matrix -> {format: mflops} for one machine/environment."""
+    grid: dict[str, dict[str, float]] = {}
+    for matrix in all_matrices():
+        grid[matrix] = {}
+        for fmt in PAPER_FORMAT_LIST:
+            if execution == "gpu" and runtime is not None and not runtime.works_for(matrix):
+                censored.append(f"{machine.name}/gpu/{fmt}/{matrix}: offload fault")
+                grid[matrix][fmt] = float("nan")
+                continue
+            grid[matrix][fmt] = modeled_mflops(
+                matrix, fmt, machine, execution,
+                scale=scale, k=DEFAULT_K, threads=DEFAULT_THREADS,
+            )
+    return grid
+
+
+def _best_format_counts(grid) -> dict[str, int]:
+    counts = {fmt: 0 for fmt in PAPER_FORMAT_LIST}
+    for per_fmt in grid.values():
+        valid = {f: v for f, v in per_fmt.items() if np.isfinite(v)}
+        if valid:
+            counts[max(valid, key=valid.get)] += 1
+    return counts
+
+
+def run(scale: int = DEFAULT_SCALE) -> StudyResult:
+    """Regenerate Figures 5.1 (Arm) and 5.2 (Aries)."""
+    arm, x86 = machines_for_scale(scale)
+    result = StudyResult(
+        study_id="Study 1",
+        title="All formats, all matrices, by environment (Figures 5.1/5.2)",
+        notes=f"Modeled MFLOPS, scale 1/{scale}, k={DEFAULT_K}, 32 threads, BCSR block 4.",
+    )
+    aries_runtime = ARIES.offload_runtime()
+    grids: dict[tuple[str, str], dict] = {}
+    for machine, fig in ((arm, "Figure 5.1 (Arm)"), (x86, "Figure 5.2 (x86)")):
+        runtime = aries_runtime if machine.arch == "x86" else None
+        for env in ENVIRONMENTS:
+            grid = _grid(machine, env, scale, result.censored, runtime)
+            grids[(machine.arch, env)] = grid
+            rows = [
+                (m, *(round(grid[m][f]) if np.isfinite(grid[m][f]) else "-" for f in PAPER_FORMAT_LIST))
+                for m in all_matrices()
+            ]
+            result.add_table(
+                f"{fig} — {env} kernels (MFLOPS)",
+                ("matrix", *PAPER_FORMAT_LIST),
+                rows,
+            )
+
+    serial_arm = grids[("arm", "serial")]
+    serial_x86 = grids[("x86", "serial")]
+    par_arm = grids[("arm", "parallel")]
+    par_x86 = grids[("x86", "parallel")]
+
+    def _avg(grid, fmts=("coo", "csr")):
+        vals = [v for m in grid.values() for f, v in m.items() if f in fmts and np.isfinite(v)]
+        return float(np.mean(vals)) if vals else 0.0
+
+    def _speedups(serial, parallel):
+        out = []
+        for m in serial:
+            s, p = serial[m]["csr"], parallel[m]["csr"]
+            if np.isfinite(s) and np.isfinite(p) and s > 0:
+                out.append(p / s)
+        return out
+
+    arm_speedups = _speedups(serial_arm, par_arm)
+    x86_speedups = _speedups(serial_x86, par_x86)
+    counts_serial_arm = _best_format_counts(serial_arm)
+    counts_serial_x86 = _best_format_counts(serial_x86)
+
+    result.findings = {
+        "serial_arm_avg_mflops": round(_avg(serial_arm)),
+        "serial_x86_avg_mflops": round(_avg(serial_x86)),
+        "serial_x86_faster_than_arm": _avg(serial_x86) > _avg(serial_arm),
+        "serial_arm_best_counts": counts_serial_arm,
+        "serial_x86_best_counts": counts_serial_x86,
+        "serial_x86_blocked_rarely_best": (
+            counts_serial_x86["ell"] + counts_serial_x86["bcsr"]
+            <= counts_serial_x86["coo"] + counts_serial_x86["csr"]
+        ),
+        "arm_parallel_speedup_median": round(float(np.median(arm_speedups)), 2),
+        "x86_parallel_speedup_median": round(float(np.median(x86_speedups)), 2),
+        "aries_gpu_censored_points": len(result.censored),
+    }
+    return result

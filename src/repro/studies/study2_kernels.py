@@ -1,0 +1,95 @@
+"""Study 2 (Figures 5.3, 5.4): best kernel form of each format.
+
+"Our goal here is to see which form of each kernel (serial CPU, parallel
+CPU, or GPU) does best for each format" (§5.4).  Paper shapes: on Arm the
+wins split between CPU parallelism and the GPU with the best forms around
+10-30k MFLOPS; on Aries (GPU censored) parallelism almost always wins at
+~15-30k MFLOPS, with a few serial wins confined to COO/CSR on small
+matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.machines import ARIES
+from .common import (
+    DEFAULT_K,
+    DEFAULT_SCALE,
+    DEFAULT_THREADS,
+    PAPER_FORMAT_LIST,
+    StudyResult,
+    all_matrices,
+    machines_for_scale,
+    modeled_mflops,
+)
+
+__all__ = ["run"]
+
+FORMS = ("serial", "parallel", "gpu")
+
+
+def run(scale: int = DEFAULT_SCALE) -> StudyResult:
+    """Regenerate Figures 5.3 (Arm) and 5.4 (Aries)."""
+    arm, x86 = machines_for_scale(scale)
+    result = StudyResult(
+        study_id="Study 2",
+        title="Best form of each format (Figures 5.3/5.4)",
+        notes=f"Modeled MFLOPS, scale 1/{scale}, k={DEFAULT_K}, 32 threads, BCSR block 4.",
+    )
+    aries_runtime = ARIES.offload_runtime()
+    win_tally: dict[tuple[str, str], dict[str, int]] = {}
+    for machine, fig in ((arm, "Figure 5.3 (Arm)"), (x86, "Figure 5.4 (x86)")):
+        for fmt in PAPER_FORMAT_LIST:
+            tally = {form: 0 for form in FORMS}
+            rows = []
+            for matrix in all_matrices():
+                per_form = {}
+                for form in FORMS:
+                    if (
+                        form == "gpu"
+                        and machine.arch == "x86"
+                        and not aries_runtime.works_for(matrix)
+                    ):
+                        result.censored.append(
+                            f"{machine.name}/gpu/{fmt}/{matrix}: offload fault"
+                        )
+                        per_form[form] = float("nan")
+                        continue
+                    per_form[form] = modeled_mflops(
+                        matrix, fmt, machine, form,
+                        scale=scale, k=DEFAULT_K, threads=DEFAULT_THREADS,
+                    )
+                valid = {f: v for f, v in per_form.items() if np.isfinite(v)}
+                best = max(valid, key=valid.get)
+                tally[best] += 1
+                rows.append(
+                    (
+                        matrix,
+                        *(round(per_form[f]) if np.isfinite(per_form[f]) else "-" for f in FORMS),
+                        best,
+                    )
+                )
+            win_tally[(machine.arch, fmt)] = tally
+            result.add_table(
+                f"{fig} — {fmt.upper()} (MFLOPS by kernel form)",
+                ("matrix", *FORMS, "best"),
+                rows,
+            )
+
+    arm_parallel_or_gpu_wins = sum(
+        t["parallel"] + t["gpu"] for (arch, _), t in win_tally.items() if arch == "arm"
+    )
+    arm_total = sum(sum(t.values()) for (arch, _), t in win_tally.items() if arch == "arm")
+    x86_parallel_wins = sum(
+        t["parallel"] for (arch, _), t in win_tally.items() if arch == "x86"
+    )
+    x86_total = sum(sum(t.values()) for (arch, _), t in win_tally.items() if arch == "x86")
+    result.findings = {
+        "win_tally": {f"{a}/{f}": t for (a, f), t in win_tally.items()},
+        "arm_parallel_or_gpu_win_fraction": round(arm_parallel_or_gpu_wins / arm_total, 3),
+        "x86_parallel_win_fraction": round(x86_parallel_wins / x86_total, 3),
+        "serial_wins_are_minority": (arm_total - arm_parallel_or_gpu_wins)
+        <= arm_total // 4,
+    }
+    return result

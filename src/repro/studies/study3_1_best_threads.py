@@ -1,0 +1,93 @@
+"""Study 3.1 (Figures 5.7, 5.8): best thread count per format/matrix.
+
+The suite's thread-list feature sweeps {2, 4, 8, 16, 32, 48, 64, 72}
+("because our machines differed slightly in their core counts, we chose 72
+as our consistent upper bound", §5.5.1) and tallies how many matrices of
+each format peak at 72.
+
+Paper numbers on Arm: COO 10/14, CSR 9/14, ELL 12/14, BCSR 6/14.  On Aries
+the best counts trend toward the physical cores (<= 48), with SMT wins
+(> 48) concentrated in the blocked formats.
+"""
+
+from __future__ import annotations
+
+from .common import (
+    DEFAULT_K,
+    DEFAULT_SCALE,
+    PAPER_FORMAT_LIST,
+    StudyResult,
+    all_matrices,
+    machines_for_scale,
+    modeled_mflops,
+)
+
+__all__ = ["run", "THREAD_LIST"]
+
+THREAD_LIST = (2, 4, 8, 16, 32, 48, 64, 72)
+
+
+def run(scale: int = DEFAULT_SCALE) -> StudyResult:
+    """Regenerate Figures 5.7 (Arm) and 5.8 (Aries)."""
+    arm, x86 = machines_for_scale(scale)
+    result = StudyResult(
+        study_id="Study 3.1",
+        title="Best thread count (Figures 5.7/5.8)",
+        notes=(
+            f"Modeled parallel MFLOPS swept over threads {THREAD_LIST}, "
+            f"scale 1/{scale}, k={DEFAULT_K}."
+        ),
+    )
+    tallies: dict[str, dict[str, int]] = {}
+    best_grid: dict[str, dict[tuple[str, str], int]] = {}
+    for machine, fig in ((arm, "Figure 5.7 (Arm)"), (x86, "Figure 5.8 (Aries)")):
+        tally_72 = {fmt: 0 for fmt in PAPER_FORMAT_LIST}
+        rows = []
+        best_grid[machine.arch] = {}
+        for matrix in all_matrices():
+            bests = []
+            for fmt in PAPER_FORMAT_LIST:
+                vals = {
+                    t: modeled_mflops(
+                        matrix, fmt, machine, "parallel",
+                        scale=scale, k=DEFAULT_K, threads=t,
+                    )
+                    for t in THREAD_LIST
+                }
+                best = max(vals, key=vals.get)
+                best_grid[machine.arch][(matrix, fmt)] = best
+                bests.append(best)
+                if best == 72:
+                    tally_72[fmt] += 1
+            rows.append((matrix, *bests))
+        tallies[machine.arch] = tally_72
+        result.add_table(
+            f"{fig} — best thread count per format",
+            ("matrix", *PAPER_FORMAT_LIST),
+            rows,
+        )
+        result.add_table(
+            f"{fig} — matrices peaking at 72 threads",
+            ("format", "count of 14"),
+            [(fmt, tally_72[fmt]) for fmt in PAPER_FORMAT_LIST],
+        )
+
+    n = len(all_matrices())
+    # Aries SMT analysis: formats whose best count exceeds the 48 physical
+    # cores are using hyperthreading.
+    smt_wins = {fmt: 0 for fmt in PAPER_FORMAT_LIST}
+    for (matrix, fmt), best in best_grid["x86"].items():
+        if best > 48:
+            smt_wins[fmt] += 1
+    blocked_smt = smt_wins["ell"] + smt_wins["bcsr"]
+    general_smt = smt_wins["coo"] + smt_wins["csr"]
+    result.findings = {
+        "arm_best72_counts": tallies["arm"],
+        "x86_best72_counts": tallies["x86"],
+        "arm_mostly_72": sum(tallies["arm"].values()) >= 2 * n,
+        "x86_prefers_physical_cores": sum(tallies["x86"].values())
+        <= sum(tallies["arm"].values()),
+        "x86_smt_wins_by_format": smt_wins,
+        "x86_smt_favors_blocked": blocked_smt >= general_smt,
+    }
+    return result

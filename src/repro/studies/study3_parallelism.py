@@ -1,0 +1,68 @@
+"""Study 3 (Figures 5.5, 5.6): CPU parallelism at 8/16/32 threads.
+
+"All kernels were run with a thread count of 8, 16, and 32 ... Our goal for
+this study is to see the impact of thread count for our formats and
+matrices" (§5.5).  Paper shapes: on Arm all formats do best with the high
+thread count; on Aries the picture splits by matrix, with BCSR benefiting
+most from high counts.
+"""
+
+from __future__ import annotations
+
+from .common import (
+    DEFAULT_K,
+    DEFAULT_SCALE,
+    PAPER_FORMAT_LIST,
+    StudyResult,
+    all_matrices,
+    machines_for_scale,
+    modeled_mflops,
+)
+
+__all__ = ["run", "THREAD_COUNTS"]
+
+THREAD_COUNTS = (8, 16, 32)
+
+
+def run(scale: int = DEFAULT_SCALE) -> StudyResult:
+    """Regenerate Figures 5.5 (Arm) and 5.6 (Aries)."""
+    arm, x86 = machines_for_scale(scale)
+    result = StudyResult(
+        study_id="Study 3",
+        title="CPU parallelism: 8/16/32 threads (Figures 5.5/5.6)",
+        notes=f"Modeled MFLOPS of the parallel kernels, scale 1/{scale}, k={DEFAULT_K}.",
+    )
+    high_wins: dict[str, dict[str, int]] = {}
+    for machine, fig in ((arm, "Figure 5.5 (Arm)"), (x86, "Figure 5.6 (x86)")):
+        high_wins[machine.arch] = {fmt: 0 for fmt in PAPER_FORMAT_LIST}
+        for fmt in PAPER_FORMAT_LIST:
+            rows = []
+            for matrix in all_matrices():
+                vals = {
+                    t: modeled_mflops(
+                        matrix, fmt, machine, "parallel",
+                        scale=scale, k=DEFAULT_K, threads=t,
+                    )
+                    for t in THREAD_COUNTS
+                }
+                best = max(vals, key=vals.get)
+                if best == max(THREAD_COUNTS):
+                    high_wins[machine.arch][fmt] += 1
+                rows.append((matrix, *(round(vals[t]) for t in THREAD_COUNTS), best))
+            result.add_table(
+                f"{fig} — {fmt.upper()} (MFLOPS by thread count)",
+                ("matrix", *(f"t={t}" for t in THREAD_COUNTS), "best"),
+                rows,
+            )
+
+    n = len(all_matrices())
+    arm_high_fraction = sum(high_wins["arm"].values()) / (n * len(PAPER_FORMAT_LIST))
+    x86_high_fraction = sum(high_wins["x86"].values()) / (n * len(PAPER_FORMAT_LIST))
+    result.findings = {
+        "arm_high_thread_wins": high_wins["arm"],
+        "x86_high_thread_wins": high_wins["x86"],
+        "arm_prefers_high_threads": arm_high_fraction,
+        "x86_mixed_preference": x86_high_fraction,
+        "arm_more_high_thread_than_x86": arm_high_fraction >= x86_high_fraction,
+    }
+    return result

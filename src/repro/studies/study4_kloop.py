@@ -1,0 +1,75 @@
+"""Study 4 (Figures 5.9, 5.10): setting the k loop.
+
+"We use k values of 8, 16, 64, 128, 256, 512, and 1028 ... On Arm ... a
+higher value of k seemed to lead to more performance.  For Aries, there
+were several instances where performance for k capped, usually around the
+512 mark" (§5.6).
+
+Mechanism in the model: larger k amortizes the format stream (MFLOPS
+rises), but each gather grows to ``k * 8`` bytes, shrinking how many
+distinct B rows the caches hold; when reuse stops fitting, the
+bandwidth-poorer Aries pays first and its curve flattens or dips.
+"""
+
+from __future__ import annotations
+
+from .common import (
+    DEFAULT_SCALE,
+    DEFAULT_THREADS,
+    PAPER_FORMAT_LIST,
+    StudyResult,
+    all_matrices,
+    machines_for_scale,
+    modeled_mflops,
+)
+
+__all__ = ["run", "K_VALUES"]
+
+#: The paper's sweep, including its idiosyncratic 1028 (not 1024).
+K_VALUES = (8, 16, 64, 128, 256, 512, 1028)
+
+
+def run(scale: int = DEFAULT_SCALE) -> StudyResult:
+    """Regenerate Figures 5.9 (Arm) and 5.10 (Aries)."""
+    arm, x86 = machines_for_scale(scale)
+    result = StudyResult(
+        study_id="Study 4",
+        title="Setting -k (Figures 5.9/5.10)",
+        notes=(
+            f"Modeled parallel MFLOPS at {DEFAULT_THREADS} threads over the k sweep, "
+            f"scale 1/{scale}."
+        ),
+    )
+    capped: dict[str, int] = {"arm": 0, "x86": 0}
+    cells: dict[str, int] = {"arm": 0, "x86": 0}
+    for machine, fig in ((arm, "Figure 5.9 (Arm)"), (x86, "Figure 5.10 (x86)")):
+        for fmt in PAPER_FORMAT_LIST:
+            rows = []
+            for matrix in all_matrices():
+                series = [
+                    modeled_mflops(
+                        matrix, fmt, machine, "parallel",
+                        scale=scale, k=k, threads=DEFAULT_THREADS,
+                    )
+                    for k in K_VALUES
+                ]
+                # "Capped": the peak occurs at or before k=512 and the
+                # curve does not improve afterwards.
+                peak_idx = max(range(len(series)), key=series.__getitem__)
+                cells[machine.arch] += 1
+                if K_VALUES[peak_idx] <= 512 and series[-1] <= series[peak_idx]:
+                    if peak_idx < len(K_VALUES) - 1:
+                        capped[machine.arch] += 1
+                rows.append((matrix, *(round(v) for v in series)))
+            result.add_table(
+                f"{fig} — {fmt.upper()} (MFLOPS by k)",
+                ("matrix", *(f"k={k}" for k in K_VALUES)),
+                rows,
+            )
+    result.findings = {
+        "arm_capped_cells": capped["arm"],
+        "x86_capped_cells": capped["x86"],
+        "x86_caps_more_than_arm": capped["x86"] > capped["arm"],
+        "cells_per_machine": cells["arm"],
+    }
+    return result

@@ -1,0 +1,95 @@
+"""Study 5 (Figures 5.11, 5.12): the BCSR block-size study.
+
+"BCSR allows us to configure the size of the sub-blocks ... Our goal here
+is to see what effect changing the block size has on performance" over
+block sizes 2, 4, and 16 in serial, parallel, and GPU environments (§5.7).
+
+Paper shapes: serial performance degrades as blocks grow (padding); the
+parallel kernels also prefer small blocks, with a few matrices flipping to
+larger blocks when their structure fills the tiles; the GPU trends the same
+way but tolerates larger blocks on a few more matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import (
+    DEFAULT_K,
+    DEFAULT_SCALE,
+    DEFAULT_THREADS,
+    StudyResult,
+    all_matrices,
+    machines_for_scale,
+    modeled_mflops,
+)
+
+__all__ = ["run", "BLOCK_SIZES"]
+
+BLOCK_SIZES = (2, 4, 16)
+FORMS = ("serial", "parallel", "gpu")
+
+
+def run(scale: int = DEFAULT_SCALE) -> StudyResult:
+    """Regenerate Figures 5.11 (Arm) and 5.12 (Aries)."""
+    arm, x86 = machines_for_scale(scale)
+    result = StudyResult(
+        study_id="Study 5",
+        title="BCSR block sizes (Figures 5.11/5.12)",
+        notes=f"Modeled BCSR MFLOPS, blocks {BLOCK_SIZES}, scale 1/{scale}, k={DEFAULT_K}.",
+    )
+    small_block_wins = {"serial": 0, "parallel": 0, "gpu": 0}
+    large_block_wins = {"serial": 0, "parallel": 0, "gpu": 0}
+    for machine, fig in ((arm, "Figure 5.11 (Arm)"), (x86, "Figure 5.12 (x86)")):
+        for form in FORMS:
+            if form == "gpu" and machine.arch == "x86":
+                # The paper only considered GPU results on Arm here.
+                result.censored.append(f"{machine.name}/gpu: offload runtime unusable")
+                continue
+            rows = []
+            for matrix in all_matrices():
+                vals = {
+                    b: modeled_mflops(
+                        matrix, "bcsr", machine, form,
+                        scale=scale, k=DEFAULT_K, threads=DEFAULT_THREADS, block_size=b,
+                    )
+                    for b in BLOCK_SIZES
+                }
+                best = max(vals, key=vals.get)
+                if best == min(BLOCK_SIZES):
+                    small_block_wins[form] += 1
+                if best == max(BLOCK_SIZES):
+                    large_block_wins[form] += 1
+                rows.append((matrix, *(round(vals[b]) for b in BLOCK_SIZES), best))
+            result.add_table(
+                f"{fig} — {form} BCSR (MFLOPS by block size)",
+                ("matrix", *(f"b={b}" for b in BLOCK_SIZES), "best"),
+                rows,
+            )
+
+    # Padding growth with block size, averaged over matrices (the serial
+    # degradation mechanism).
+    from .common import cached_trace
+
+    pad = {
+        b: float(
+            np.mean(
+                [
+                    cached_trace(m, scale, "bcsr", DEFAULT_K, b).stored_entries
+                    / max(cached_trace(m, scale, "bcsr", DEFAULT_K, b).nnz, 1)
+                    for m in all_matrices()
+                ]
+            )
+        )
+        for b in BLOCK_SIZES
+    }
+    result.findings = {
+        "small_block_wins": small_block_wins,
+        "large_block_wins": large_block_wins,
+        "small_blocks_usually_best": all(
+            small_block_wins[f] > large_block_wins[f] for f in ("serial", "parallel")
+        ),
+        "padding_ratio_by_block": {b: round(v, 2) for b, v in pad.items()},
+        "padding_grows_with_block": pad[2] < pad[4] < pad[16],
+    }
+    return result

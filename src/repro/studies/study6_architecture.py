@@ -1,0 +1,105 @@
+"""Study 6 (Figures 5.13, 5.14): architecture study — serial Arm vs x86.
+
+"We evaluate the serial versions of each format on our Aries and Arm
+machines to evaluate the single core performance of each" (§5.8).
+
+Paper shapes: "For COO, CSR, and ELLPACK, the Aries versions all performed
+better ... The opposite was true on BCSR.  All three versions of BCSR
+performed better on Arm."  Average bands: ~5k MFLOPS for COO/CSR (~3k for
+ELLPACK); BCSR ~5k/4k/1.5k for block sizes 2/4/16.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import (
+    DEFAULT_K,
+    DEFAULT_SCALE,
+    PAPER_FORMAT_LIST,
+    StudyResult,
+    all_matrices,
+    machines_for_scale,
+    modeled_mflops,
+)
+
+__all__ = ["run", "BCSR_BLOCKS"]
+
+BCSR_BLOCKS = (2, 4, 16)
+
+
+def run(scale: int = DEFAULT_SCALE) -> StudyResult:
+    """Regenerate Figures 5.13 and 5.14."""
+    arm, x86 = machines_for_scale(scale)
+    result = StudyResult(
+        study_id="Study 6",
+        title="Architecture study: serial Arm vs x86 (Figures 5.13/5.14)",
+        notes=f"Modeled serial MFLOPS, scale 1/{scale}, k={DEFAULT_K}.",
+    )
+    # Figure 5.13: all formats on both architectures.
+    wins_x86 = {fmt: 0 for fmt in PAPER_FORMAT_LIST}
+    means: dict[tuple[str, str], float] = {}
+    rows = []
+    per_cell: dict[tuple[str, str, str], float] = {}
+    for matrix in all_matrices():
+        row = [matrix]
+        for fmt in PAPER_FORMAT_LIST:
+            a = modeled_mflops(matrix, fmt, arm, "serial", scale=scale, k=DEFAULT_K)
+            b = modeled_mflops(matrix, fmt, x86, "serial", scale=scale, k=DEFAULT_K)
+            per_cell[(matrix, fmt, "arm")] = a
+            per_cell[(matrix, fmt, "x86")] = b
+            if b > a:
+                wins_x86[fmt] += 1
+            row.extend([round(a), round(b)])
+        rows.append(tuple(row))
+    headers = ("matrix",) + tuple(
+        f"{fmt}-{arch}" for fmt in PAPER_FORMAT_LIST for arch in ("arm", "x86")
+    )
+    result.add_table("Figure 5.13 — all formats, Arm vs x86 (serial MFLOPS)", headers, rows)
+    for fmt in PAPER_FORMAT_LIST:
+        for arch in ("arm", "x86"):
+            means[(fmt, arch)] = float(
+                np.mean([per_cell[(m, fmt, arch)] for m in all_matrices()])
+            )
+
+    # Figure 5.14: BCSR at block sizes 2/4/16 on both architectures.
+    bcsr_rows = []
+    bcsr_means: dict[tuple[int, str], float] = {}
+    bcsr_wins_arm = {b: 0 for b in BCSR_BLOCKS}
+    for matrix in all_matrices():
+        row = [matrix]
+        for b in BCSR_BLOCKS:
+            a = modeled_mflops(
+                matrix, "bcsr", arm, "serial", scale=scale, k=DEFAULT_K, block_size=b
+            )
+            c = modeled_mflops(
+                matrix, "bcsr", x86, "serial", scale=scale, k=DEFAULT_K, block_size=b
+            )
+            if a > c:
+                bcsr_wins_arm[b] += 1
+            bcsr_means[(b, "arm")] = bcsr_means.get((b, "arm"), 0.0) + a
+            bcsr_means[(b, "x86")] = bcsr_means.get((b, "x86"), 0.0) + c
+            row.extend([round(a), round(c)])
+        bcsr_rows.append(tuple(row))
+    n = len(all_matrices())
+    bcsr_means = {key: v / n for key, v in bcsr_means.items()}
+    result.add_table(
+        "Figure 5.14 — BCSR block sizes 2/4/16, Arm vs x86 (serial MFLOPS)",
+        ("matrix",) + tuple(f"b{b}-{a}" for b in BCSR_BLOCKS for a in ("arm", "x86")),
+        bcsr_rows,
+    )
+
+    result.findings = {
+        "x86_wins_per_format": wins_x86,
+        "x86_better_for_general_formats": all(
+            wins_x86[f] >= n * 2 // 3 for f in ("coo", "csr", "ell")
+        ),
+        "arm_better_for_bcsr": all(bcsr_wins_arm[b] >= n // 2 for b in BCSR_BLOCKS),
+        "bcsr_wins_arm": bcsr_wins_arm,
+        "mean_mflops": {f"{f}/{a}": round(v) for (f, a), v in means.items()},
+        "bcsr_mean_mflops": {f"b{b}/{a}": round(v) for (b, a), v in bcsr_means.items()},
+        "bcsr_degrades_with_block": bcsr_means[(2, "arm")]
+        > bcsr_means[(4, "arm")]
+        > bcsr_means[(16, "arm")],
+    }
+    return result

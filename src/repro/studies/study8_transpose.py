@@ -1,0 +1,79 @@
+"""Study 8 (Figures 5.17, 5.18): transposing matrix B.
+
+"Our goal is to see whether or not transposed matrix multiplication with
+the cost of transposing B yields any performance improvements ... we only
+considered the parallel results" (§5.10).
+
+Paper shape: "only a few matrices have a noticeable speedup on either
+architecture.  These matrices tended to be consistent across architectures"
+— with the transposed access pattern usually thrashing the cache and the
+transpose itself costing bandwidth, the baseline wins most of the time.
+"""
+
+from __future__ import annotations
+
+from .common import (
+    DEFAULT_K,
+    DEFAULT_SCALE,
+    DEFAULT_THREADS,
+    PAPER_FORMAT_LIST,
+    StudyResult,
+    all_matrices,
+    machines_for_scale,
+    modeled_mflops,
+)
+
+__all__ = ["run"]
+
+
+def run(scale: int = DEFAULT_SCALE) -> StudyResult:
+    """Regenerate Figures 5.17 (Arm) and 5.18 (Aries)."""
+    arm, x86 = machines_for_scale(scale)
+    result = StudyResult(
+        study_id="Study 8",
+        title="Transpose study (Figures 5.17/5.18)",
+        notes=(
+            f"Modeled parallel MFLOPS, baseline vs transposed-B kernels, "
+            f"scale 1/{scale}, k={DEFAULT_K}, {DEFAULT_THREADS} threads."
+        ),
+    )
+    speedup_sets: dict[str, set[tuple[str, str]]] = {"arm": set(), "x86": set()}
+    for machine, fig, arch in (
+        (arm, "Figure 5.17 (Arm)", "arm"),
+        (x86, "Figure 5.18 (x86)", "x86"),
+    ):
+        for fmt in PAPER_FORMAT_LIST:
+            rows = []
+            for matrix in all_matrices():
+                base = modeled_mflops(
+                    matrix, fmt, machine, "parallel",
+                    scale=scale, k=DEFAULT_K, threads=DEFAULT_THREADS,
+                )
+                trans = modeled_mflops(
+                    matrix, fmt, machine, "parallel",
+                    scale=scale, k=DEFAULT_K, threads=DEFAULT_THREADS,
+                    transpose_b=True,
+                )
+                ratio = trans / base if base else 0.0
+                if ratio > 1.02:
+                    speedup_sets[arch].add((matrix, fmt))
+                rows.append((matrix, round(base), round(trans), f"{ratio:.2f}x"))
+            result.add_table(
+                f"{fig} — {fmt.upper()} (parallel vs parallel-transpose MFLOPS)",
+                ("matrix", "baseline", "transposed", "ratio"),
+                rows,
+            )
+
+    total_cells = len(all_matrices()) * len(PAPER_FORMAT_LIST)
+    both = speedup_sets["arm"] & speedup_sets["x86"]
+    union = speedup_sets["arm"] | speedup_sets["x86"]
+    result.findings = {
+        "arm_speedup_cells": len(speedup_sets["arm"]),
+        "x86_speedup_cells": len(speedup_sets["x86"]),
+        "total_cells": total_cells,
+        "speedups_are_few": len(union) <= total_cells // 3,
+        "speedups_consistent_across_arch": (
+            len(both) >= len(union) // 2 if union else True
+        ),
+    }
+    return result

@@ -1,0 +1,93 @@
+"""Tests for the figure-rendering module (ASCII/SVG bar charts)."""
+
+import math
+
+import pytest
+
+from repro.bench.plots import BarChart, chart_from_table
+from repro.errors import BenchConfigError
+
+
+@pytest.fixture
+def chart():
+    c = BarChart(title="Fig X", categories=["m1", "m2", "m3"])
+    c.add_series("coo", [10.0, 20.0, 30.0])
+    c.add_series("csr", [15.0, 25.0, 5.0])
+    return c
+
+
+class TestBarChart:
+    def test_add_series_validates_length(self, chart):
+        with pytest.raises(BenchConfigError):
+            chart.add_series("bad", [1.0])
+
+    def test_max_value(self, chart):
+        assert chart.max_value == 30.0
+
+    def test_nan_treated_as_omitted(self, chart):
+        chart.add_series("gpu", [float("nan"), 1.0, 2.0])
+        assert chart.max_value == 30.0
+        assert "(omitted)" in chart.to_ascii()
+
+    def test_ascii_structure(self, chart):
+        text = chart.to_ascii(width=30)
+        lines = text.splitlines()
+        assert lines[0] == "Fig X"
+        assert "m1:" in text and "m3:" in text
+        # The max bar spans the full width.
+        assert "#" * 30 in text
+
+    def test_ascii_bar_proportions(self, chart):
+        text = chart.to_ascii(width=30)
+        coo_m1 = next(l for l in text.splitlines() if "coo" in l and "10" in l)
+        assert coo_m1.count("#") == 10
+
+    def test_ascii_needs_series(self):
+        with pytest.raises(BenchConfigError):
+            BarChart("t", ["a"]).to_ascii()
+
+    def test_svg_valid(self, chart):
+        svg = chart.to_svg()
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "Fig X" in svg
+        # bars: 2 series x 3 categories + background + 2 legend swatches.
+        assert svg.count("<rect") == 6 + 1 + 2
+
+    def test_svg_legend(self, chart):
+        svg = chart.to_svg()
+        assert ">coo</text>" in svg and ">csr</text>" in svg
+
+
+class TestChartFromTable:
+    def test_autodetect_numeric_columns(self):
+        chart = chart_from_table(
+            "T",
+            ("matrix", "coo", "csr", "best"),
+            [("m1", 1, 2, "csr"), ("m2", 3, 4, "coo")],
+        )
+        assert set(chart.series) == {"coo", "csr"}
+        assert chart.categories == ["m1", "m2"]
+
+    def test_explicit_columns(self):
+        chart = chart_from_table(
+            "T", ("matrix", "a", "b"), [("m", 1, 2)], value_columns=[2]
+        )
+        assert set(chart.series) == {"b"}
+
+    def test_no_numeric_columns(self):
+        with pytest.raises(BenchConfigError):
+            chart_from_table("T", ("matrix", "best"), [("m", "coo")])
+
+    def test_empty_table(self):
+        with pytest.raises(BenchConfigError):
+            chart_from_table("T", ("matrix", "v"), [])
+
+    def test_from_real_study_table(self):
+        from repro.studies import table_5_1
+
+        result = table_5_1.run(scale=64)
+        title, headers, rows = result.tables[0]
+        chart = chart_from_table(title, headers, rows)
+        assert len(chart.categories) == 14
+        assert math.isfinite(chart.max_value)
+        assert chart.to_svg().startswith("<svg")

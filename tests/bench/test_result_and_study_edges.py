@@ -1,0 +1,108 @@
+"""Edge-case tests for result objects, study rendering, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.bench.params import BenchParams
+from repro.bench.suite import BenchResult, SpmmBenchmark
+from repro.bench.timing import TimingStats
+from repro.machine.machines import GRACE_HOPPER
+from repro.matrices.properties import MatrixProperties
+from repro.studies.common import StudyResult
+
+
+def make_result(timing=None, modeled=None, useful_flops=1_000_000):
+    props = MatrixProperties(
+        name="m", nrows=10, ncols=10, nnz=20, max_row_nnz=4,
+        avg_row_nnz=2.0, column_ratio=2.0, variance=1.0, std_dev=1.0,
+    )
+    return BenchResult(
+        matrix="m",
+        format_name="csr",
+        variant="serial",
+        operation="spmm",
+        params=BenchParams(),
+        properties=props,
+        timing=timing,
+        format_time_s=0.001,
+        total_time_s=0.01,
+        useful_flops=useful_flops,
+        verified=True,
+        footprint_bytes=1024,
+        padding_ratio=1.0,
+        modeled=modeled,
+    )
+
+
+class TestBenchResult:
+    def test_mflops_from_timing(self):
+        r = make_result(timing=TimingStats((0.001, 0.001)))
+        assert r.mflops == pytest.approx(1000.0)
+        assert r.gflops == pytest.approx(1.0)
+        assert r.flops_per_second == pytest.approx(1e9)
+
+    def test_model_only_result_uses_model(self):
+        from repro.kernels.traces import trace_spmm
+        from repro.machine.costmodel import predict_spmm_time
+        from tests.conftest import build_format, make_random_triplets
+
+        t = make_random_triplets(10, 10, 0.3)
+        cb = predict_spmm_time(trace_spmm(build_format("csr", t), 8), GRACE_HOPPER)
+        r = make_result(timing=None, modeled=cb)
+        assert r.mflops == r.modeled_mflops == cb.mflops
+
+    def test_no_timing_no_model_zero(self):
+        r = make_result()
+        assert r.mflops == 0.0
+        assert r.modeled_mflops == 0.0
+
+
+class TestStudyResultRendering:
+    def test_censored_section(self):
+        result = StudyResult(study_id="S", title="t")
+        result.add_table("T", ("a",), [(1,)])
+        result.censored.append("aries/x: offload fault")
+        text = result.to_text()
+        assert "Censored data points" in text
+        assert "offload fault" in text
+
+    def test_notes_and_findings_rendered(self):
+        result = StudyResult(study_id="S", title="t", notes="note!")
+        result.add_table("T", ("a",), [(1,)])
+        result.findings["claim"] = True
+        text = result.to_text()
+        assert "note!" in text
+        assert "claim: True" in text
+
+    def test_multiple_tables_ordered(self):
+        result = StudyResult(study_id="S", title="t")
+        result.add_table("first", ("a",), [(1,)])
+        result.add_table("second", ("a",), [(2,)])
+        text = result.to_text()
+        assert text.index("first") < text.index("second")
+
+
+class TestSuiteNameTag:
+    def test_format_tags_matrix_name(self, small_triplets):
+        bench = SpmmBenchmark("csr", BenchParams(n_runs=1, warmup=0, k=4))
+        bench.load_triplets(small_triplets, "tagged")
+        A, _ = bench.format()
+        assert A._suite_name == "tagged"
+
+    def test_dense_operand_deterministic_per_seed(self, small_triplets):
+        p = BenchParams(n_runs=1, warmup=0, k=4, seed=9)
+        b1 = SpmmBenchmark("csr", p).load_triplets(small_triplets)
+        b2 = SpmmBenchmark("csr", p).load_triplets(small_triplets)
+        assert np.array_equal(b1.make_dense(), b2.make_dense())
+
+    def test_dense_operand_width_is_k(self, small_triplets):
+        bench = SpmmBenchmark("csr", BenchParams(n_runs=1, warmup=0, k=7))
+        bench.load_triplets(small_triplets)
+        assert bench.make_dense().shape == (small_triplets.ncols, 7)
+
+    def test_spmv_operand_is_vector(self, small_triplets):
+        bench = SpmmBenchmark(
+            "csr", BenchParams(n_runs=1, warmup=0), operation="spmv"
+        )
+        bench.load_triplets(small_triplets)
+        assert bench.make_dense().ndim == 1

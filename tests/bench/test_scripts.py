@@ -1,0 +1,85 @@
+"""Tests for the runtime-script generator (paper §6.3.3)."""
+
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.params import BenchParams
+from repro.bench.runner import GridSpec
+from repro.bench.scripts import generate_runtime_script, write_runtime_script
+
+
+@pytest.fixture
+def spec():
+    return GridSpec(
+        matrices=("dw4096",),
+        formats=("csr", "bcsr"),
+        variants=("serial",),
+        scale=64,
+        base_params=BenchParams(n_runs=1, warmup=0, k=8, threads=2),
+    )
+
+
+class TestGeneration:
+    def test_shebang_and_strict_mode(self, spec):
+        text = generate_runtime_script(spec)
+        assert text.startswith("#!/bin/sh")
+        assert "set -eu" in text
+
+    def test_one_command_per_cell(self, spec):
+        text = generate_runtime_script(spec)
+        assert text.count("spmm-bench run") == 2
+
+    def test_header_written_once(self, spec):
+        text = generate_runtime_script(spec)
+        # First cell creates the file; later cells strip the CSV header.
+        assert text.count(' > "$OUT"') == 1  # single '>' = truncate once
+        assert text.count("tail -n +2") == 1
+
+    def test_keep_going_wraps_failures(self, spec):
+        text = generate_runtime_script(spec, keep_going=True)
+        assert text.count("|| echo") == 2
+        strict = generate_runtime_script(spec, keep_going=False)
+        assert "|| echo" not in strict
+
+    def test_machine_flag_propagates(self, spec):
+        text = generate_runtime_script(spec, machine="arm", mode="model")
+        assert "--machine arm" in text
+        assert "--mode model" in text
+
+    def test_quoting(self):
+        spec = GridSpec(
+            matrices=("dw4096",),
+            formats=("csr",),
+            scale=64,
+        )
+        text = generate_runtime_script(spec, csv_path="dir with space/out.csv")
+        assert "'dir with space/out.csv'" in text
+
+    def test_write_marks_executable(self, spec, tmp_path):
+        path = write_runtime_script(spec, tmp_path / "run.sh")
+        assert path.stat().st_mode & 0o111
+
+
+class TestExecution:
+    @pytest.mark.skipif(shutil.which("sh") is None, reason="needs /bin/sh")
+    def test_generated_script_runs(self, spec, tmp_path):
+        """The script must actually execute and produce one merged CSV."""
+        csv_path = tmp_path / "out.csv"
+        script = write_runtime_script(spec, tmp_path / "run.sh", csv_path=str(csv_path))
+        # Offline environments may lack the console script; rewrite to -m.
+        text = script.read_text().replace(
+            "spmm-bench run", f"{sys.executable} -m repro run"
+        )
+        script.write_text(text)
+        result = subprocess.run(
+            ["sh", str(script)], capture_output=True, text=True, timeout=300
+        )
+        assert result.returncode == 0, result.stderr[-1000:]
+        lines = csv_path.read_text().strip().splitlines()
+        assert len(lines) == 3  # header + 2 cells
+        assert lines[0].startswith("matrix,format")
+        assert lines[1].startswith("dw4096,csr")
+        assert lines[2].startswith("dw4096,bcsr")

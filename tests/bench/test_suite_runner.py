@@ -1,0 +1,234 @@
+"""Tests for the benchmark suite class, reporting, sweeps, and grid runner."""
+
+import numpy as np
+import pytest
+
+from repro.bench.params import BenchParams
+from repro.bench.report import CSV_COLUMNS, format_table, results_to_csv, write_csv
+from repro.bench.runner import GridRunner, GridSpec
+from repro.bench.suite import SpmmBenchmark
+from repro.bench.sweep import best_thread_counts, run_thread_sweep
+from repro.errors import BenchConfigError, OffloadError
+from repro.machine.machines import ARIES, GRACE_HOPPER
+
+SCALE = 64
+FAST = BenchParams(n_runs=2, warmup=0, k=16, threads=2)
+
+
+class TestSpmmBenchmark:
+    def test_wallclock_run(self, small_triplets):
+        bench = SpmmBenchmark("csr", FAST)
+        bench.load_triplets(small_triplets, "small")
+        r = bench.run()
+        assert r.verified is True
+        assert r.mflops > 0
+        assert r.timing.n == 2
+        assert r.matrix == "small"
+
+    def test_model_run_skips_wallclock(self, small_triplets):
+        bench = SpmmBenchmark("csr", FAST, machine=GRACE_HOPPER)
+        bench.load_triplets(small_triplets)
+        r = bench.run(mode="model")
+        assert r.timing is None
+        assert r.verified is None
+        assert r.modeled_mflops > 0
+        assert r.mflops == r.modeled_mflops
+
+    def test_both_mode(self, small_triplets):
+        bench = SpmmBenchmark("ell", FAST, machine=ARIES)
+        bench.load_triplets(small_triplets)
+        r = bench.run(mode="both")
+        assert r.timing is not None
+        assert r.modeled is not None
+
+    def test_suite_matrix_loading(self):
+        bench = SpmmBenchmark("coo", FAST)
+        bench.load_suite_matrix("dw4096", scale=SCALE)
+        r = bench.run()
+        assert r.matrix == "dw4096"
+        assert r.verified
+
+    def test_requires_load(self):
+        with pytest.raises(BenchConfigError):
+            SpmmBenchmark("csr", FAST).run()
+
+    def test_unknown_mode(self, small_triplets):
+        bench = SpmmBenchmark("csr", FAST)
+        bench.load_triplets(small_triplets)
+        with pytest.raises(BenchConfigError):
+            bench.run(mode="imaginary")
+
+    def test_bcsr_uses_block_size(self, small_triplets):
+        bench = SpmmBenchmark("bcsr", FAST.with_(block_size=2))
+        bench.load_triplets(small_triplets)
+        A, _ = bench.format()
+        assert A.block_shape == (2, 2)
+
+    def test_spmv_operation(self, small_triplets):
+        bench = SpmmBenchmark("csr", FAST, operation="spmv")
+        bench.load_triplets(small_triplets)
+        r = bench.run()
+        assert r.verified is True
+        assert r.useful_flops == 2 * small_triplets.nnz
+
+    def test_bad_operation(self):
+        with pytest.raises(BenchConfigError):
+            SpmmBenchmark("csr", FAST, operation="spgemm")
+
+    def test_gpu_variant_censored_on_aries(self):
+        bench = SpmmBenchmark("coo", FAST.with_(variant="gpu"), machine=ARIES)
+        bench.load_suite_matrix("torso1", scale=SCALE)
+        with pytest.raises(OffloadError):
+            bench.run(mode="model")
+
+    def test_gpu_variant_works_on_arm(self):
+        bench = SpmmBenchmark("coo", FAST.with_(variant="gpu"), machine=GRACE_HOPPER)
+        bench.load_suite_matrix("torso1", scale=SCALE)
+        r = bench.run(mode="model")
+        assert r.modeled_mflops > 0
+
+    def test_parallel_variant_verifies(self, small_triplets):
+        bench = SpmmBenchmark("bell", FAST.with_(variant="parallel"))
+        bench.load_triplets(small_triplets)
+        assert bench.run().verified
+
+    def test_format_time_recorded(self, small_triplets):
+        bench = SpmmBenchmark("bcsr", FAST)
+        bench.load_triplets(small_triplets)
+        assert bench.run().format_time_s > 0
+
+    def test_calculate_override(self, small_triplets, rng):
+        """The paper's partial-extension pattern: subclass, replace calculate."""
+
+        calls = []
+
+        class Doubling(SpmmBenchmark):
+            def calculate(self, A, B):
+                calls.append(1)
+                return 2 * super().calculate(A, B)
+
+        bench = Doubling("csr", FAST.with_(verify=False))
+        bench.load_triplets(small_triplets)
+        r = bench.run()
+        assert calls  # override used
+        assert r.verified is None
+
+
+class TestReport:
+    def _result(self, small_triplets):
+        bench = SpmmBenchmark("csr", FAST, machine=GRACE_HOPPER)
+        bench.load_triplets(small_triplets, "small")
+        return bench.run(mode="both")
+
+    def test_csv_header_and_row(self, small_triplets):
+        csv_text = results_to_csv([self._result(small_triplets)])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == ",".join(CSV_COLUMNS)
+        assert len(lines) == 2
+        assert lines[1].startswith("small,csr,serial,spmm,16,")
+
+    def test_write_csv(self, tmp_path, small_triplets):
+        path = write_csv([self._result(small_triplets)], tmp_path / "out.csv")
+        assert path.read_text().count("\n") == 2
+
+    def test_model_only_blank_mean_time(self, small_triplets):
+        bench = SpmmBenchmark("csr", FAST, machine=GRACE_HOPPER)
+        bench.load_triplets(small_triplets)
+        r = bench.run(mode="model")
+        row = results_to_csv([r]).strip().splitlines()[1]
+        fields = row.split(",")
+        assert fields[CSV_COLUMNS.index("mean_time_s")] == ""
+
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [(1, 22), (333, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5  # title, header, separator, two rows
+
+
+class TestSweep:
+    def test_best_thread_count(self, small_triplets):
+        bench = SpmmBenchmark(
+            "csr", FAST.with_(variant="parallel"), machine=GRACE_HOPPER
+        )
+        bench.load_triplets(small_triplets)
+        sweep = run_thread_sweep(bench, (2, 8, 32), mode="model")
+        assert sweep.best_threads in (2, 8, 32)
+        assert len(sweep.series()) == 3
+        assert sweep.best_mflops == max(v for _, v in sweep.series())
+
+    def test_sweep_needs_parallel_variant(self, small_triplets):
+        bench = SpmmBenchmark("csr", FAST, machine=GRACE_HOPPER)
+        bench.load_triplets(small_triplets)
+        with pytest.raises(BenchConfigError):
+            run_thread_sweep(bench, (2, 4))
+
+    def test_sweep_needs_threads(self, small_triplets):
+        bench = SpmmBenchmark(
+            "csr", FAST.with_(variant="parallel"), machine=GRACE_HOPPER
+        )
+        bench.load_triplets(small_triplets)
+        with pytest.raises(BenchConfigError):
+            run_thread_sweep(bench, ())
+
+    def test_tally(self, small_triplets):
+        bench = SpmmBenchmark(
+            "csr", FAST.with_(variant="parallel"), machine=GRACE_HOPPER
+        )
+        bench.load_triplets(small_triplets)
+        sweeps = [run_thread_sweep(bench, (2, 8), mode="model")]
+        tally = best_thread_counts(sweeps, sweeps[0].best_threads)
+        assert tally == {"csr": 1}
+
+
+class TestGridRunner:
+    def test_grid_expansion_prunes_axes(self):
+        spec = GridSpec(
+            matrices=("dw4096",),
+            formats=("csr", "bcsr"),
+            variants=("serial", "parallel"),
+            thread_counts=(2, 4),
+            block_sizes=(2, 4),
+            scale=SCALE,
+        )
+        configs = list(spec.configurations())
+        # csr: serial x1 + parallel x2(threads); bcsr doubles via blocks.
+        assert len(configs) == (1 + 2) + (2 + 4)
+
+    def test_run_model_grid(self):
+        spec = GridSpec(
+            matrices=("dw4096", "bcsstk13"),
+            formats=("csr",),
+            variants=("serial",),
+            scale=SCALE,
+        )
+        records = GridRunner(spec, machine=GRACE_HOPPER, mode="model").run()
+        assert len(records) == 2
+        assert all(r.mflops > 0 for r in records)
+
+    def test_offload_censoring_recorded(self):
+        spec = GridSpec(
+            matrices=("dw4096", "torso1"),
+            formats=("coo",),
+            variants=("gpu",),
+            scale=SCALE,
+        )
+        runner = GridRunner(spec, machine=ARIES, mode="model")
+        records = runner.run()
+        censored = {r.matrix for r in records if r.censored}
+        assert censored == {"torso1"}
+        assert len(runner.censored) == 1
+        assert runner.censored[0].mflops == 0.0
+
+    def test_wallclock_grid(self):
+        spec = GridSpec(
+            matrices=("dw4096",),
+            formats=("csr",),
+            variants=("serial",),
+            k_values=(8,),
+            scale=SCALE,
+            base_params=FAST,
+        )
+        records = GridRunner(spec, mode="wallclock").run()
+        assert records[0].result.verified

@@ -1,0 +1,83 @@
+"""Shared fixtures and helpers for the SpMM-Bench reproduction tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DEFAULT_POLICY
+from repro.matrices.coo_builder import CooBuilder, Triplets
+
+#: Formats under test everywhere; blocked/tiled formats take params.
+ALL_FORMATS = ("coo", "csr", "ell", "bcsr", "bell", "csr5", "sell")
+PAPER_FORMATS = ("coo", "csr", "ell", "bcsr")
+
+FORMAT_PARAMS = {
+    "bcsr": {"block_size": 3},
+    "bell": {"row_block": 4},
+    "csr5": {"tile_nnz": 16},
+    "sell": {"chunk": 4, "sigma": 8},
+}
+
+
+def make_random_triplets(
+    nrows: int,
+    ncols: int,
+    density: float = 0.2,
+    seed: int = 0,
+    policy=DEFAULT_POLICY,
+) -> Triplets:
+    """Random sparse triplets with no explicit zeros."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random((nrows, ncols)) < density
+    dense = np.where(mask, rng.uniform(0.5, 2.0, (nrows, ncols)), 0.0)
+    builder = CooBuilder(nrows, ncols, policy=policy)
+    builder.add_dense(dense)
+    return builder.finish()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_triplets():
+    """A 23x31 random matrix with ~20% density."""
+    return make_random_triplets(23, 31, density=0.2, seed=42)
+
+
+@pytest.fixture
+def skewed_triplets():
+    """A matrix with one very long row (the torso1 pathology)."""
+    rng = np.random.default_rng(7)
+    builder = CooBuilder(40, 50)
+    builder.add_batch(
+        np.zeros(45, dtype=int), np.arange(45), rng.uniform(1, 2, 45)
+    )
+    for r in range(1, 40):
+        cols = rng.choice(50, size=3, replace=False)
+        builder.add_batch([r] * 3, cols, rng.uniform(1, 2, 3))
+    return builder.finish()
+
+
+@pytest.fixture
+def empty_rows_triplets():
+    """A matrix with several completely empty rows."""
+    builder = CooBuilder(10, 10)
+    builder.add_batch([0, 0, 4, 9], [1, 3, 4, 9], [1.0, 2.0, 3.0, 4.0])
+    return builder.finish()
+
+
+@pytest.fixture(params=ALL_FORMATS)
+def format_name(request):
+    return request.param
+
+
+def build_format(name: str, triplets: Triplets, policy=DEFAULT_POLICY):
+    """Construct any registered format with its test parameters."""
+    from repro.formats.registry import get_format
+
+    return get_format(name).from_triplets(
+        triplets, policy=policy, **FORMAT_PARAMS.get(name, {})
+    )

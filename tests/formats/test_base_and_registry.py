@@ -1,0 +1,120 @@
+"""Tests for the SparseFormat contract and the format registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.formats import (
+    COO,
+    PAPER_FORMATS,
+    EXTENSION_FORMATS,
+    SparseFormat,
+    format_names,
+    get_format,
+    iter_formats,
+    register_format,
+)
+from tests.conftest import ALL_FORMATS, build_format
+
+
+class TestRegistry:
+    def test_paper_formats_registered(self):
+        for name in PAPER_FORMATS:
+            assert name in format_names()
+
+    def test_extension_formats_registered(self):
+        for name in EXTENSION_FORMATS:
+            assert name in format_names()
+
+    def test_lookup_case_insensitive(self):
+        assert get_format("CSR") is get_format("csr")
+
+    def test_unknown_format(self):
+        with pytest.raises(FormatError):
+            get_format("nope")
+
+    def test_iter_formats_sorted(self):
+        names = [name for name, _ in iter_formats()]
+        assert names == sorted(names)
+
+    def test_register_sets_format_name(self):
+        assert get_format("coo").format_name == "coo"
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(FormatError):
+            @register_format("coo")
+            class Impostor(SparseFormat):  # pragma: no cover - never built
+                @classmethod
+                def from_triplets(cls, t, policy=None, **p): ...
+                def to_triplets(self): ...
+                @property
+                def nnz(self): return 0
+                @property
+                def stored_entries(self): return 0
+                def arrays(self): return {}
+
+    def test_non_format_rejected(self):
+        with pytest.raises(FormatError):
+            register_format("thing")(object)
+
+    def test_reregistering_same_class_ok(self):
+        cls = get_format("coo")
+        assert register_format("coo")(cls) is cls
+
+
+class TestSparseFormatContract:
+    def test_shape(self, small_triplets, format_name):
+        A = build_format(format_name, small_triplets)
+        assert A.shape == (small_triplets.nrows, small_triplets.ncols)
+
+    def test_nnz_preserved(self, small_triplets, format_name):
+        A = build_format(format_name, small_triplets)
+        assert A.nnz == small_triplets.nnz
+
+    def test_stored_at_least_nnz(self, small_triplets, format_name):
+        A = build_format(format_name, small_triplets)
+        assert A.stored_entries >= A.nnz
+        assert A.padding_ratio >= 1.0
+
+    def test_footprint_total_matches_arrays(self, small_triplets, format_name):
+        A = build_format(format_name, small_triplets)
+        report = A.footprint()
+        assert report["total"] == sum(v for k, v in report.items() if k != "total")
+        assert A.nbytes == report["total"]
+
+    def test_to_dense_roundtrip(self, small_triplets, format_name):
+        A = build_format(format_name, small_triplets)
+        assert np.allclose(A.to_dense(), small_triplets.to_dense())
+
+    def test_repr_mentions_counts(self, small_triplets, format_name):
+        A = build_format(format_name, small_triplets)
+        assert str(A.nnz) in repr(A)
+
+    def test_check_dense_operand_clips_k(self, small_triplets):
+        A = build_format("csr", small_triplets)
+        B = np.ones((A.ncols, 10))
+        assert A.check_dense_operand(B, k=4).shape == (A.ncols, 4)
+
+    def test_check_dense_operand_k_larger_is_noop(self, small_triplets):
+        A = build_format("csr", small_triplets)
+        B = np.ones((A.ncols, 3))
+        assert A.check_dense_operand(B, k=64).shape == (A.ncols, 3)
+
+    def test_check_dense_operand_bad_rows(self, small_triplets):
+        A = build_format("csr", small_triplets)
+        with pytest.raises(ShapeError):
+            A.check_dense_operand(np.ones((A.ncols + 1, 2)))
+
+    def test_check_dense_operand_bad_ndim(self, small_triplets):
+        A = build_format("csr", small_triplets)
+        with pytest.raises(ShapeError):
+            A.check_dense_operand(np.ones(A.ncols))
+
+    def test_check_dense_operand_bad_k(self, small_triplets):
+        A = build_format("csr", small_triplets)
+        with pytest.raises(ShapeError):
+            A.check_dense_operand(np.ones((A.ncols, 2)), k=0)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            COO(0, 1, [], [], [])

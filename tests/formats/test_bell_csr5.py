@@ -1,0 +1,128 @@
+"""Structure-level tests for the future-work formats BELL and CSR5."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.bell import BELL
+from repro.formats.csr import CSR
+from repro.formats.csr5 import CSR5
+from repro.matrices.coo_builder import CooBuilder
+from tests.conftest import make_random_triplets
+
+
+class TestBELL:
+    def test_slice_count(self, small_triplets):
+        A = BELL.from_triplets(small_triplets, row_block=8)
+        assert A.nslices == -(-small_triplets.nrows // 8)
+
+    def test_per_slice_widths(self):
+        b = CooBuilder(8, 20)
+        # Slice 0 (rows 0-3): max 5 nonzeros; slice 1 (rows 4-7): max 2.
+        b.add_batch([0] * 5, range(5), [1.0] * 5)
+        b.add_batch([5, 5, 6], [1, 2, 3], [1.0, 1.0, 1.0])
+        A = BELL.from_triplets(b.finish(), row_block=4)
+        assert list(A.widths) == [5, 2]
+
+    def test_local_width_beats_global_ell(self, skewed_triplets):
+        """One long row only inflates its own slice — the fix for ELL."""
+        from repro.formats.ell import ELL
+
+        ell = ELL.from_triplets(skewed_triplets)
+        bell = BELL.from_triplets(skewed_triplets, row_block=4)
+        assert bell.stored_entries < ell.stored_entries
+        assert bell.padding_ratio < ell.padding_ratio
+
+    def test_row_block_one_no_padding(self, small_triplets):
+        A = BELL.from_triplets(small_triplets, row_block=1)
+        # Each row is its own slice: width = its own count (min 1 for
+        # empty rows), so padding only covers empty rows.
+        empties = int((small_triplets.row_counts() == 0).sum())
+        assert A.stored_entries == A.nnz + empties
+
+    def test_row_block_full_matrix_is_ell(self, small_triplets):
+        from repro.formats.ell import ELL
+
+        bell = BELL.from_triplets(small_triplets, row_block=small_triplets.nrows)
+        ell = ELL.from_triplets(small_triplets)
+        assert bell.stored_entries == ell.stored_entries
+
+    def test_last_slice_may_be_short(self):
+        b = CooBuilder(10, 10)
+        b.add(9, 9, 1.0)
+        A = BELL.from_triplets(b.finish(), row_block=4)
+        assert A.rows_in_slice(2) == 2
+
+    def test_roundtrip(self, small_triplets):
+        A = BELL.from_triplets(small_triplets, row_block=6)
+        assert np.allclose(A.to_triplets().to_dense(), small_triplets.to_dense())
+
+    def test_roundtrip_empty_rows(self, empty_rows_triplets):
+        A = BELL.from_triplets(empty_rows_triplets, row_block=3)
+        assert np.allclose(A.to_triplets().to_dense(), empty_rows_triplets.to_dense())
+
+    def test_rejects_bad_row_block(self, small_triplets):
+        with pytest.raises(FormatError):
+            BELL.from_triplets(small_triplets, row_block=0)
+
+    def test_rejects_unknown_param(self, small_triplets):
+        with pytest.raises(FormatError):
+            BELL.from_triplets(small_triplets, block_size=4)
+
+    def test_slice_ptr_consistent(self, small_triplets):
+        A = BELL.from_triplets(small_triplets, row_block=5)
+        sizes = [
+            A.rows_in_slice(s) * int(A.widths[s]) for s in range(A.nslices)
+        ]
+        assert np.array_equal(np.diff(A.slice_ptr), sizes)
+
+
+class TestCSR5:
+    def test_tile_count(self, small_triplets):
+        A = CSR5.from_triplets(small_triplets, tile_nnz=16)
+        assert A.ntiles == -(-small_triplets.nnz // 16)
+
+    def test_tiles_equal_nnz_except_tail(self, small_triplets):
+        A = CSR5.from_triplets(small_triplets, tile_nnz=16)
+        sizes = np.diff(A.tile_ptr)
+        assert np.all(sizes[:-1] == 16)
+        assert 0 < sizes[-1] <= 16
+
+    def test_tile_rows_bracket_entries(self, small_triplets):
+        A = CSR5.from_triplets(small_triplets, tile_nnz=16)
+        expanded = A.expanded_rows()
+        for ti in range(A.ntiles):
+            e0, e1 = A.tile_ptr[ti], A.tile_ptr[ti + 1]
+            assert A.tile_first_row[ti] == expanded[e0]
+            assert A.tile_last_row[ti] == expanded[e1 - 1]
+
+    def test_shares_csr_arrays(self, small_triplets):
+        csr = CSR.from_triplets(small_triplets)
+        c5 = CSR5.from_triplets(small_triplets, tile_nnz=8)
+        assert np.array_equal(csr.indptr, c5.indptr)
+        assert np.array_equal(csr.indices, c5.indices)
+
+    def test_no_padding(self, small_triplets):
+        A = CSR5.from_triplets(small_triplets, tile_nnz=8)
+        assert A.stored_entries == A.nnz
+
+    def test_roundtrip(self, small_triplets):
+        A = CSR5.from_triplets(small_triplets, tile_nnz=8)
+        assert np.allclose(A.to_triplets().to_dense(), small_triplets.to_dense())
+
+    def test_rejects_bad_tile(self, small_triplets):
+        with pytest.raises(FormatError):
+            CSR5.from_triplets(small_triplets, tile_nnz=0)
+
+    def test_empty_matrix(self):
+        A = CSR5.from_triplets(CooBuilder(4, 4).finish())
+        assert A.ntiles == 0
+        assert A.to_dense().sum() == 0
+
+    def test_tile_balance_on_skew(self, skewed_triplets):
+        """The CSR5 point: tile work is flat even when row work is not."""
+        A = CSR5.from_triplets(skewed_triplets, tile_nnz=8)
+        sizes = np.diff(A.tile_ptr)
+        assert sizes.max() <= 8
+        row_counts = skewed_triplets.row_counts()
+        assert row_counts.max() / max(row_counts.mean(), 1) > sizes.max() / sizes.mean()

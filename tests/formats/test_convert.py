@@ -1,0 +1,74 @@
+"""Tests for format conversions (all routed through COO, paper §4.1)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.dtypes import POLICY_32
+from repro.formats import CSR, CSR5, convert, from_scipy, get_format, to_scipy
+from tests.conftest import ALL_FORMATS, FORMAT_PARAMS, build_format
+
+
+@pytest.mark.parametrize(
+    "src,dst", list(itertools.permutations(ALL_FORMATS, 2))
+)
+def test_all_pairwise_conversions(small_triplets, src, dst):
+    A = build_format(src, small_triplets)
+    B = convert(A, dst, **FORMAT_PARAMS.get(dst, {}))
+    assert B.format_name == dst
+    assert np.allclose(B.to_dense(), small_triplets.to_dense())
+
+
+def test_convert_by_class(small_triplets):
+    A = build_format("coo", small_triplets)
+    B = convert(A, CSR)
+    assert isinstance(B, CSR)
+
+
+def test_csr_to_csr5_fast_path_shares_arrays(small_triplets):
+    A = CSR.from_triplets(small_triplets)
+    B = convert(A, "csr5", tile_nnz=8)
+    assert isinstance(B, CSR5)
+    assert B.indices is A.indices  # no copy on the fast path
+
+
+def test_csr5_to_csr_fast_path(small_triplets):
+    A = CSR5.from_triplets(small_triplets, tile_nnz=8)
+    B = convert(A, "csr")
+    assert isinstance(B, CSR)
+    assert np.array_equal(B.indptr, A.indptr)
+
+
+def test_convert_policy_override(small_triplets):
+    A = build_format("csr", small_triplets)
+    B = convert(A, "coo", policy=POLICY_32)
+    assert B.values.dtype == np.float32
+
+
+def test_convert_preserves_policy_by_default(small_triplets):
+    A = build_format("csr", small_triplets, policy=POLICY_32)
+    B = convert(A, "ell")
+    assert B.values.dtype == np.float32
+
+
+def test_scipy_roundtrip(small_triplets):
+    A = build_format("csr", small_triplets)
+    S = to_scipy(A)
+    back = from_scipy(S, target="bcsr", block_size=3)
+    assert np.allclose(back.to_dense(), small_triplets.to_dense())
+
+
+def test_from_scipy_formats(small_triplets):
+    import scipy.sparse as sp
+
+    S = sp.csr_matrix(small_triplets.to_dense())
+    for fmt in ALL_FORMATS:
+        A = from_scipy(S, target=fmt, **FORMAT_PARAMS.get(fmt, {}))
+        assert np.allclose(A.to_dense(), small_triplets.to_dense())
+
+
+def test_convert_with_format_params(small_triplets):
+    A = build_format("coo", small_triplets)
+    B = convert(A, "bcsr", block_size=5)
+    assert B.block_shape == (5, 5)

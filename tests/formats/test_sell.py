@@ -1,0 +1,122 @@
+"""Structure-level tests for SELL-C-sigma."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.ell import ELL
+from repro.formats.sell import SELL
+from repro.matrices.coo_builder import CooBuilder
+from tests.conftest import make_random_triplets
+
+
+class TestSellStructure:
+    def test_chunk_count(self, small_triplets):
+        A = SELL.from_triplets(small_triplets, chunk=8, sigma=16)
+        assert A.nchunks == -(-small_triplets.nrows // 8)
+
+    def test_permutation_valid(self, small_triplets):
+        A = SELL.from_triplets(small_triplets, chunk=4, sigma=8)
+        assert np.array_equal(np.sort(A.permutation), np.arange(A.nrows))
+
+    def test_sorted_within_windows(self, skewed_triplets):
+        A = SELL.from_triplets(skewed_triplets, chunk=4, sigma=20)
+        counts = skewed_triplets.row_counts()
+        sorted_counts = counts[A.permutation]
+        for w0 in range(0, A.nrows, 20):
+            window = sorted_counts[w0 : w0 + 20]
+            assert np.all(np.diff(window) <= 0)  # descending
+
+    def test_sigma_one_keeps_order(self, small_triplets):
+        A = SELL.from_triplets(small_triplets, chunk=4, sigma=1)
+        assert np.array_equal(A.permutation, np.arange(A.nrows))
+
+    def test_roundtrip(self, small_triplets):
+        A = SELL.from_triplets(small_triplets, chunk=4, sigma=8)
+        assert np.allclose(A.to_triplets().to_dense(), small_triplets.to_dense())
+
+    def test_roundtrip_skewed(self, skewed_triplets):
+        A = SELL.from_triplets(skewed_triplets, chunk=4, sigma=40)
+        assert np.allclose(A.to_triplets().to_dense(), skewed_triplets.to_dense())
+
+    def test_roundtrip_empty_rows(self, empty_rows_triplets):
+        A = SELL.from_triplets(empty_rows_triplets, chunk=3, sigma=5)
+        assert np.allclose(
+            A.to_triplets().to_dense(), empty_rows_triplets.to_dense()
+        )
+
+    def test_sorting_reduces_padding(self, skewed_triplets):
+        """The sigma sort groups long rows together: less padding than the
+        unsorted slicing at the same chunk size."""
+        sorted_sell = SELL.from_triplets(skewed_triplets, chunk=4, sigma=40)
+        unsorted_sell = SELL.from_triplets(skewed_triplets, chunk=4, sigma=1)
+        assert sorted_sell.stored_entries <= unsorted_sell.stored_entries
+
+    def test_beats_ell_on_heavy_tail(self, skewed_triplets):
+        ell = ELL.from_triplets(skewed_triplets)
+        sell = SELL.from_triplets(skewed_triplets, chunk=4, sigma=40)
+        assert sell.stored_entries < ell.stored_entries / 3
+
+    def test_full_sigma_minimal_padding(self, skewed_triplets):
+        """sigma = nrows -> full sort -> padding can't be improved by any
+        other window size at the same chunk."""
+        full = SELL.from_triplets(skewed_triplets, chunk=4, sigma=skewed_triplets.nrows)
+        partial = SELL.from_triplets(skewed_triplets, chunk=4, sigma=8)
+        assert full.stored_entries <= partial.stored_entries
+
+    def test_rejects_bad_params(self, small_triplets):
+        with pytest.raises(FormatError):
+            SELL.from_triplets(small_triplets, chunk=0)
+        with pytest.raises(FormatError):
+            SELL.from_triplets(small_triplets, sigma=0)
+        with pytest.raises(FormatError):
+            SELL.from_triplets(small_triplets, block_size=4)
+
+    def test_last_chunk_short(self):
+        b = CooBuilder(10, 10)
+        b.add(9, 3, 1.0)
+        A = SELL.from_triplets(b.finish(), chunk=4, sigma=4)
+        assert A.rows_in_chunk(2) == 2
+
+    def test_empty_matrix(self):
+        A = SELL.from_triplets(CooBuilder(6, 6).finish(), chunk=4, sigma=4)
+        assert A.nnz == 0
+        assert A.to_dense().sum() == 0
+
+
+class TestSellKernels:
+    @pytest.mark.parametrize("variant", ["serial", "parallel", "gpu", "optimized"])
+    def test_spmm(self, small_triplets, rng, variant):
+        A = SELL.from_triplets(small_triplets, chunk=4, sigma=8)
+        B = rng.standard_normal((A.ncols, 5))
+        C = A.spmm(B, variant=variant, threads=3)
+        assert np.allclose(C, small_triplets.to_dense() @ B)
+
+    def test_spmm_skewed_parallel(self, skewed_triplets, rng):
+        A = SELL.from_triplets(skewed_triplets, chunk=4, sigma=40)
+        B = rng.standard_normal((A.ncols, 4))
+        C = A.spmm(B, variant="parallel", threads=4)
+        assert np.allclose(C, skewed_triplets.to_dense() @ B)
+
+    def test_spmv(self, small_triplets, rng):
+        A = SELL.from_triplets(small_triplets, chunk=4, sigma=8)
+        x = rng.standard_normal(A.ncols)
+        assert np.allclose(A.spmv(x), small_triplets.to_dense() @ x)
+
+    def test_trace(self, skewed_triplets):
+        from repro.kernels.traces import trace_spmm
+
+        A = SELL.from_triplets(skewed_triplets, chunk=4, sigma=40)
+        tr = trace_spmm(A, 8)
+        assert tr.useful_flops == 2 * skewed_triplets.nnz * 8
+        assert tr.partition_unit == "chunks"
+        # sigma-sorted work is flatter than the raw row distribution.
+        ell_tr = trace_spmm(ELL.from_triplets(skewed_triplets), 8)
+        assert tr.executed_flops < ell_tr.executed_flops
+
+    def test_benchmark_suite_integration(self, small_triplets):
+        from repro.bench import BenchParams, SpmmBenchmark
+
+        bench = SpmmBenchmark("sell", BenchParams(n_runs=1, warmup=0, k=8, threads=2))
+        bench.load_triplets(small_triplets)
+        assert bench.run().verified

@@ -1,0 +1,123 @@
+"""Tests for the shared kernel machinery (segment sums, chunking,
+partitioning)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.common import balanced_partitions, iter_row_chunks, segment_sum
+
+
+class TestSegmentSum:
+    def test_basic(self):
+        flat = np.arange(12, dtype=float).reshape(6, 2)
+        indptr = np.array([0, 2, 5, 6])
+        out = segment_sum(flat, indptr)
+        expected = np.array([flat[0:2].sum(0), flat[2:5].sum(0), flat[5:6].sum(0)])
+        assert np.allclose(out, expected)
+
+    def test_empty_segments_zero(self):
+        flat = np.ones((3, 2))
+        indptr = np.array([0, 0, 3, 3, 3])
+        out = segment_sum(flat, indptr)
+        assert np.allclose(out[0], 0)
+        assert np.allclose(out[1], 3)
+        assert np.allclose(out[2], 0)
+        assert np.allclose(out[3], 0)
+
+    def test_leading_and_trailing_empty(self):
+        flat = np.full((2, 1), 5.0)
+        indptr = np.array([0, 0, 2, 2])
+        out = segment_sum(flat, indptr)
+        assert out.ravel().tolist() == [0.0, 10.0, 0.0]
+
+    def test_all_empty(self):
+        out = segment_sum(np.zeros((0, 3)), np.zeros(5, dtype=int))
+        assert out.shape == (4, 3)
+        assert np.all(out == 0)
+
+    def test_out_parameter_reused(self):
+        flat = np.ones((4, 2))
+        indptr = np.array([0, 2, 4])
+        out = np.full((2, 2), 99.0)
+        result = segment_sum(flat, indptr, out=out)
+        assert result is out
+        assert np.allclose(out, 2.0)
+
+    def test_matches_python_loop(self, rng):
+        flat = rng.standard_normal((50, 3))
+        cuts = np.sort(rng.integers(0, 51, size=9))
+        indptr = np.concatenate([[0], cuts, [50]])
+        out = segment_sum(flat, indptr)
+        for i in range(len(indptr) - 1):
+            assert np.allclose(out[i], flat[indptr[i] : indptr[i + 1]].sum(0))
+
+
+class TestRowChunks:
+    def test_covers_all_rows(self):
+        indptr = np.array([0, 3, 3, 10, 11, 20])
+        chunks = list(iter_row_chunks(indptr, k=4, max_elements=100))
+        covered = []
+        for r0, r1 in chunks:
+            assert r0 < r1
+            covered.extend(range(r0, r1))
+        assert covered == list(range(5))
+
+    def test_respects_budget(self):
+        indptr = np.arange(0, 101, 10)  # 10 rows x 10 entries
+        chunks = list(iter_row_chunks(indptr, k=2, max_elements=60))
+        for r0, r1 in chunks:
+            entries = indptr[r1] - indptr[r0]
+            # Budget 60/2 = 30 entries, unless a single row exceeds it.
+            assert entries <= 30 or (r1 - r0) == 1
+
+    def test_huge_single_row_progresses(self):
+        indptr = np.array([0, 1000, 1001])
+        chunks = list(iter_row_chunks(indptr, k=8, max_elements=16))
+        assert chunks[0] == (0, 1)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(KernelError):
+            list(iter_row_chunks(np.array([0, 1]), k=0))
+
+    def test_single_chunk_when_budget_large(self):
+        indptr = np.array([0, 2, 4, 6])
+        assert list(iter_row_chunks(indptr, k=1, max_elements=10**9)) == [(0, 3)]
+
+
+class TestBalancedPartitions:
+    def test_partition_count(self):
+        indptr = np.arange(0, 33, 4)
+        parts = balanced_partitions(indptr, 4)
+        assert len(parts) == 4
+        assert parts[0][0] == 0
+        assert parts[-1][1] == 8
+
+    def test_contiguous_and_complete(self):
+        indptr = np.array([0, 1, 100, 101, 102, 200])
+        parts = balanced_partitions(indptr, 3)
+        assert parts[0][0] == 0
+        assert parts[-1][1] == 5
+        for (a0, a1), (b0, b1) in zip(parts, parts[1:]):
+            assert a1 == b0
+
+    def test_balances_by_work_not_rows(self):
+        # One heavy row at the start: the first partition should be small.
+        indptr = np.array([0, 90, 92, 94, 96, 98, 100])
+        parts = balanced_partitions(indptr, 2)
+        work = [int(indptr[r1] - indptr[r0]) for r0, r1 in parts]
+        assert max(work) <= 90  # the heavy row alone, not heavy + the rest
+
+    def test_more_parts_than_rows(self):
+        indptr = np.array([0, 1, 2])
+        parts = balanced_partitions(indptr, 8)
+        covered = [r for r0, r1 in parts for r in range(r0, r1)]
+        assert covered == [0, 1]
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(KernelError):
+            balanced_partitions(np.array([0, 1]), 0)
+
+    def test_single_part_is_everything(self):
+        indptr = np.array([0, 5, 9])
+        assert balanced_partitions(indptr, 1) == [(0, 2)]

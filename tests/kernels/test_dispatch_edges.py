@@ -1,0 +1,95 @@
+"""Edge cases across the kernel dispatch surface and dtype handling."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import POLICY_32, POLICY_64
+from repro.errors import KernelError, ShapeError
+from repro.kernels.dispatch import run_spmm, run_spmv
+from tests.conftest import ALL_FORMATS, FORMAT_PARAMS, build_format, make_random_triplets
+
+
+class TestDtypeMatrix:
+    """Every variant works under both extreme dtype policies."""
+
+    @pytest.mark.parametrize("policy", (POLICY_32, POLICY_64), ids=("32", "64"))
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_serial_under_policy(self, fmt, policy, rng):
+        t = make_random_triplets(15, 17, density=0.25, seed=3, policy=policy)
+        A = build_format(fmt, t, policy=policy)
+        B = policy.value_array(rng.standard_normal((17, 5)))
+        C = run_spmm(A, B)
+        assert C.dtype == policy.value
+        ref = t.to_dense().astype(np.float64) @ B.astype(np.float64)
+        atol = 1e-2 if policy is POLICY_32 else 1e-9
+        assert np.allclose(C.astype(np.float64), ref, atol=atol)
+
+    @pytest.mark.parametrize("fmt", ("csr", "bcsr", "sell"))
+    def test_float64_b_into_float32_matrix(self, fmt, rng):
+        """Mixed operand dtypes are coerced to the matrix policy."""
+        t = make_random_triplets(12, 12, density=0.3, seed=4, policy=POLICY_32)
+        A = build_format(fmt, t, policy=POLICY_32)
+        B = rng.standard_normal((12, 3))  # float64 input
+        C = run_spmm(A, B)
+        assert C.dtype == np.float32
+
+
+class TestDegenerateShapes:
+    def test_single_row_matrix(self, rng):
+        t = make_random_triplets(1, 9, density=0.6, seed=5)
+        for fmt in ALL_FORMATS:
+            A = build_format(fmt, t)
+            B = rng.standard_normal((9, 4))
+            assert np.allclose(run_spmm(A, B), t.to_dense() @ B)
+
+    def test_single_column_matrix(self, rng):
+        t = make_random_triplets(9, 1, density=0.6, seed=6)
+        for fmt in ALL_FORMATS:
+            A = build_format(fmt, t)
+            B = rng.standard_normal((1, 4))
+            assert np.allclose(run_spmm(A, B), t.to_dense() @ B)
+
+    def test_k_equals_one(self, rng):
+        t = make_random_triplets(10, 10, density=0.3, seed=7)
+        for fmt in ALL_FORMATS:
+            A = build_format(fmt, t)
+            B = rng.standard_normal((10, 1))
+            assert np.allclose(run_spmm(A, B), t.to_dense() @ B)
+
+    def test_tall_skinny_and_short_wide(self, rng):
+        for shape in ((40, 5), (5, 40)):
+            t = make_random_triplets(*shape, density=0.3, seed=8)
+            for fmt in ALL_FORMATS:
+                A = build_format(fmt, t)
+                B = rng.standard_normal((shape[1], 3))
+                assert np.allclose(run_spmm(A, B), t.to_dense() @ B), (fmt, shape)
+
+    def test_fully_dense_matrix(self, rng):
+        dense = rng.uniform(0.5, 1.5, (8, 8))
+        from repro.matrices.coo_builder import triplets_from_dense
+
+        t = triplets_from_dense(dense)
+        for fmt in ALL_FORMATS:
+            A = build_format(fmt, t)
+            assert A.nnz == 64
+            B = rng.standard_normal((8, 4))
+            assert np.allclose(run_spmm(A, B), dense @ B)
+
+
+class TestErrorSurface:
+    def test_wrong_operand_rows(self, small_triplets, rng):
+        A = build_format("csr", small_triplets)
+        with pytest.raises(ShapeError):
+            run_spmm(A, rng.standard_normal((A.ncols + 3, 4)))
+
+    def test_spmv_wrong_variant(self, small_triplets, rng):
+        A = build_format("csr", small_triplets)
+        with pytest.raises(KernelError):
+            run_spmv(A, rng.standard_normal(A.ncols), variant="optimized")
+
+    def test_threads_ignored_by_serial(self, small_triplets, rng):
+        A = build_format("csr", small_triplets)
+        B = rng.standard_normal((A.ncols, 3))
+        # Serial kernels accept and ignore extraneous options.
+        C = run_spmm(A, B, variant="serial", threads=8)
+        assert C.shape == (A.nrows, 3)

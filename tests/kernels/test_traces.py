@@ -1,0 +1,161 @@
+"""Tests for the kernel-trace accounting layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.traces import (
+    KernelTrace,
+    reuse_distance_histogram,
+    trace_spmm,
+    trace_spmv,
+)
+from tests.conftest import ALL_FORMATS, build_format, make_random_triplets
+
+
+class TestReuseHistogram:
+    def test_no_repeats(self):
+        hist, unique = reuse_distance_histogram(np.array([1, 2, 3, 4]))
+        assert hist.sum() == 0
+        assert unique == 4
+
+    def test_immediate_repeat(self):
+        hist, unique = reuse_distance_histogram(np.array([5, 5, 5]))
+        assert unique == 1
+        assert hist[0] == 2  # distance 1 -> bucket 0
+
+    def test_distance_buckets(self):
+        # 7 appears at positions 0 and 4: distance 4 -> bucket log2(4)=2.
+        stream = np.array([7, 1, 2, 3, 7])
+        hist, unique = reuse_distance_histogram(stream)
+        assert hist[2] == 1
+        assert unique == 4
+
+    def test_counts_sum(self):
+        rng = np.random.default_rng(0)
+        stream = rng.integers(0, 20, size=500)
+        hist, unique = reuse_distance_histogram(stream)
+        assert hist.sum() + unique == 500
+
+    def test_empty_stream(self):
+        hist, unique = reuse_distance_histogram(np.array([], dtype=int))
+        assert hist.sum() == 0 and unique == 0
+
+
+class TestTraceAccounting:
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_useful_flops(self, small_triplets, fmt):
+        A = build_format(fmt, small_triplets)
+        tr = trace_spmm(A, 16)
+        assert tr.useful_flops == 2 * small_triplets.nnz * 16
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_executed_at_least_useful(self, small_triplets, fmt):
+        A = build_format(fmt, small_triplets)
+        tr = trace_spmm(A, 16)
+        assert tr.executed_flops >= tr.useful_flops
+        assert tr.padding_flops == tr.executed_flops - tr.useful_flops
+
+    def test_coo_csr_identical_work(self, small_triplets):
+        coo = trace_spmm(build_format("coo", small_triplets), 8)
+        csr = trace_spmm(build_format("csr", small_triplets), 8)
+        assert coo.executed_flops == csr.executed_flops
+        assert coo.gather_ops == csr.gather_ops
+
+    def test_ell_row_work_uniform(self, skewed_triplets):
+        tr = trace_spmm(build_format("ell", skewed_triplets), 8)
+        assert np.all(tr.row_work == tr.row_work[0])
+
+    def test_csr_row_work_matches_counts(self, small_triplets):
+        tr = trace_spmm(build_format("csr", small_triplets), 8)
+        assert np.array_equal(tr.row_work, small_triplets.row_counts())
+
+    def test_bcsr_gather_units(self, small_triplets):
+        A = build_format("bcsr", small_triplets)
+        tr = trace_spmm(A, 8)
+        assert tr.gather_unit_rows == A.block_shape[1]
+        assert tr.gather_ops == A.nblocks
+
+    def test_bytes_per_gather(self, small_triplets):
+        tr = trace_spmm(build_format("csr", small_triplets), 16)
+        assert tr.bytes_per_gather == 16 * tr.value_bytes
+
+    def test_hit_fraction_monotone_in_capacity(self, small_triplets):
+        tr = trace_spmm(build_format("csr", small_triplets), 8)
+        fractions = [tr.gather_hit_fraction(c) for c in (1, 4, 16, 256, 1 << 20)]
+        assert fractions == sorted(fractions)
+        assert fractions[0] == 0.0
+        assert fractions[-1] <= 1.0
+
+    def test_spmv_trace_k_one(self, small_triplets):
+        tr = trace_spmv(build_format("csr", small_triplets))
+        assert tr.k == 1
+        assert tr.operation == "spmv"
+
+    def test_with_options(self, small_triplets):
+        tr = trace_spmm(build_format("csr", small_triplets), 8)
+        t2 = tr.with_options(fixed_k=True, transpose_b=True)
+        assert t2.fixed_k and t2.transpose_b
+        assert not tr.fixed_k and not tr.transpose_b
+
+    def test_unknown_format_raises(self):
+        class Mystery:
+            pass
+
+        with pytest.raises(KernelError):
+            trace_spmm(Mystery(), 8)
+
+
+class TestImbalance:
+    def _trace_with_work(self, work):
+        base = trace_spmm(build_format("csr", make_random_triplets(5, 5, 0.5)), 4)
+        from dataclasses import replace
+
+        return replace(base, row_work=np.asarray(work, dtype=np.int64))
+
+    def test_uniform_work_balanced(self):
+        tr = self._trace_with_work([10] * 16)
+        assert tr.imbalance(4) == pytest.approx(1.0)
+
+    def test_single_huge_row(self):
+        tr = self._trace_with_work([100] + [1] * 9)
+        # total=109; 4 parts: the huge row bounds it: 4*100/109.
+        assert tr.imbalance(4) == pytest.approx(4 * 100 / 109)
+
+    def test_one_part_always_balanced(self):
+        tr = self._trace_with_work([5, 1, 1])
+        assert tr.imbalance(1) == 1.0
+
+    def test_monotone_in_parts(self):
+        tr = self._trace_with_work([30, 1, 1, 1, 1, 1, 1, 1])
+        vals = [tr.imbalance(p) for p in (1, 2, 4, 8)]
+        assert vals == sorted(vals)
+
+    def test_rejects_zero_parts(self):
+        tr = self._trace_with_work([1, 2])
+        with pytest.raises(KernelError):
+            tr.imbalance(0)
+
+
+class TestLocality:
+    def test_banded_high_locality(self):
+        from repro.matrices.generators import banded_matrix
+
+        t = banded_matrix(200, 8, seed=0)
+        tr = trace_spmm(build_format("csr", t), 8)
+        assert tr.gather_locality > 0.9
+
+    def test_scattered_lower_locality(self):
+        from repro.matrices.generators import matrix_from_row_counts
+
+        t = matrix_from_row_counts(np.full(200, 6), 4000, spread=120, seed=1)
+        tr = trace_spmm(build_format("csr", t), 8)
+        assert tr.gather_locality < 0.5
+
+    def test_banded_reuse_hits_small_cache(self):
+        from repro.matrices.generators import banded_matrix
+
+        t = banded_matrix(300, 6, seed=2)
+        tr = trace_spmm(build_format("csr", t), 8)
+        # Band reuse distances are tiny: even a small cache catches most.
+        assert tr.gather_hit_fraction(256) > 0.7

@@ -1,0 +1,118 @@
+"""Tests for the set-associative LRU cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.cache import CacheHierarchy, SetAssociativeCache
+
+
+def make_cache(size=1024, line=64, ways=2, name="L1"):
+    return SetAssociativeCache(size, line, ways, name)
+
+
+class TestSingleLevel:
+    def test_cold_miss_then_hit(self):
+        c = make_cache()
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.access(63) is True  # same line
+        assert c.access(64) is False  # next line
+
+    def test_stats_counting(self):
+        c = make_cache()
+        for addr in (0, 0, 64, 0):
+            c.access(addr)
+        assert c.stats.accesses == 4
+        assert c.stats.hits == 2
+        assert c.stats.misses == 2
+        assert c.stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_within_set(self):
+        # 1024B / (64B * 2 ways) = 8 sets; addresses 0, 8*64, 16*64 map to set 0.
+        c = make_cache()
+        s0 = [0, 8 * 64, 16 * 64]
+        c.access(s0[0])
+        c.access(s0[1])
+        c.access(s0[2])  # evicts line of s0[0] (LRU)
+        assert c.contains(s0[1])
+        assert c.contains(s0[2])
+        assert not c.contains(s0[0])
+
+    def test_lru_refresh_on_hit(self):
+        c = make_cache()
+        s0 = [0, 8 * 64, 16 * 64]
+        c.access(s0[0])
+        c.access(s0[1])
+        c.access(s0[0])  # refresh: s0[1] is now LRU
+        c.access(s0[2])
+        assert c.contains(s0[0])
+        assert not c.contains(s0[1])
+
+    def test_working_set_fits(self):
+        c = make_cache(size=4096, ways=4)
+        addrs = np.arange(0, 4096, 64)
+        for a in addrs:
+            c.access(int(a))
+        hits = sum(c.access(int(a)) for a in addrs)
+        assert hits == len(addrs)  # second pass fully resident
+
+    def test_working_set_too_big_thrashes(self):
+        c = make_cache(size=1024, ways=2)
+        addrs = np.arange(0, 8192, 64)  # 8x the capacity, sequential
+        for _ in range(2):
+            for a in addrs:
+                c.access(int(a))
+        # Sequential sweep over 8x capacity: second pass all misses (LRU).
+        assert c.stats.hits == 0
+
+    def test_reset(self):
+        c = make_cache()
+        c.access(0)
+        c.reset()
+        assert c.stats.accesses == 0
+        assert c.access(0) is False
+
+    def test_invalid_geometry(self):
+        with pytest.raises(MachineModelError):
+            SetAssociativeCache(1000, 64, 3)  # not divisible
+
+    def test_invalid_sizes(self):
+        with pytest.raises(MachineModelError):
+            SetAssociativeCache(0, 64, 1)
+
+
+class TestHierarchy:
+    def test_levels_ordered(self):
+        with pytest.raises(MachineModelError):
+            CacheHierarchy([make_cache(4096, name="L2"), make_cache(1024, name="L1")])
+
+    def test_needs_levels(self):
+        with pytest.raises(MachineModelError):
+            CacheHierarchy([])
+
+    def test_miss_cascades(self):
+        h = CacheHierarchy([make_cache(1024, name="L1"), make_cache(8192, ways=4, name="L2")])
+        assert h.access(0) == 2  # memory
+        assert h.access(0) == 0  # L1 hit
+
+    def test_l2_catches_l1_evictions(self):
+        h = CacheHierarchy([make_cache(512, ways=1, name="L1"),
+                            make_cache(16384, ways=8, name="L2")])
+        addrs = list(range(0, 4096, 64))
+        for a in addrs:
+            h.access(a)
+        levels = [h.access(a) for a in addrs]
+        # Everything was evicted from the small L1 but still lives in L2.
+        assert all(level == 1 for level in levels)
+
+    def test_simulate_reports_stats(self):
+        h = CacheHierarchy([make_cache(1024, name="L1")])
+        stats = h.simulate(np.array([0, 0, 64, 64]))
+        assert stats["L1"].accesses == 4
+        assert stats["L1"].hits == 2
+
+    def test_simulate_caps_stream(self):
+        h = CacheHierarchy([make_cache(1024, name="L1")])
+        h.simulate(np.zeros(10_000, dtype=np.int64), max_accesses=100)
+        assert h.levels[0].stats.accesses == 100

@@ -1,0 +1,229 @@
+"""Tests for the cost model: trace x machine -> predicted cost."""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.kernels.traces import trace_spmm
+from repro.machine.costmodel import (
+    gpu_memory_required,
+    predict_mflops,
+    predict_spmm_time,
+    warp_stats_from_trace,
+)
+from repro.machine.machines import ARIES, GRACE_HOPPER
+from repro.matrices.suite import load_matrix
+from tests.conftest import build_format, make_random_triplets
+
+SCALE = 64
+
+
+def suite_trace(name="cant", fmt="csr", k=128, **kwargs):
+    t = load_matrix(name, scale=SCALE)
+    params = {"block_size": 4} if fmt == "bcsr" else {}
+    A = build_format(fmt, t) if fmt not in ("bcsr",) else None
+    from repro.formats.registry import get_format
+
+    A = get_format(fmt).from_triplets(t, **params)
+    return trace_spmm(A, k, **kwargs)
+
+
+class TestBasics:
+    def test_unknown_execution(self):
+        with pytest.raises(MachineModelError):
+            predict_spmm_time(suite_trace(), GRACE_HOPPER, "quantum")
+
+    def test_serial_breakdown_fields(self):
+        cb = predict_spmm_time(suite_trace(), GRACE_HOPPER, "serial")
+        assert cb.seconds > 0
+        assert cb.execution == "serial"
+        assert cb.imbalance == 1.0
+        assert cb.overhead_s == 0.0
+        assert cb.mflops > 0
+
+    def test_parallel_needs_positive_threads(self):
+        with pytest.raises(MachineModelError):
+            predict_spmm_time(suite_trace(), GRACE_HOPPER, "parallel", threads=0)
+
+    def test_mflops_counts_useful_flops(self):
+        tr = suite_trace(fmt="ell")
+        cb = predict_spmm_time(tr, GRACE_HOPPER, "serial")
+        assert cb.useful_flops == tr.useful_flops
+        assert cb.mflops == pytest.approx(tr.useful_flops / cb.seconds / 1e6)
+
+    def test_gpu_requires_gpu(self):
+        from dataclasses import replace
+
+        no_gpu = replace(GRACE_HOPPER, gpu=None, cusparse=None)
+        with pytest.raises(MachineModelError):
+            predict_spmm_time(suite_trace(), no_gpu, "gpu")
+
+
+class TestPaperBands:
+    """The calibration targets: the MFLOPS bands of the evaluation."""
+
+    def test_serial_arm_band(self):
+        mf = predict_mflops(suite_trace("cant", "csr"), GRACE_HOPPER, "serial")
+        assert 3500 <= mf <= 7000  # paper: ~5k
+
+    def test_serial_x86_band(self):
+        mf = predict_mflops(suite_trace("cant", "csr"), ARIES, "serial")
+        assert 5000 <= mf <= 9000  # paper: ~7k
+
+    def test_parallel_speedup_arm(self):
+        tr = suite_trace("x104", "csr")
+        serial = predict_spmm_time(tr, GRACE_HOPPER, "serial").seconds
+        par = predict_spmm_time(tr, GRACE_HOPPER, "parallel", threads=32).seconds
+        assert 4.0 < serial / par < 8.0  # paper: 5-6x
+
+    def test_parallel_speedup_x86(self):
+        tr = suite_trace("x104", "csr")
+        serial = predict_spmm_time(tr, ARIES, "serial").seconds
+        par = predict_spmm_time(tr, ARIES, "parallel", threads=32).seconds
+        assert 3.0 < serial / par < 6.5  # paper: ~4x
+
+    def test_ell_collapses_on_torso1(self):
+        ell = predict_mflops(suite_trace("torso1", "ell"), GRACE_HOPPER, "serial")
+        csr = predict_mflops(suite_trace("torso1", "csr"), GRACE_HOPPER, "serial")
+        assert ell < csr / 10
+
+    def test_bcsr_arm_beats_x86_serial(self):
+        tr = suite_trace("cant", "bcsr")
+        assert predict_mflops(tr, GRACE_HOPPER, "serial") > predict_mflops(
+            tr, ARIES, "serial"
+        )
+
+    def test_fixed_k_gains_follow_study9(self):
+        base = suite_trace("cant", "csr")
+        fixed = base.with_options(fixed_k=True)
+        gain_arm = predict_mflops(fixed, GRACE_HOPPER, "serial") / predict_mflops(
+            base, GRACE_HOPPER, "serial"
+        )
+        gain_x86 = predict_mflops(fixed, ARIES, "serial") / predict_mflops(
+            base, ARIES, "serial"
+        )
+        assert 1.0 <= gain_arm < 1.15  # Arm: neutral-ish
+        assert gain_x86 > 1.2  # Aries: clearly positive
+
+    def test_transpose_mostly_slower(self):
+        base = suite_trace("cant", "csr")
+        trans = base.with_options(transpose_b=True)
+        assert predict_mflops(trans, GRACE_HOPPER, "parallel", threads=32) <= (
+            predict_mflops(base, GRACE_HOPPER, "parallel", threads=32)
+        )
+
+    def test_cusparse_beats_offload_on_arm(self):
+        tr = suite_trace("cant", "csr", k=64)
+        gpu = predict_mflops(tr, GRACE_HOPPER, "gpu")
+        lib = predict_mflops(tr, GRACE_HOPPER, "cusparse")
+        assert lib > gpu
+
+    def test_cusparse_loses_on_aries(self):
+        tr = suite_trace("dw4096", "csr", k=64)
+        gpu = predict_mflops(tr, ARIES, "gpu")
+        lib = predict_mflops(tr, ARIES, "cusparse")
+        assert lib < gpu
+
+
+class TestMonotonicity:
+    def test_more_threads_never_slower_before_overhead(self):
+        tr = suite_trace("x104", "csr")
+        t8 = predict_spmm_time(tr, GRACE_HOPPER, "parallel", threads=8)
+        t32 = predict_spmm_time(tr, GRACE_HOPPER, "parallel", threads=32)
+        assert t32.seconds < t8.seconds
+
+    def test_higher_k_higher_mflops_initially(self):
+        arm = GRACE_HOPPER.with_scaled_caches(SCALE)
+        mf8 = predict_mflops(suite_trace("cant", "csr", k=8), arm, "parallel", threads=32)
+        mf128 = predict_mflops(suite_trace("cant", "csr", k=128), arm, "parallel", threads=32)
+        assert mf128 > mf8
+
+    def test_larger_blocks_more_padding_slower_serial(self):
+        mf = {
+            b: predict_mflops(
+                trace_spmm(
+                    __import__("repro.formats.registry", fromlist=["get_format"])
+                    .get_format("bcsr")
+                    .from_triplets(load_matrix("2cubes_sphere", scale=SCALE), block_size=b),
+                    128,
+                ),
+                GRACE_HOPPER,
+                "serial",
+            )
+            for b in (2, 4, 16)
+        }
+        assert mf[2] > mf[4] > mf[16]
+
+    def test_imbalance_slows_parallel(self):
+        skew = trace_spmm(
+            build_format("csr", make_random_triplets(40, 200, 0.05, seed=1)), 16
+        )
+        from dataclasses import replace
+        import numpy as np
+
+        balanced = replace(skew, row_work=np.full(40, 10, dtype=np.int64))
+        unbalanced = replace(
+            skew, row_work=np.array([400] + [1] * 39, dtype=np.int64)
+        )
+        tb = predict_spmm_time(balanced, GRACE_HOPPER, "parallel", threads=16)
+        tu = predict_spmm_time(unbalanced, GRACE_HOPPER, "parallel", threads=16)
+        assert tu.imbalance > tb.imbalance
+        assert tu.seconds > tb.seconds
+
+
+class TestWarpStats:
+    def test_matches_kernel_stats(self):
+        from repro.kernels.gpu import gpu_execution_stats
+
+        t = load_matrix("bcsstk13", scale=8)
+        A = build_format("csr", t)
+        tr = trace_spmm(A, 16)
+        from_trace = warp_stats_from_trace(tr)
+        from_kernel = gpu_execution_stats(A, 16)
+        assert from_trace.warps == from_kernel.warps
+        assert from_trace.warp_cycles == from_kernel.warp_cycles
+        assert from_trace.lane_work == from_kernel.lane_work
+
+    def test_empty_trace(self):
+        from dataclasses import replace
+        import numpy as np
+
+        tr = replace(suite_trace(), row_work=np.empty(0, dtype=np.int64))
+        stats = warp_stats_from_trace(tr)
+        assert stats.warps == 0
+        assert stats.divergence == 1.0
+
+
+class TestGpuMemoryRequired:
+    def test_k_unset_is_quadratic(self):
+        small = gpu_memory_required(1000, 1000, 10_000, k=None)
+        big = gpu_memory_required(2000, 2000, 10_000, k=None)
+        # B+C dominate: 2n*k*8 with k=n -> 4x when n doubles.
+        assert big > 3.5 * small
+
+    def test_study7_h100_cut(self):
+        """Exactly the paper's five largest matrices exceed the H100."""
+        from repro.matrices.suite import paper_table_5_1
+
+        over = [
+            r["name"]
+            for r in paper_table_5_1()
+            if gpu_memory_required(r["size"], r["size"], r["nnz"]) > GRACE_HOPPER.gpu.memory_bytes
+        ]
+        assert sorted(over) == [
+            "2cubes_sphere",
+            "cop20k_A",
+            "shallow_water1",
+            "torso1",
+            "x104",
+        ]
+
+    def test_study7_a100_also_drops_nd24k(self):
+        from repro.matrices.suite import paper_table_5_1
+
+        fits = [
+            r["name"]
+            for r in paper_table_5_1()
+            if gpu_memory_required(r["size"], r["size"], r["nnz"]) <= ARIES.gpu.memory_bytes
+        ]
+        assert len(fits) == 8
+        assert "nd24k" not in fits

@@ -1,0 +1,143 @@
+"""Tests for the machine presets and the offload failure injection."""
+
+import pytest
+
+from repro.errors import MachineModelError, OffloadError
+from repro.machine.machines import ARIES, GRACE_HOPPER, MACHINES, get_machine
+from repro.machine.offload import (
+    ARIES_WORKING_MATRICES,
+    FaultyOffloadRuntime,
+    HealthyOffloadRuntime,
+)
+from repro.matrices.suite import matrix_names
+
+
+class TestPresets:
+    def test_lookup_by_name_and_alias(self):
+        assert get_machine("grace-hopper") is GRACE_HOPPER
+        assert get_machine("arm") is GRACE_HOPPER
+        assert get_machine("ARIES") is ARIES
+        assert get_machine("x86") is ARIES
+
+    def test_unknown_machine(self):
+        with pytest.raises(MachineModelError):
+            get_machine("m2-max")
+
+    def test_paper_topologies(self):
+        assert GRACE_HOPPER.topology.physical_cores == 72
+        assert GRACE_HOPPER.topology.threads_per_core == 1
+        assert ARIES.topology.physical_cores == 48
+        assert ARIES.topology.hardware_threads == 96
+
+    def test_gpu_memory_sizes(self):
+        assert GRACE_HOPPER.gpu.memory_bytes == 94 * 10**9
+        assert ARIES.gpu.memory_bytes == 80 * 10**9
+
+    def test_offload_runtimes(self):
+        assert isinstance(GRACE_HOPPER.offload_runtime(), HealthyOffloadRuntime)
+        assert isinstance(ARIES.offload_runtime(), FaultyOffloadRuntime)
+
+    def test_x86_serial_scalar_faster_than_arm(self):
+        arm = GRACE_HOPPER.core.flops_per_second(regular_inner_loop=False, fixed_k=False)
+        x86 = ARIES.core.flops_per_second(regular_inner_loop=False, fixed_k=False)
+        assert x86 > arm
+
+    def test_arm_blocked_faster_than_x86(self):
+        arm = GRACE_HOPPER.core.flops_per_second(regular_inner_loop=True, fixed_k=False)
+        x86 = ARIES.core.flops_per_second(regular_inner_loop=True, fixed_k=False)
+        assert arm > x86
+
+    def test_fixed_k_gain_larger_on_x86(self):
+        assert ARIES.core.fixed_k_speedup > GRACE_HOPPER.core.fixed_k_speedup
+
+
+class TestScalingCurves:
+    def test_compute_scaling_monotone_arm(self):
+        vals = [GRACE_HOPPER.compute_scaling(t, regular=False) for t in (1, 8, 32, 72)]
+        assert vals == sorted(vals)
+
+    def test_arm_32_thread_band(self):
+        """Study 3: parallel/serial ~5-6x at 32 threads on Arm."""
+        s = GRACE_HOPPER.compute_scaling(32, regular=False)
+        assert 5.0 <= s <= 7.0
+
+    def test_aries_32_thread_band(self):
+        s = ARIES.compute_scaling(32, regular=False)
+        assert 3.5 <= s <= 5.5
+
+    def test_smt_gain_regular_only(self):
+        base = ARIES.compute_scaling(48, regular=True)
+        smt_regular = ARIES.compute_scaling(96, regular=True)
+        smt_irregular = ARIES.compute_scaling(96, regular=False)
+        assert smt_regular > base * 1.1
+        assert smt_irregular < base * 1.1
+
+    def test_memory_bandwidth_saturates(self):
+        assert GRACE_HOPPER.memory_bandwidth(72) == GRACE_HOPPER.socket_bw_gbs * 1e9
+        assert GRACE_HOPPER.memory_bandwidth(1) == GRACE_HOPPER.core.stream_bytes_per_second()
+
+
+class TestScaledCaches:
+    def test_scale_divides_caches(self):
+        scaled = GRACE_HOPPER.with_scaled_caches(16)
+        assert scaled.l2_bytes == GRACE_HOPPER.l2_bytes // 16
+        assert scaled.l3_bytes == GRACE_HOPPER.l3_bytes // 16
+        assert scaled.gpu.memory_bytes == GRACE_HOPPER.gpu.memory_bytes // 16
+
+    def test_scale_one_is_identity(self):
+        assert GRACE_HOPPER.with_scaled_caches(1) is GRACE_HOPPER
+
+    def test_compute_rates_unchanged(self):
+        scaled = ARIES.with_scaled_caches(8)
+        assert scaled.core is ARIES.core
+        assert scaled.socket_bw_gbs == ARIES.socket_bw_gbs
+
+    def test_cusparse_follows_scaled_gpu(self):
+        scaled = GRACE_HOPPER.with_scaled_caches(8)
+        assert scaled.cusparse.device is scaled.gpu
+
+
+class TestOffloadRuntimes:
+    def test_healthy_always_works(self):
+        rt = HealthyOffloadRuntime()
+        for name in matrix_names():
+            assert rt.works_for(name)
+        rt.check_launch(matrix_name="torso1")  # no raise
+
+    def test_faulty_working_set(self):
+        rt = FaultyOffloadRuntime()
+        for name in matrix_names():
+            assert rt.works_for(name) == (name in ARIES_WORKING_MATRICES)
+
+    def test_faulty_raises_for_failing(self):
+        rt = FaultyOffloadRuntime()
+        with pytest.raises(OffloadError) as err:
+            rt.check_launch(matrix_name="torso1")
+        assert err.value.matrix == "torso1"
+
+    def test_faulty_passes_working(self):
+        rt = FaultyOffloadRuntime()
+        rt.check_launch(matrix_name="dw4096")
+
+    def test_launch_log(self):
+        rt = FaultyOffloadRuntime()
+        rt.check_launch(matrix_name="dw4096")
+        with pytest.raises(OffloadError):
+            rt.check_launch(matrix_name="cant")
+        assert rt.launches == [("dw4096", True), ("cant", False)]
+
+    def test_anonymous_matrix_never_fails(self):
+        rt = FaultyOffloadRuntime()
+        rt.check_launch(A=object())  # no name -> no verdict
+
+    def test_unknown_names_deterministic(self):
+        rt1 = FaultyOffloadRuntime()
+        rt2 = FaultyOffloadRuntime()
+        for name in ("mystery1", "mystery2", "mystery3"):
+            assert rt1.works_for(name) == rt2.works_for(name)
+
+    def test_unknown_names_respect_rate_roughly(self):
+        rt = FaultyOffloadRuntime(failure_rate=0.6)
+        names = [f"synthetic_{i}" for i in range(500)]
+        failures = sum(not rt.works_for(n) for n in names)
+        assert 0.45 < failures / 500 < 0.75

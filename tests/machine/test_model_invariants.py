@@ -1,0 +1,81 @@
+"""Cross-cutting invariants of the machine models (hypothesis-driven)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.machines import ARIES, GRACE_HOPPER
+from repro.machine.costmodel import predict_spmm_time
+from repro.kernels.traces import trace_spmm
+from tests.conftest import build_format, make_random_triplets
+
+
+@pytest.fixture(scope="module")
+def sample_trace():
+    t = make_random_triplets(60, 60, density=0.15, seed=2)
+    return trace_spmm(build_format("csr", t), 32)
+
+
+@settings(max_examples=25, deadline=None)
+@given(threads=st.integers(1, 96))
+def test_compute_scaling_bounds(threads):
+    """Effective cores never exceed the thread count nor go below ~1."""
+    for machine in (GRACE_HOPPER, ARIES):
+        for regular in (True, False):
+            s = machine.compute_scaling(threads, regular)
+            assert 0.9 <= s <= threads + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(t1=st.integers(1, 48), t2=st.integers(1, 48))
+def test_memory_bandwidth_monotone(t1, t2):
+    lo, hi = sorted((t1, t2))
+    for machine in (GRACE_HOPPER, ARIES):
+        assert machine.memory_bandwidth(lo) <= machine.memory_bandwidth(hi) + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(threads=st.integers(2, 72))
+def test_parallel_never_slower_than_serial_by_much(sample_trace, threads):
+    """Parallel time <= serial time + overhead for any thread count."""
+    serial = predict_spmm_time(sample_trace, GRACE_HOPPER, "serial").seconds
+    par = predict_spmm_time(
+        sample_trace, GRACE_HOPPER, "parallel", threads=threads
+    )
+    assert par.seconds <= serial + par.overhead_s + 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(k=st.integers(1, 512))
+def test_time_monotone_in_k(k):
+    """More columns never make a kernel invocation faster."""
+    t = make_random_triplets(40, 40, density=0.2, seed=3)
+    A = build_format("csr", t)
+    t_small = predict_spmm_time(trace_spmm(A, k), GRACE_HOPPER, "serial").seconds
+    t_large = predict_spmm_time(trace_spmm(A, k + 16), GRACE_HOPPER, "serial").seconds
+    assert t_large >= t_small
+
+
+def test_fixed_k_never_slower(sample_trace):
+    base = predict_spmm_time(sample_trace, ARIES, "serial").seconds
+    fixed = predict_spmm_time(
+        sample_trace.with_options(fixed_k=True), ARIES, "serial"
+    ).seconds
+    assert fixed <= base
+
+
+def test_gpu_time_positive_and_finite(sample_trace):
+    for machine in (GRACE_HOPPER, ARIES):
+        for execution in ("gpu", "cusparse"):
+            cb = predict_spmm_time(sample_trace, machine, execution)
+            assert np.isfinite(cb.seconds) and cb.seconds > 0
+
+
+def test_padding_only_hurts_useful_mflops():
+    """ELL and CSR on the same matrix: ELL's executed rate can match, but
+    its useful MFLOPS never exceed CSR's by more than the model's
+    regularity bonus."""
+    t = make_random_triplets(64, 64, density=0.1, seed=4)
+    csr_cb = predict_spmm_time(trace_spmm(build_format("csr", t), 32), GRACE_HOPPER, "serial")
+    ell_cb = predict_spmm_time(trace_spmm(build_format("ell", t), 32), GRACE_HOPPER, "serial")
+    assert ell_cb.mflops <= csr_cb.mflops * 1.1

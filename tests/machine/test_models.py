@@ -1,0 +1,202 @@
+"""Tests for the core/topology/SMT/GPU/cuSPARSE machine model pieces."""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.kernels.gpu import GpuStats
+from repro.kernels.traces import trace_spmm
+from repro.machine.core import CoreModel
+from repro.machine.cusparse import CuSparseModel
+from repro.machine.gpu import GPUModel
+from repro.machine.smt import SmtModel
+from repro.machine.topology import Topology
+from tests.conftest import build_format, make_random_triplets
+
+
+def core(**overrides):
+    base = dict(
+        name="test",
+        freq_ghz=3.0,
+        scalar_flops_per_cycle=2.0,
+        blocked_flops_per_cycle=1.5,
+        fixed_k_speedup=1.3,
+        bookkeeping_ipc=3.0,
+        stream_bw_gbs=20.0,
+    )
+    base.update(overrides)
+    return CoreModel(**base)
+
+
+class TestCoreModel:
+    def test_scalar_rate(self):
+        c = core()
+        assert c.flops_per_second(regular_inner_loop=False, fixed_k=False) == 6e9
+
+    def test_fixed_k_multiplies_scalar(self):
+        c = core()
+        assert c.flops_per_second(
+            regular_inner_loop=False, fixed_k=True
+        ) == pytest.approx(6e9 * 1.3)
+
+    def test_blocked_rate(self):
+        c = core()
+        assert c.flops_per_second(regular_inner_loop=True, fixed_k=False) == 4.5e9
+
+    def test_fixed_k_helps_blocked_less(self):
+        c = core()
+        blocked = c.flops_per_second(regular_inner_loop=True, fixed_k=False)
+        blocked_fk = c.flops_per_second(regular_inner_loop=True, fixed_k=True)
+        scalar_gain = 1.3
+        assert 1.0 < blocked_fk / blocked < scalar_gain
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(MachineModelError):
+            core(freq_ghz=0)
+
+    def test_bookkeeping_and_stream(self):
+        c = core()
+        assert c.bookkeeping_ops_per_second() == 9e9
+        assert c.stream_bytes_per_second() == 20e9
+
+
+class TestTopology:
+    def test_counts(self):
+        t = Topology(sockets=2, cores_per_socket=24, threads_per_core=2)
+        assert t.physical_cores == 48
+        assert t.hardware_threads == 96
+
+    def test_split_within_physical(self):
+        t = Topology(2, 24, 2)
+        assert t.split_threads(32) == (32, 0)
+
+    def test_split_into_smt(self):
+        t = Topology(2, 24, 2)
+        assert t.split_threads(72) == (48, 24)
+
+    def test_oversubscription_clamped(self):
+        t = Topology(1, 4, 2)
+        assert t.split_threads(100) == (4, 4)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(MachineModelError):
+            Topology(1, 4, 1).split_threads(0)
+
+    def test_rejects_bad_topology(self):
+        with pytest.raises(MachineModelError):
+            Topology(0, 4, 1)
+
+
+class TestSmt:
+    def test_regular_gains_more(self):
+        smt = SmtModel(gain_regular=0.4, gain_irregular=0.05)
+        reg = smt.effective_cores(4, 4, regular=True)
+        irr = smt.effective_cores(4, 4, regular=False)
+        assert reg > irr
+        assert reg == pytest.approx(4 + 4 * 0.4)
+
+    def test_no_smt_threads_no_change(self):
+        smt = SmtModel()
+        assert smt.effective_cores(8, 0, regular=True) == 8
+
+    def test_rejects_negative(self):
+        with pytest.raises(MachineModelError):
+            SmtModel().effective_cores(-1, 0, True)
+
+    def test_bad_gain(self):
+        with pytest.raises(MachineModelError):
+            SmtModel(gain_regular=2.0)
+
+
+class TestGpuModel:
+    def _gpu(self, **overrides):
+        base = dict(
+            name="test-gpu",
+            effective_gflops=50.0,
+            mem_bw_gbs=2000.0,
+            memory_bytes=10**10,
+            launch_overhead_s=1e-5,
+        )
+        base.update(overrides)
+        return GPUModel(**base)
+
+    def _trace(self):
+        t = make_random_triplets(64, 64, density=0.2, seed=0)
+        return trace_spmm(build_format("csr", t), 8)
+
+    def test_divergence_slows(self):
+        gpu = self._gpu()
+        tr = self._trace()
+        fast = GpuStats(2, tr.stored_entries * 8, tr.stored_entries * 8, 1.0, 1.0)
+        slow = GpuStats(2, tr.stored_entries * 24, tr.stored_entries * 8, 1.0, 1.0)
+        assert gpu.predict_time(tr, slow) > gpu.predict_time(tr, fast)
+
+    def test_coalescing_efficiency_bounds(self):
+        gpu = self._gpu()
+        assert gpu.coalesce_efficiency(1.0) == pytest.approx(1.0)
+        assert gpu.coalesce_efficiency(0.0) == pytest.approx(gpu.min_coalesce_efficiency)
+
+    def test_launch_overhead_floor(self):
+        gpu = self._gpu(launch_overhead_s=0.5)
+        tr = self._trace()
+        stats = GpuStats(1, 1, 1, 1.0, 1.0)
+        assert gpu.predict_time(tr, stats) >= 0.5
+
+    def test_fits(self):
+        gpu = self._gpu(memory_bytes=100)
+        assert gpu.fits(100)
+        assert not gpu.fits(101)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(MachineModelError):
+            self._gpu(effective_gflops=0)
+
+
+class TestCuSparse:
+    def _model(self, **overrides):
+        gpu = GPUModel("g", 50.0, 2000.0, 10**10, 1e-5)
+        base = dict(device=gpu, kernel_speedup=2.5)
+        base.update(overrides)
+        return CuSparseModel(**base)
+
+    def _trace(self, fmt="csr"):
+        t = make_random_triplets(64, 64, density=0.2, seed=0)
+        return trace_spmm(build_format(fmt, t), 8)
+
+    def test_supports_only_coo_csr(self):
+        m = self._model()
+        assert m.supports("coo") and m.supports("csr")
+        assert not m.supports("ell") and not m.supports("bcsr")
+
+    def test_unsupported_raises(self):
+        m = self._model()
+        tr = self._trace("ell")
+        with pytest.raises(MachineModelError):
+            m.predict_time(tr, GpuStats(1, 8, 8, 1.0, 1.0))
+
+    def test_faster_than_offload_when_tuned(self):
+        m = self._model(kernel_speedup=2.5)
+        tr = self._trace()
+        stats = GpuStats(2, tr.stored_entries * 8, tr.stored_entries * 8, 0.5, 1.0)
+        assert m.predict_time(tr, stats) < m.device.predict_time(tr, stats)
+
+    def test_slower_when_detuned(self):
+        """The Aries environment anomaly: sub-1 speedup inverts Study 7."""
+        m = self._model(kernel_speedup=0.5, divergence_damping=0.0, coalesce_floor=0.25)
+        tr = self._trace()
+        stats = GpuStats(2, tr.stored_entries * 8, tr.stored_entries * 8, 0.3, 1.0)
+        assert m.predict_time(tr, stats) > m.device.predict_time(tr, stats)
+
+    def test_damping_reduces_divergence_penalty(self):
+        m = self._model(divergence_damping=1.0)
+        tr = self._trace()
+        diverged = GpuStats(2, tr.stored_entries * 80, tr.stored_entries * 8, 1.0, 1.0)
+        uniform = GpuStats(2, tr.stored_entries * 8, tr.stored_entries * 8, 1.0, 1.0)
+        assert m.predict_time(tr, diverged) == pytest.approx(
+            m.predict_time(tr, uniform)
+        )
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(MachineModelError):
+            self._model(kernel_speedup=0)
+        with pytest.raises(MachineModelError):
+            self._model(divergence_damping=1.5)

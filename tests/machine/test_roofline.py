@@ -1,0 +1,89 @@
+"""Tests for the roofline analysis."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.traces import trace_spmm
+from repro.machine.machines import GRACE_HOPPER
+from repro.machine.roofline import RooflinePoint, ascii_roofline, roofline_point
+from repro.matrices.suite import load_matrix
+from tests.conftest import build_format
+
+SCALE = 64
+
+
+def point(matrix="cant", fmt="csr", k=64, execution="parallel", threads=32):
+    t = load_matrix(matrix, scale=SCALE)
+    A = build_format(fmt, t)
+    machine = GRACE_HOPPER.with_scaled_caches(SCALE)
+    return roofline_point(trace_spmm(A, k), machine, execution, threads)
+
+
+class TestRooflinePoint:
+    def test_useful_at_most_executed(self):
+        p = point(fmt="ell", matrix="torso1")
+        assert p.useful_gflops <= p.executed_gflops
+
+    def test_padding_gap_on_torso1_ell(self):
+        p = point(fmt="ell", matrix="torso1")
+        assert p.useful_gflops < 0.1 * p.executed_gflops
+
+    def test_no_gap_for_csr(self):
+        p = point(fmt="csr")
+        assert p.useful_gflops == pytest.approx(p.executed_gflops)
+
+    def test_attained_below_roof(self):
+        for fmt in ("coo", "csr", "ell"):
+            p = point(fmt=fmt)
+            bound = min(p.compute_ceiling, p.bandwidth_gbs * p.intensity)
+            assert p.executed_gflops <= bound * 1.05
+
+    def test_ridge_and_bound_classification(self):
+        p = point()
+        assert p.ridge_intensity == pytest.approx(p.compute_ceiling / p.bandwidth_gbs)
+        assert p.memory_bound == (p.intensity < p.ridge_intensity)
+
+    def test_serial_uses_core_bandwidth(self):
+        p_serial = point(execution="serial", threads=1)
+        p_parallel = point(execution="parallel", threads=32)
+        assert p_serial.bandwidth_gbs < p_parallel.bandwidth_gbs
+        assert p_serial.compute_ceiling < p_parallel.compute_ceiling
+
+    def test_intensity_positive(self):
+        assert point().intensity > 0
+
+    def test_ceiling_fraction_bounded(self):
+        p = point()
+        assert 0 < p.ceiling_fraction <= 1.05
+
+
+class TestAsciiRoofline:
+    def test_empty(self):
+        assert ascii_roofline([]) == "(no points)"
+
+    def test_renders_roof_and_points(self):
+        plot = ascii_roofline([point(), point(fmt="ell", matrix="torso1")])
+        assert "/" in plot  # bandwidth slope
+        assert "-" in plot  # compute ceiling
+        assert "A:" in plot and "B:" in plot  # legend
+        assert "memory" in plot or "compute" in plot
+
+    def test_padding_gap_marked_lowercase(self):
+        plot = ascii_roofline([point(fmt="ell", matrix="torso1")])
+        # Executed point 'A' and useful point 'a' both appear.
+        grid = plot.split("arithmetic intensity")[0]
+        assert "A" in grid
+        assert "a" in grid
+
+    def test_manual_point(self):
+        p = RooflinePoint(
+            label="manual",
+            intensity=1.0,
+            executed_gflops=10.0,
+            useful_gflops=10.0,
+            compute_ceiling=100.0,
+            bandwidth_gbs=50.0,
+        )
+        assert p.memory_bound  # ridge at 2.0
+        plot = ascii_roofline([p])
+        assert "manual" in plot

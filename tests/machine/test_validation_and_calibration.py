@@ -1,0 +1,109 @@
+"""Tests for the gather-hit validation and the calibration audit."""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.calibration import TARGETS, audit, report
+from repro.machine.machines import GRACE_HOPPER
+from repro.machine.validation import (
+    gather_stream,
+    validate_hierarchy,
+    validate_hit_model,
+)
+from repro.matrices.generators import banded_matrix, matrix_from_row_counts
+from repro.matrices.suite import load_matrix
+from tests.conftest import ALL_FORMATS, build_format, make_random_triplets
+
+import numpy as np
+
+
+class TestGatherStream:
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_stream_exists_for_all_formats(self, small_triplets, fmt):
+        A = build_format(fmt, small_triplets)
+        stream = gather_stream(A)
+        assert stream.ndim == 1
+        assert stream.size > 0
+
+    def test_stream_matches_trace_ops(self, small_triplets):
+        from repro.kernels.traces import trace_spmm
+
+        for fmt in ALL_FORMATS:
+            A = build_format(fmt, small_triplets)
+            assert gather_stream(A).size == trace_spmm(A, 4).gather_ops
+
+    def test_unknown_format(self):
+        with pytest.raises(MachineModelError):
+            gather_stream(object())
+
+
+class TestHitModelValidation:
+    def test_model_conservative_on_banded(self):
+        t = banded_matrix(400, 8, seed=1)
+        A = build_format("csr", t)
+        v = validate_hit_model(A, 16, cache_bytes=64 << 10)
+        assert v.model_is_conservative
+
+    def test_model_close_on_banded(self):
+        """Banded reuse distances are near their stack distances: the model
+        should land within ~15 points of the simulator."""
+        t = banded_matrix(400, 8, seed=1)
+        A = build_format("csr", t)
+        v = validate_hit_model(A, 16, cache_bytes=256 << 10)
+        assert v.error < 0.15
+
+    def test_scattered_low_hits_both(self):
+        t = matrix_from_row_counts(np.full(300, 6), 6000, spread=200, seed=2)
+        A = build_format("csr", t)
+        v = validate_hit_model(A, 128, cache_bytes=8 << 10)
+        assert v.model_hit_rate < 0.3
+        assert v.simulated_hit_rate < 0.45
+
+    def test_direction_agrees(self):
+        banded = build_format("csr", banded_matrix(300, 6, seed=3))
+        scattered = build_format(
+            "csr", matrix_from_row_counts(np.full(300, 6), 6000, spread=200, seed=3)
+        )
+        vb = validate_hit_model(banded, 32, cache_bytes=64 << 10)
+        vs = validate_hit_model(scattered, 32, cache_bytes=64 << 10)
+        assert vb.model_hit_rate > vs.model_hit_rate
+        assert vb.simulated_hit_rate > vs.simulated_hit_rate
+
+    def test_bigger_cache_more_hits(self):
+        t = load_matrix("pdb1HYS", scale=64)
+        A = build_format("csr", t)
+        small = validate_hit_model(A, 64, cache_bytes=16 << 10)
+        large = validate_hit_model(A, 64, cache_bytes=1 << 20)
+        assert large.model_hit_rate >= small.model_hit_rate
+        assert large.simulated_hit_rate >= small.simulated_hit_rate
+
+    def test_hierarchy_helper(self):
+        t = load_matrix("cant", scale=64)
+        A = build_format("csr", t)
+        checks = validate_hierarchy(A, 32, GRACE_HOPPER.with_scaled_caches(64))
+        assert set(checks) == {"l2", "l3"}
+        assert checks["l3"].model_hit_rate >= checks["l2"].model_hit_rate
+
+
+class TestCalibration:
+    def test_all_targets_pass(self):
+        for check in audit():
+            assert check.passed, (
+                f"{check.name}: measured {check.measured:.3g} outside "
+                f"[{check.lo}, {check.hi}] — '{check.paper_claim}'"
+            )
+
+    def test_targets_cover_key_claims(self):
+        names = {name for name, *_ in TARGETS}
+        assert {
+            "serial-arm-mflops",
+            "parallel-speedup-arm",
+            "fixed-k-x86-positive",
+            "bcsr-arm-advantage",
+            "ell-torso1-collapse",
+        } <= names
+
+    def test_report_readable(self):
+        text = report()
+        assert "PASS" in text
+        assert "FAIL" not in text

@@ -1,0 +1,173 @@
+"""Tests for the synthetic matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeneratorError
+from repro.matrices.generators import (
+    banded_matrix,
+    diagonal_band_matrix,
+    fem_matrix,
+    matrix_from_row_counts,
+    powerlaw_matrix,
+    row_counts_constant,
+    row_counts_lognormal,
+    row_counts_normal,
+    row_counts_powerlaw,
+    stencil_matrix,
+    uniform_random_matrix,
+)
+from repro.matrices.properties import analyze
+
+
+class TestRowCountDistributions:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+
+    def test_constant_exact(self):
+        counts = row_counts_constant(100, 7, rng=self.rng)
+        assert np.all(counts == 7)
+
+    def test_constant_jitter_bounded(self):
+        counts = row_counts_constant(500, 5, jitter=2, rng=self.rng)
+        assert counts.min() >= 1
+        assert counts.max() <= 7
+
+    def test_constant_rejects_zero(self):
+        with pytest.raises(GeneratorError):
+            row_counts_constant(10, 0, rng=self.rng)
+
+    def test_normal_hits_max(self):
+        counts = row_counts_normal(1000, 20, 5, 60, rng=self.rng)
+        assert counts.max() == 60
+        assert abs(counts.mean() - 20) < 2
+
+    def test_normal_clipped_positive(self):
+        counts = row_counts_normal(1000, 2, 10, 50, rng=self.rng)
+        assert counts.min() >= 1
+
+    def test_normal_rejects_small_mean(self):
+        with pytest.raises(GeneratorError):
+            row_counts_normal(10, 0.5, 1, 5, rng=self.rng)
+
+    def test_lognormal_heavy_tail(self):
+        counts = row_counts_lognormal(5000, 20, 2000, sigma=1.5, rng=self.rng)
+        assert counts.max() == 2000
+        # Heavy tail: the max dwarfs the median.
+        assert counts.max() > 20 * np.median(counts)
+
+    def test_powerlaw_mean_near_target(self):
+        counts = row_counts_powerlaw(5000, 30, 1000, rng=self.rng)
+        assert abs(counts.mean() - 30) < 10
+
+
+class TestPlacement:
+    def test_counts_respected(self):
+        counts = np.array([3, 0, 5, 1])
+        t = matrix_from_row_counts(counts, 20, seed=1)
+        assert t.row_counts().tolist() == [3, 0, 5, 1]
+
+    def test_columns_distinct_within_rows(self):
+        counts = np.full(50, 8)
+        t = matrix_from_row_counts(counts, 100, spread=4, seed=2)
+        dense = t.to_dense()
+        assert (dense != 0).sum() == t.nnz  # no collisions collapsed
+
+    def test_columns_in_range(self):
+        counts = np.full(30, 10)
+        t = matrix_from_row_counts(counts, 12, spread=9, seed=3)
+        assert t.cols.min() >= 0
+        assert int(t.cols.max()) < 12
+
+    def test_row_too_wide_rejected(self):
+        with pytest.raises(GeneratorError):
+            matrix_from_row_counts([5], 3, seed=0)
+
+    def test_spread_one_contiguous(self):
+        counts = np.full(10, 4)
+        t = matrix_from_row_counts(counts, 40, spread=1, seed=4)
+        for r in range(10):
+            cols = np.sort(t.cols[np.asarray(t.rows) == r])
+            assert np.all(np.diff(cols) == 1)
+
+    def test_larger_spread_scatters(self):
+        counts = np.full(200, 6)
+        tight = matrix_from_row_counts(counts, 400, spread=1, seed=5)
+        loose = matrix_from_row_counts(counts, 400, spread=8, seed=5)
+        def mean_gap(t):
+            gaps = []
+            rows = np.asarray(t.rows)
+            for r in range(200):
+                cols = np.sort(np.asarray(t.cols)[rows == r])
+                gaps.extend(np.diff(cols))
+            return np.mean(gaps)
+        assert mean_gap(loose) > mean_gap(tight)
+
+    def test_deterministic(self):
+        counts = np.full(20, 3)
+        a = matrix_from_row_counts(counts, 50, seed=9)
+        b = matrix_from_row_counts(counts, 50, seed=9)
+        assert np.array_equal(a.cols, b.cols)
+        assert np.array_equal(a.values, b.values)
+
+    def test_values_nonzero(self):
+        t = matrix_from_row_counts(np.full(10, 5), 30, seed=6)
+        assert np.all(t.values != 0)
+
+
+class TestNamedGenerators:
+    def test_banded_shape_and_band(self):
+        t = banded_matrix(64, 9, seed=0)
+        assert t.nrows == t.ncols == 64
+        # Nonzeros stay near the diagonal.
+        assert np.all(np.abs(t.rows.astype(int) - t.cols.astype(int)) <= 2 * 9)
+
+    def test_banded_rejects_bad_fill(self):
+        with pytest.raises(GeneratorError):
+            banded_matrix(10, 3, fill=0.0)
+
+    def test_fem_statistics(self):
+        t = fem_matrix(2000, avg_nnz=25, max_nnz=80, std=8, seed=1)
+        props = analyze(t)
+        assert abs(props.avg_row_nnz - 25) < 3
+        assert props.max_row_nnz == 80
+
+    def test_uniform_random_density(self):
+        t = uniform_random_matrix(400, 0.05, seed=2)
+        assert abs(t.nnz / (400 * 400) - 0.05) < 0.02
+
+    def test_uniform_rejects_bad_density(self):
+        with pytest.raises(GeneratorError):
+            uniform_random_matrix(10, 1.5)
+
+    def test_powerlaw_ratio_high(self):
+        t = powerlaw_matrix(3000, avg_nnz=20, max_nnz=900, sigma=1.6, seed=3)
+        props = analyze(t)
+        assert props.column_ratio > 10
+
+    def test_stencil_5_point_interior(self):
+        t = stencil_matrix(10, 10, points=5)
+        counts = t.row_counts()
+        # Interior nodes have exactly 5 neighbors; corners have 3.
+        assert counts.max() == 5
+        assert counts.min() == 3
+
+    def test_stencil_9_point(self):
+        t = stencil_matrix(8, 8, points=9)
+        assert t.row_counts().max() == 9
+
+    def test_stencil_rejects_7_point(self):
+        with pytest.raises(GeneratorError):
+            stencil_matrix(4, 4, points=7)
+
+    def test_stencil_symmetric_pattern(self):
+        t = stencil_matrix(6, 6, points=5)
+        dense = t.to_dense()
+        assert np.array_equal(dense != 0, (dense != 0).T)
+
+    def test_diagonal_band(self):
+        t = diagonal_band_matrix(20, [0, 1, -1], seed=0)
+        dense = t.to_dense()
+        assert np.all(np.diag(dense) != 0)
+        assert np.all(np.diag(dense, 1) != 0)
+        assert dense[0, 5] == 0

@@ -1,0 +1,145 @@
+"""Tests for Matrix Market I/O."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixMarketError
+from repro.matrices.mmio import read_matrix_market, write_matrix_market
+from tests.conftest import make_random_triplets
+
+
+def test_roundtrip(tmp_path, small_triplets):
+    path = tmp_path / "m.mtx"
+    write_matrix_market(path, small_triplets)
+    back = read_matrix_market(path)
+    assert np.allclose(back.to_dense(), small_triplets.to_dense())
+
+
+def test_roundtrip_gzip(tmp_path, small_triplets):
+    path = tmp_path / "m.mtx.gz"
+    write_matrix_market(path, small_triplets)
+    with gzip.open(path, "rt") as fh:
+        assert fh.readline().startswith("%%MatrixMarket")
+    back = read_matrix_market(path)
+    assert np.allclose(back.to_dense(), small_triplets.to_dense())
+
+
+def test_comment_written(tmp_path, small_triplets):
+    path = tmp_path / "m.mtx"
+    write_matrix_market(path, small_triplets, comment="hello\nworld")
+    text = path.read_text()
+    assert "% hello" in text and "% world" in text
+    read_matrix_market(path)  # comments skipped on read
+
+
+def test_pattern_field(tmp_path):
+    path = tmp_path / "p.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n1 1\n2 2\n"
+    )
+    t = read_matrix_market(path)
+    assert np.array_equal(t.to_dense(), np.eye(2))
+
+
+def test_integer_field(tmp_path):
+    path = tmp_path / "i.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate integer general\n"
+        "2 2 1\n1 2 7\n"
+    )
+    t = read_matrix_market(path)
+    assert t.to_dense()[0, 1] == 7
+
+
+def test_symmetric_expansion(tmp_path):
+    path = tmp_path / "s.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n2 1 5.0\n3 3 1.0\n"
+    )
+    dense = read_matrix_market(path).to_dense()
+    assert dense[1, 0] == 5.0
+    assert dense[0, 1] == 5.0
+    assert dense[2, 2] == 1.0
+
+
+def test_skew_symmetric_expansion(tmp_path):
+    path = tmp_path / "k.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "2 2 1\n2 1 3.0\n"
+    )
+    dense = read_matrix_market(path).to_dense()
+    assert dense[1, 0] == 3.0
+    assert dense[0, 1] == -3.0
+
+
+def test_symmetric_diagonal_not_duplicated(tmp_path):
+    path = tmp_path / "d.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "2 2 1\n1 1 4.0\n"
+    )
+    assert read_matrix_market(path).to_dense()[0, 0] == 4.0
+
+
+def test_scipy_interop(tmp_path, small_triplets):
+    """Our writer produces files scipy can read, and vice versa."""
+    import scipy.io as sio
+
+    path = tmp_path / "interop.mtx"
+    write_matrix_market(path, small_triplets)
+    sp = sio.mmread(path)
+    assert np.allclose(sp.toarray(), small_triplets.to_dense())
+
+    path2 = tmp_path / "from_scipy.mtx"
+    sio.mmwrite(path2, sp)
+    back = read_matrix_market(str(path2) + ".mtx" if not path2.exists() else path2)
+    assert np.allclose(back.to_dense(), small_triplets.to_dense())
+
+
+class TestErrors:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("1 1 0\n")
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(path)
+
+    def test_array_format_rejected(self, tmp_path):
+        path = tmp_path / "arr.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(path)
+
+    def test_complex_field_rejected(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 0.0\n"
+        )
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(path)
+
+    def test_bad_size_line(self, tmp_path):
+        path = tmp_path / "sz.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\nnope\n")
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(path)
+
+    def test_entry_count_mismatch(self, tmp_path):
+        path = tmp_path / "n.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        )
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(path)
+
+    def test_hermitian_rejected(self, tmp_path):
+        path = tmp_path / "h.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1.0\n"
+        )
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(path)

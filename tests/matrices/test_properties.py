@@ -1,0 +1,67 @@
+"""Tests for the Table 5.1 property metrics."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.coo_builder import CooBuilder
+from repro.matrices.properties import analyze
+
+
+def build(nrows, ncols, entries):
+    b = CooBuilder(nrows, ncols)
+    for r, c, v in entries:
+        b.add(r, c, v)
+    return b.finish()
+
+
+class TestAnalyze:
+    def test_basic_counts(self):
+        t = build(3, 4, [(0, 0, 1), (0, 1, 1), (1, 2, 1)])
+        p = analyze(t, "m")
+        assert p.name == "m"
+        assert (p.nrows, p.ncols, p.nnz) == (3, 4, 3)
+
+    def test_max_and_avg(self):
+        t = build(4, 4, [(0, 0, 1), (0, 1, 1), (0, 2, 1), (2, 0, 1)])
+        p = analyze(t)
+        assert p.max_row_nnz == 3
+        assert p.avg_row_nnz == pytest.approx(1.0)
+
+    def test_column_ratio(self):
+        t = build(4, 4, [(0, 0, 1), (0, 1, 1), (0, 2, 1), (2, 0, 1)])
+        assert analyze(t).column_ratio == pytest.approx(3.0)
+
+    def test_uniform_rows_ratio_one(self):
+        entries = [(r, c, 1.0) for r in range(5) for c in (0, 1)]
+        p = analyze(build(5, 5, entries))
+        assert p.column_ratio == pytest.approx(1.0)
+        assert p.variance == pytest.approx(0.0)
+        assert p.std_dev == pytest.approx(0.0)
+
+    def test_variance_matches_numpy(self):
+        t = build(4, 8, [(0, c, 1.0) for c in range(6)] + [(1, 0, 1.0), (2, 0, 1.0)])
+        counts = np.array([6, 1, 1, 0], dtype=float)
+        p = analyze(t)
+        assert p.variance == pytest.approx(counts.var())
+        assert p.std_dev == pytest.approx(counts.std())
+
+    def test_empty_matrix(self):
+        p = analyze(CooBuilder(3, 3).finish())
+        assert p.nnz == 0
+        assert p.max_row_nnz == 0
+        assert p.column_ratio == 0.0
+
+    def test_density(self):
+        t = build(2, 2, [(0, 0, 1), (1, 1, 1)])
+        assert analyze(t).density == pytest.approx(0.5)
+
+    def test_ell_padding_fraction(self):
+        # Rows of 3 and 1 nonzeros: ELL stores 2*3=6 slots for 4 values.
+        t = build(2, 4, [(0, 0, 1), (0, 1, 1), (0, 2, 1), (1, 0, 1)])
+        assert analyze(t).ell_padding_fraction == pytest.approx(1 - 4 / 6)
+
+    def test_paper_row_rounding(self):
+        t = build(4, 4, [(0, 0, 1), (0, 1, 1), (0, 2, 1), (2, 0, 1)])
+        row = analyze(t, "x").as_paper_row()
+        assert row[0] == "x"
+        assert all(isinstance(v, (int, str)) for v in row)

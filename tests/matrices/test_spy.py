@@ -1,0 +1,104 @@
+"""Tests for the sparsity visualizations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.matrices.coo_builder import CooBuilder
+from repro.matrices.generators import banded_matrix, matrix_from_row_counts
+from repro.matrices.spy import ascii_spy, density_grid, row_histogram, svg_spy
+
+
+class TestDensityGrid:
+    def test_shape(self, small_triplets):
+        grid = density_grid(small_triplets, rows=10, cols=12)
+        assert grid.shape == (10, 12)
+
+    def test_grid_clamped_to_matrix(self):
+        b = CooBuilder(3, 3)
+        b.add(0, 0, 1.0)
+        grid = density_grid(b.finish(), rows=100, cols=100)
+        assert grid.shape == (3, 3)
+
+    def test_values_in_unit_interval(self, small_triplets):
+        grid = density_grid(small_triplets, 8, 8)
+        assert grid.min() >= 0.0
+        assert grid.max() <= 1.0
+
+    def test_band_lands_on_diagonal(self):
+        t = banded_matrix(64, 5, seed=0)
+        grid = density_grid(t, 8, 8)
+        assert np.all(np.diag(grid) > 0)
+        assert grid[0, 7] == 0.0
+        assert grid[7, 0] == 0.0
+
+    def test_rejects_empty_grid(self, small_triplets):
+        with pytest.raises(ShapeError):
+            density_grid(small_triplets, 0, 5)
+
+
+class TestAsciiSpy:
+    def test_bordered_output(self, small_triplets):
+        art = ascii_spy(small_triplets, rows=6, cols=20)
+        lines = art.splitlines()
+        assert lines[0].startswith("+") and lines[-1].startswith("+")
+        assert all(line.startswith("|") for line in lines[1:-1])
+
+    def test_no_border(self, small_triplets):
+        art = ascii_spy(small_triplets, rows=6, cols=20, border=False)
+        lines = art.splitlines()
+        # '+' may appear as a shade character, but not as a border frame.
+        assert not lines[0].startswith("+-")
+        assert not any(line.startswith("|") for line in lines)
+        assert len(lines) == 6
+
+    def test_nonzero_cells_visible(self):
+        b = CooBuilder(10, 10)
+        b.add(0, 0, 1.0)
+        art = ascii_spy(b.finish(), rows=10, cols=10, border=False)
+        assert art.splitlines()[0][0] != " "
+
+    def test_empty_matrix_blank(self):
+        art = ascii_spy(CooBuilder(5, 5).finish(), rows=5, cols=5, border=False)
+        assert set(art.replace("\n", "")) == {" "}
+
+    def test_band_reads_as_diagonal(self):
+        t = banded_matrix(64, 5, seed=0)
+        lines = ascii_spy(t, rows=8, cols=8, border=False).splitlines()
+        assert lines[0][0] != " "
+        assert lines[0][-1] == " "
+        assert lines[-1][-1] != " "
+
+
+class TestRowHistogram:
+    def test_empty(self):
+        assert "empty" in row_histogram(CooBuilder(3, 3).finish())
+
+    def test_bucket_lines(self, small_triplets):
+        text = row_histogram(small_triplets, buckets=5)
+        assert len(text.splitlines()) == 5
+
+    def test_tail_visible(self):
+        # 1 row of 40, many rows of 2: the tail bucket must show its count.
+        counts = np.full(50, 2)
+        counts[0] = 40
+        t = matrix_from_row_counts(counts, 60, seed=0)
+        text = row_histogram(t, buckets=4)
+        assert text.splitlines()[-1].strip().endswith("1")
+
+
+class TestSvgSpy:
+    def test_valid_svg(self, small_triplets):
+        svg = svg_spy(small_triplets, rows=10, cols=10, title="m")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "<text" in svg  # the title
+
+    def test_cells_rendered(self, small_triplets):
+        svg = svg_spy(small_triplets, rows=10, cols=10)
+        grid = density_grid(small_triplets, 10, 10)
+        # One rect per nonzero cell plus the background.
+        assert svg.count("<rect") == int((grid > 0).sum()) + 1
+
+    def test_no_title_no_text(self, small_triplets):
+        assert "<text" not in svg_spy(small_triplets, rows=5, cols=5)

@@ -1,0 +1,113 @@
+"""Tests for the 14-matrix Table 5.1 suite."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeneratorError
+from repro.matrices.properties import analyze
+from repro.matrices.suite import (
+    SUITE,
+    MatrixSpec,
+    _spec_consistency_check,
+    load_matrix,
+    matrix_names,
+    paper_table_5_1,
+    properties_table,
+    scaled_suite_scale_for,
+)
+
+SCALE = 32
+
+
+def test_fourteen_matrices():
+    assert len(matrix_names()) == 14
+
+
+def test_names_match_paper_table():
+    assert matrix_names() == [row["name"] for row in paper_table_5_1()]
+
+
+def test_specs_consistent_with_published():
+    for spec in SUITE.values():
+        assert _spec_consistency_check(spec) == []
+
+
+@pytest.mark.parametrize("name", matrix_names())
+def test_matrix_statistics_match_table(name):
+    """Avg / max / ratio of each analog track the published Table 5.1."""
+    published = {r["name"]: r for r in paper_table_5_1()}[name]
+    props = analyze(load_matrix(name, scale=SCALE), name)
+    assert props.max_row_nnz == published["max"]
+    assert props.avg_row_nnz == pytest.approx(published["avg"], rel=0.25, abs=1.0)
+    pub_ratio = max(published["ratio"], 1)
+    assert props.column_ratio == pytest.approx(pub_ratio, rel=0.45, abs=1.2)
+
+
+def test_matrices_square():
+    for name in matrix_names():
+        t = load_matrix(name, scale=SCALE)
+        assert t.nrows == t.ncols
+
+
+def test_scale_one_sixteenth_rows():
+    t16 = load_matrix("cant", scale=16)
+    spec = SUITE["cant"]
+    assert t16.nrows == spec.nrows // 16
+
+
+def test_scale_preserves_per_row_stats():
+    p8 = analyze(load_matrix("pdb1HYS", scale=8))
+    p64 = analyze(load_matrix("pdb1HYS", scale=64))
+    assert p8.avg_row_nnz == pytest.approx(p64.avg_row_nnz, rel=0.15)
+    assert p8.max_row_nnz == p64.max_row_nnz
+
+
+def test_torso1_is_the_ell_killer():
+    props = analyze(load_matrix("torso1", scale=SCALE), "torso1")
+    others = [
+        analyze(load_matrix(n, scale=SCALE), n).column_ratio
+        for n in matrix_names()
+        if n != "torso1"
+    ]
+    assert props.column_ratio > 5 * max(others)
+
+
+def test_load_unknown_matrix():
+    with pytest.raises(GeneratorError):
+        load_matrix("not_a_matrix")
+
+
+def test_load_bad_scale():
+    with pytest.raises(GeneratorError):
+        load_matrix("cant", scale=0)
+
+
+def test_load_is_cached():
+    a = load_matrix("dw4096", scale=SCALE)
+    b = load_matrix("dw4096", scale=SCALE)
+    assert a is b
+
+
+def test_load_deterministic_across_cache():
+    a = load_matrix("dw4096", scale=SCALE)
+    fresh = SUITE["dw4096"].build(scale=SCALE)
+    assert np.array_equal(a.cols, fresh.cols)
+
+
+def test_properties_table_covers_suite():
+    table = properties_table(scale=64)
+    assert [p.name for p in table] == matrix_names()
+
+
+def test_scaled_suite_scale_power_of_two():
+    scale = scaled_suite_scale_for(1_000_000)
+    assert scale & (scale - 1) == 0
+    heaviest = max(spec.paper_nnz for spec in SUITE.values())
+    assert heaviest // scale <= 1_000_000
+
+
+def test_spec_build_floor_on_max():
+    """Tiny scales still allocate enough columns for the longest row."""
+    spec = MatrixSpec("tiny", 100, 5.0, 80, 2.0, "normal", seed=1)
+    t = spec.build(scale=100)
+    assert t.ncols >= 81

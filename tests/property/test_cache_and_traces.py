@@ -1,0 +1,90 @@
+"""Property-based tests: the reuse-distance model against the LRU
+simulator, trace invariants, and partitioning invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.common import balanced_partitions
+from repro.kernels.traces import reuse_distance_histogram
+from repro.machine.cache import SetAssociativeCache
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    stream=st.lists(st.integers(0, 30), min_size=1, max_size=300),
+)
+def test_histogram_accounts_every_access(stream):
+    stream = np.asarray(stream)
+    hist, unique = reuse_distance_histogram(stream)
+    assert hist.sum() + unique == stream.size
+    assert unique == np.unique(stream).size
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    stream=st.lists(st.integers(0, 20), min_size=1, max_size=200),
+    capacity=st.sampled_from([2, 4, 8, 16, 64]),
+)
+def test_reuse_model_tracks_fully_associative_lru(stream, capacity):
+    """The histogram hit estimate brackets a fully-associative LRU cache.
+
+    Stack distance <= raw stream distance, so the histogram *underestimates*
+    hits; and any access the model counts as a hit (distance < capacity)
+    is a real LRU hit.  Model hits <= simulated hits must always hold.
+    """
+    stream = np.asarray(stream)
+    hist, unique = reuse_distance_histogram(stream)
+    max_bucket = int(np.floor(np.log2(capacity))) if capacity > 1 else -1
+    model_hits = int(hist[: max_bucket + 1].sum()) if max_bucket >= 0 else 0
+    # Model counts distances in buckets up to 2^(max_bucket+1)-1; only
+    # distances strictly below capacity are guaranteed LRU hits, so clip
+    # the guarantee to full buckets below capacity.
+    safe_bucket = int(np.floor(np.log2(capacity + 1))) - 1
+    safe_hits = int(hist[: safe_bucket + 1].sum()) if safe_bucket >= 0 else 0
+
+    # Fully associative LRU: one set, `capacity` ways, line = 1 "byte".
+    cache = SetAssociativeCache(capacity, line_bytes=1, ways=capacity, name="FA")
+    sim_hits = sum(cache.access(int(x)) for x in stream)
+    assert safe_hits <= sim_hits
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    work=st.lists(st.integers(0, 50), min_size=1, max_size=60),
+    parts=st.integers(1, 12),
+)
+def test_balanced_partitions_cover_exactly(work, parts):
+    indptr = np.concatenate([[0], np.cumsum(work)]).astype(np.int64)
+    ranges = balanced_partitions(indptr, parts)
+    assert len(ranges) == parts
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == len(work)
+    for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+        assert a1 == b0
+        assert a0 <= a1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.tuples(st.sampled_from([64, 128, 256]), st.sampled_from([1, 2, 4])),
+    addresses=st.lists(st.integers(0, 2048), min_size=1, max_size=150),
+)
+def test_cache_hits_never_exceed_accesses(sizes, addresses):
+    size, ways = sizes
+    cache = SetAssociativeCache(size, line_bytes=16, ways=ways)
+    for a in addresses:
+        cache.access(a)
+    assert 0 <= cache.stats.hits <= cache.stats.accesses
+    assert cache.stats.accesses == len(addresses)
+
+
+@settings(max_examples=30, deadline=None)
+@given(addresses=st.lists(st.integers(0, 255), min_size=1, max_size=100))
+def test_bigger_cache_never_fewer_hits_fully_assoc(addresses):
+    """LRU inclusion property: a larger fully-associative cache hits at
+    least as often on any trace."""
+    small = SetAssociativeCache(8, line_bytes=1, ways=8)
+    large = SetAssociativeCache(32, line_bytes=1, ways=32)
+    hits_small = sum(small.access(a) for a in addresses)
+    hits_large = sum(large.access(a) for a in addresses)
+    assert hits_large >= hits_small

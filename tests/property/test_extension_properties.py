@@ -1,0 +1,103 @@
+"""Property-based tests for the extension systems: mmio, SpGEMM, RCM,
+SELL parameters, spy grids."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.formats.csr import CSR
+from repro.formats.sell import SELL
+from repro.kernels.spgemm import spgemm
+from repro.matrices.mmio import read_matrix_market, write_matrix_market
+from repro.matrices.reorder import bandwidth, permute, reverse_cuthill_mckee
+from repro.matrices.spy import density_grid
+from tests.property.test_format_properties import sparse_matrices
+
+
+@st.composite
+def square_matrices(draw, max_dim=20, max_nnz=50):
+    t = draw(sparse_matrices(max_dim=max_dim, max_nnz=max_nnz))
+    if t.nrows == t.ncols:
+        return t
+    # Re-draw as square by cropping indices into the smaller dimension.
+    n = min(t.nrows, t.ncols)
+    keep = (np.asarray(t.rows) < n) & (np.asarray(t.cols) < n)
+    from repro.matrices.coo_builder import CooBuilder
+
+    b = CooBuilder(n, n)
+    b.add_batch(
+        np.asarray(t.rows)[keep], np.asarray(t.cols)[keep], t.values[keep]
+    )
+    return b.finish()
+
+
+@settings(max_examples=30, deadline=None)
+@given(t=sparse_matrices(max_dim=16, max_nnz=40))
+def test_mmio_roundtrip_any_matrix(t, tmp_path_factory):
+    path = tmp_path_factory.mktemp("mm") / "m.mtx"
+    write_matrix_market(path, t)
+    back = read_matrix_market(path)
+    assert back.nrows == t.nrows and back.ncols == t.ncols
+    assert np.allclose(back.to_dense(), t.to_dense())
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=sparse_matrices(max_dim=12, max_nnz=30), b=sparse_matrices(max_dim=12, max_nnz=30))
+def test_spgemm_matches_dense_always(a, b):
+    if a.ncols != b.nrows:
+        # Rebuild b with compatible inner dimension by reusing a's ncols.
+        from repro.matrices.coo_builder import CooBuilder
+
+        builder = CooBuilder(a.ncols, max(b.ncols, 1))
+        keep = np.asarray(b.rows) < a.ncols
+        if keep.any():
+            builder.add_batch(
+                np.asarray(b.rows)[keep], np.asarray(b.cols)[keep], b.values[keep]
+            )
+        b = builder.finish()
+    C = spgemm(CSR.from_triplets(a), CSR.from_triplets(b))
+    assert np.allclose(C.to_dense(), a.to_dense() @ b.to_dense(), atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(t=square_matrices())
+def test_rcm_is_always_a_permutation(t):
+    perm = reverse_cuthill_mckee(t)
+    assert np.array_equal(np.sort(perm), np.arange(t.nrows))
+    recovered = permute(t, perm)
+    assert recovered.nnz == t.nnz
+    # Symmetric permutation preserves the spectrum surrogate: value sum.
+    assert np.isclose(recovered.values.sum(), t.values.sum())
+
+
+@settings(max_examples=25, deadline=None)
+@given(t=square_matrices(), seed=st.integers(0, 100))
+def test_rcm_never_worse_than_random(t, seed):
+    """RCM bandwidth is never (much) worse than a random permutation's
+    expected bandwidth — sanity, not optimality."""
+    if t.nnz == 0:
+        return
+    perm = reverse_cuthill_mckee(t)
+    rcm_bw = bandwidth(permute(t, perm))
+    rng = np.random.default_rng(seed)
+    rand_bw = bandwidth(permute(t, rng.permutation(t.nrows)))
+    assert rcm_bw <= max(rand_bw, bandwidth(t)) + 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    t=sparse_matrices(max_dim=16, max_nnz=40),
+    chunk=st.integers(1, 8),
+    sigma=st.integers(1, 32),
+)
+def test_sell_any_parameters(t, chunk, sigma):
+    A = SELL.from_triplets(t, chunk=chunk, sigma=sigma)
+    assert np.allclose(A.to_dense(), t.to_dense())
+    assert A.stored_entries >= A.nnz
+
+
+@settings(max_examples=25, deadline=None)
+@given(t=sparse_matrices(max_dim=20, max_nnz=40), rows=st.integers(1, 12), cols=st.integers(1, 12))
+def test_density_grid_conserves_presence(t, rows, cols):
+    grid = density_grid(t, rows, cols)
+    assert (grid > 0).any() == (t.nnz > 0)
+    assert grid.min() >= 0 and grid.max() <= 1

@@ -1,0 +1,118 @@
+"""Property-based tests (hypothesis): format round-trips and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.formats.registry import get_format
+from repro.matrices.coo_builder import CooBuilder
+from tests.conftest import ALL_FORMATS, FORMAT_PARAMS
+
+
+@st.composite
+def sparse_matrices(draw, max_dim=24, max_nnz=60):
+    """Random Triplets with distinct coordinates and nonzero values."""
+    nrows = draw(st.integers(1, max_dim))
+    ncols = draw(st.integers(1, max_dim))
+    n_entries = draw(st.integers(0, min(max_nnz, nrows * ncols)))
+    coords = draw(
+        st.lists(
+            st.tuples(st.integers(0, nrows - 1), st.integers(0, ncols - 1)),
+            min_size=n_entries,
+            max_size=n_entries,
+            unique=True,
+        )
+    )
+    values = draw(
+        st.lists(
+            st.floats(
+                min_value=0.25, max_value=8.0, allow_nan=False, allow_infinity=False
+            ),
+            min_size=len(coords),
+            max_size=len(coords),
+        )
+    )
+    signs = draw(
+        st.lists(st.sampled_from([-1.0, 1.0]), min_size=len(coords), max_size=len(coords))
+    )
+    builder = CooBuilder(nrows, ncols)
+    if coords:
+        rows, cols = zip(*coords)
+        builder.add_batch(list(rows), list(cols), [v * s for v, s in zip(values, signs)])
+    return builder.finish()
+
+
+format_names = st.sampled_from(ALL_FORMATS)
+
+
+@settings(max_examples=60, deadline=None)
+@given(t=sparse_matrices(), fmt=format_names)
+def test_roundtrip_preserves_matrix(t, fmt):
+    """to_triplets(from_triplets(t)) reproduces the dense matrix exactly."""
+    A = get_format(fmt).from_triplets(t, **FORMAT_PARAMS.get(fmt, {}))
+    assert np.allclose(A.to_dense(), t.to_dense())
+
+
+@settings(max_examples=60, deadline=None)
+@given(t=sparse_matrices(), fmt=format_names)
+def test_nnz_and_padding_invariants(t, fmt):
+    A = get_format(fmt).from_triplets(t, **FORMAT_PARAMS.get(fmt, {}))
+    assert A.nnz == t.nnz
+    assert A.stored_entries >= A.nnz
+    assert A.nbytes > 0 or t.nnz == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(t=sparse_matrices(), src=format_names, dst=format_names)
+def test_conversion_chain(t, src, dst):
+    """Converting src -> dst -> COO preserves the matrix."""
+    from repro.formats.convert import convert
+
+    A = get_format(src).from_triplets(t, **FORMAT_PARAMS.get(src, {}))
+    B = convert(A, dst, **FORMAT_PARAMS.get(dst, {}))
+    C = convert(B, "coo")
+    assert np.allclose(C.to_dense(), t.to_dense())
+
+
+@settings(max_examples=40, deadline=None)
+@given(t=sparse_matrices(), block=st.integers(1, 6))
+def test_bcsr_any_block_size(t, block):
+    from repro.formats.bcsr import BCSR
+
+    A = BCSR.from_triplets(t, block_size=block)
+    assert np.allclose(A.to_dense(), t.to_dense())
+    assert A.stored_entries == A.nblocks * block * block
+
+
+@settings(max_examples=40, deadline=None)
+@given(t=sparse_matrices(), row_block=st.integers(1, 9))
+def test_bell_any_row_block(t, row_block):
+    from repro.formats.bell import BELL
+
+    A = BELL.from_triplets(t, row_block=row_block)
+    assert np.allclose(A.to_dense(), t.to_dense())
+
+
+@settings(max_examples=40, deadline=None)
+@given(t=sparse_matrices(), tile=st.integers(1, 32))
+def test_csr5_any_tile(t, tile):
+    from repro.formats.csr5 import CSR5
+
+    A = CSR5.from_triplets(t, tile_nnz=tile)
+    assert np.allclose(A.to_dense(), t.to_dense())
+    if A.ntiles:
+        sizes = np.diff(A.tile_ptr)
+        assert sizes.max() <= tile
+
+
+@settings(max_examples=40, deadline=None)
+@given(t=sparse_matrices())
+def test_properties_consistency(t):
+    """Table 5.1 metrics are internally consistent for any matrix."""
+    from repro.matrices.properties import analyze
+
+    p = analyze(t)
+    assert p.nnz == t.nnz
+    assert 0 <= p.std_dev == np.sqrt(p.variance)
+    if p.avg_row_nnz > 0:
+        assert p.column_ratio >= 1.0 or t.nnz == 0
+        assert p.max_row_nnz >= p.avg_row_nnz

@@ -1,0 +1,98 @@
+"""Property-based tests: every kernel variant computes A @ B exactly."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.formats.registry import get_format
+from repro.kernels.dispatch import run_spmm, run_spmv
+from tests.conftest import ALL_FORMATS, FORMAT_PARAMS
+from tests.property.test_format_properties import sparse_matrices
+
+TRANSPOSE_FORMATS = ("coo", "csr", "ell", "bcsr", "csr5")
+GROUPED_FORMATS = ("coo", "csr", "csr5")
+
+
+def _dense_operand(t, k, seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((t.ncols, k))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    t=sparse_matrices(),
+    fmt=st.sampled_from(ALL_FORMATS),
+    variant=st.sampled_from(["serial", "parallel", "optimized", "gpu"]),
+    k=st.integers(1, 9),
+    seed=st.integers(0, 5),
+)
+def test_spmm_variants_match_dense(t, fmt, variant, k, seed):
+    A = get_format(fmt).from_triplets(t, **FORMAT_PARAMS.get(fmt, {}))
+    B = _dense_operand(t, k, seed)
+    C = run_spmm(A, B, variant=variant, threads=3)
+    assert np.allclose(C, t.to_dense() @ B, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    t=sparse_matrices(),
+    fmt=st.sampled_from(TRANSPOSE_FORMATS),
+    threads=st.sampled_from([1, 3]),
+    k=st.integers(1, 6),
+)
+def test_transpose_variants_match_dense(t, fmt, threads, k):
+    A = get_format(fmt).from_triplets(t, **FORMAT_PARAMS.get(fmt, {}))
+    B = _dense_operand(t, k, 1)
+    variant = "serial_transpose" if threads == 1 else "parallel_transpose"
+    C = run_spmm(A, B, variant=variant, threads=threads)
+    assert np.allclose(C, t.to_dense() @ B, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    t=sparse_matrices(),
+    fmt=st.sampled_from(GROUPED_FORMATS),
+    k=st.integers(1, 6),
+)
+def test_grouped_variant_matches_dense(t, fmt, k):
+    A = get_format(fmt).from_triplets(t, **FORMAT_PARAMS.get(fmt, {}))
+    B = _dense_operand(t, k, 2)
+    C = run_spmm(A, B, variant="grouped")
+    assert np.allclose(C, t.to_dense() @ B, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    t=sparse_matrices(),
+    fmt=st.sampled_from(ALL_FORMATS),
+    variant=st.sampled_from(["serial", "parallel"]),
+    seed=st.integers(0, 5),
+)
+def test_spmv_variants_match_dense(t, fmt, variant, seed):
+    A = get_format(fmt).from_triplets(t, **FORMAT_PARAMS.get(fmt, {}))
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(t.ncols)
+    y = run_spmv(A, x, variant=variant, threads=3)
+    assert np.allclose(y, t.to_dense() @ x, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(t=sparse_matrices(), k=st.integers(1, 6), k_clip=st.integers(1, 6))
+def test_k_clipping_consistent(t, k, k_clip):
+    """Clipping B to k columns equals multiplying the clipped B."""
+    A = get_format("csr").from_triplets(t)
+    B = _dense_operand(t, max(k, k_clip), 3)
+    C = run_spmm(A, B, k=k_clip)
+    assert np.allclose(C, t.to_dense() @ B[:, :k_clip], atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(t=sparse_matrices())
+def test_formats_agree_with_each_other(t):
+    """All six formats produce identical products for the same input."""
+    B = _dense_operand(t, 4, 4)
+    results = []
+    for fmt in ALL_FORMATS:
+        A = get_format(fmt).from_triplets(t, **FORMAT_PARAMS.get(fmt, {}))
+        results.append(run_spmm(A, B))
+    for other in results[1:]:
+        assert np.allclose(results[0], other, atol=1e-9)

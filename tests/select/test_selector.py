@@ -1,0 +1,134 @@
+"""Tests for feature extraction, dataset generation, and the selector."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.generators import banded_matrix, powerlaw_matrix
+from repro.matrices.suite import load_matrix
+from repro.select import (
+    CANDIDATE_FORMATS,
+    FEATURE_NAMES,
+    FormatSelector,
+    evaluate_selector,
+    extract_features,
+    generate_dataset,
+    oracle_label,
+    train_default_selector,
+)
+from repro.select.dataset import KINDS, sample_matrix
+
+# Train once for the module: the corpus is deterministic.
+_SELECTOR = None
+
+
+def selector():
+    global _SELECTOR
+    if _SELECTOR is None:
+        _SELECTOR = train_default_selector(n_samples=72, seed=0)
+    return _SELECTOR
+
+
+class TestFeatures:
+    def test_vector_length(self, small_triplets):
+        f = extract_features(small_triplets)
+        assert f.shape == (len(FEATURE_NAMES),)
+        assert np.all(np.isfinite(f))
+
+    def test_column_ratio_feature(self, skewed_triplets, small_triplets):
+        i = FEATURE_NAMES.index("column_ratio")
+        assert extract_features(skewed_triplets)[i] > extract_features(small_triplets)[i]
+
+    def test_locality_feature_direction(self):
+        i = FEATURE_NAMES.index("gather_locality")
+        banded = extract_features(banded_matrix(300, 8, seed=1))
+        from repro.matrices.generators import matrix_from_row_counts
+
+        scattered = extract_features(
+            matrix_from_row_counts(np.full(300, 6), 6000, spread=200, seed=1)
+        )
+        assert banded[i] > scattered[i]
+
+    def test_ell_padding_feature(self, skewed_triplets):
+        i = FEATURE_NAMES.index("ell_padding_fraction")
+        f = extract_features(skewed_triplets)
+        assert f[i] > 0.5
+
+
+class TestDataset:
+    def test_all_kinds_sampleable(self):
+        rng = np.random.default_rng(0)
+        for kind in KINDS:
+            t = sample_matrix(kind, rng, size=200)
+            assert t.nnz > 0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            sample_matrix("fractal", np.random.default_rng(0))
+
+    def test_oracle_scores_all_candidates(self, small_triplets):
+        label, scores = oracle_label(small_triplets, k=16)
+        assert set(scores) == set(CANDIDATE_FORMATS)
+        assert label == max(scores, key=scores.get)
+
+    def test_dataset_deterministic(self):
+        a = generate_dataset(12, seed=7, size=200)
+        b = generate_dataset(12, seed=7, size=200)
+        assert [s.label for s in a] == [s.label for s in b]
+        assert np.allclose(
+            np.vstack([s.features for s in a]), np.vstack([s.features for s in b])
+        )
+
+    def test_dataset_balanced_kinds(self):
+        samples = generate_dataset(12, seed=1, size=200)
+        kinds = {s.kind for s in samples}
+        assert kinds == set(KINDS)
+
+
+class TestSelector:
+    def test_training_accuracy(self):
+        test = generate_dataset(36, seed=123)
+        report = evaluate_selector(selector(), test)
+        assert report.accuracy >= 0.75
+        assert report.mean_regret <= 0.05
+
+    def test_ell_for_uniform_rows(self):
+        """af23560's near-constant rows are ELL territory."""
+        t = load_matrix("af23560", scale=64)
+        assert selector().select(t) == "ell"
+
+    def test_never_ell_for_torso1(self):
+        t = load_matrix("torso1", scale=64)
+        assert selector().select(t) != "ell"
+
+    def test_build_returns_formatted(self, small_triplets):
+        A = selector().build(small_triplets)
+        assert A.format_name in CANDIDATE_FORMATS
+        assert A.nnz == small_triplets.nnz
+
+    def test_proba_distribution(self, small_triplets):
+        proba = selector().select_proba(small_triplets)
+        assert abs(sum(proba.values()) - 1.0) < 1e-9
+
+    def test_save_load_roundtrip(self, tmp_path, small_triplets):
+        path = selector().save(tmp_path / "selector.json")
+        loaded = FormatSelector.load(path)
+        assert loaded.select(small_triplets) == selector().select(small_triplets)
+        assert loaded.target == selector().target
+
+    def test_load_rejects_wrong_features(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.json"
+        data = json.loads(selector().save(tmp_path / "ok.json").read_text())
+        data["feature_names"] = ["x"]
+        path.write_text(json.dumps(data))
+        from repro.select.tree import SelectionError
+
+        with pytest.raises(SelectionError):
+            FormatSelector.load(path)
+
+    def test_report_summary_readable(self):
+        test = generate_dataset(18, seed=5)
+        report = evaluate_selector(selector(), test)
+        text = report.summary()
+        assert "accuracy" in text and "regret" in text

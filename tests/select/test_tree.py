@@ -1,0 +1,118 @@
+"""Tests for the from-scratch CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.select.tree import DecisionTreeClassifier, SelectionError
+
+
+def xor_dataset(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = np.where((X[:, 0] > 0) ^ (X[:, 1] > 0), "a", "b")
+    return X, y
+
+
+class TestFit:
+    def test_perfect_split_single_feature(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array(["lo", "lo", "hi", "hi"])
+        tree = DecisionTreeClassifier(min_samples_leaf=1).fit(X, y)
+        assert list(tree.predict(X)) == list(y)
+        assert tree.depth() == 1
+        assert 1.0 < tree._root.threshold < 2.0
+
+    def test_xor_needs_depth_two(self):
+        X, y = xor_dataset()
+        deep = DecisionTreeClassifier(max_depth=3, min_samples_leaf=1).fit(X, y)
+        acc = (deep.predict(X) == y).mean()
+        assert acc > 0.95
+
+    def test_depth_cap_respected(self):
+        X, y = xor_dataset()
+        tree = DecisionTreeClassifier(max_depth=1, min_samples_leaf=1).fit(X, y)
+        assert tree.depth() <= 1
+
+    def test_min_samples_leaf(self):
+        X = np.arange(10, dtype=float)[:, None]
+        y = np.array(["a"] * 9 + ["b"])
+        tree = DecisionTreeClassifier(min_samples_leaf=3, min_impurity_decrease=0).fit(X, y)
+        # Splitting off the lone "b" would make a 1-sample leaf: forbidden.
+        def leaves(node):
+            if node.is_leaf:
+                return [node]
+            return leaves(node.left) + leaves(node.right)
+
+        assert all(l.proba is not None for l in leaves(tree._require_fitted()))
+        assert tree.depth() == 0 or all(
+            min(np.sum(l.proba) for l in leaves(tree._require_fitted())) > 0
+            for _ in [0]
+        )
+
+    def test_pure_node_stops(self):
+        X = np.random.default_rng(0).random((20, 3))
+        y = np.array(["same"] * 20)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth() == 0
+        assert tree.n_leaves() == 1
+
+    def test_multiclass(self):
+        X = np.array([[v] for v in (0.0, 1, 2, 10, 11, 12, 20, 21, 22)])
+        y = np.array(["a"] * 3 + ["b"] * 3 + ["c"] * 3)
+        tree = DecisionTreeClassifier(min_samples_leaf=1).fit(X, y)
+        assert list(tree.predict([[1.0], [11.0], [21.0]])) == ["a", "b", "c"]
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(SelectionError):
+            DecisionTreeClassifier().fit(np.ones((3, 2)), np.array(["a", "b"]))
+        with pytest.raises(SelectionError):
+            DecisionTreeClassifier().fit(np.empty((0, 2)), np.empty(0))
+        with pytest.raises(SelectionError):
+            DecisionTreeClassifier(max_depth=-1)
+
+    def test_predict_needs_fit(self):
+        with pytest.raises(SelectionError):
+            DecisionTreeClassifier().predict([[1.0]])
+
+    def test_predict_checks_width(self):
+        tree = DecisionTreeClassifier().fit(np.ones((4, 2)), np.array(["a"] * 4))
+        with pytest.raises(SelectionError):
+            tree.predict([[1.0, 2.0, 3.0]])
+
+
+class TestProba:
+    def test_proba_sums_to_one(self):
+        X, y = xor_dataset(100)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        proba = tree.predict_proba(X[:10])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_proba_matches_prediction(self):
+        X, y = xor_dataset(100)
+        tree = DecisionTreeClassifier(max_depth=3, min_samples_leaf=1).fit(X, y)
+        preds = tree.predict(X[:20])
+        proba = tree.predict_proba(X[:20])
+        argmax = [tree.classes_[i] for i in proba.argmax(axis=1)]
+        assert list(preds) == argmax
+
+
+class TestPersistence:
+    def test_roundtrip_identical_predictions(self):
+        X, y = xor_dataset(150)
+        tree = DecisionTreeClassifier(max_depth=4, min_samples_leaf=2).fit(X, y)
+        clone = DecisionTreeClassifier.from_dict(tree.to_dict())
+        Xt = np.random.default_rng(5).uniform(-1, 1, size=(50, 2))
+        assert list(tree.predict(Xt)) == list(clone.predict(Xt))
+
+    def test_dict_is_json_safe(self):
+        import json
+
+        X, y = xor_dataset(60)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        json.dumps(tree.to_dict())  # must not raise
+
+    def test_deterministic_training(self):
+        X, y = xor_dataset(120, seed=3)
+        t1 = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        t2 = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert t1.to_dict() == t2.to_dict()

@@ -1,0 +1,86 @@
+"""Tests for the study plumbing (trace caching, modeled cells)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.machines import ARIES, GRACE_HOPPER
+from repro.studies.common import (
+    DEFAULT_K,
+    cached_trace,
+    machines_for_scale,
+    modeled_mflops,
+)
+
+
+class TestCachedTrace:
+    def test_identity_on_repeat(self):
+        a = cached_trace("dw4096", 64, "csr", 32)
+        b = cached_trace("dw4096", 64, "csr", 32)
+        assert a is b
+
+    def test_distinct_per_k(self):
+        a = cached_trace("dw4096", 64, "csr", 32)
+        b = cached_trace("dw4096", 64, "csr", 64)
+        assert a is not b
+        assert b.k == 64
+
+    def test_distinct_per_block_size(self):
+        a = cached_trace("dw4096", 64, "bcsr", 32, 2)
+        b = cached_trace("dw4096", 64, "bcsr", 32, 8)
+        assert a.stored_entries < b.stored_entries
+
+    def test_variant_flags_cached_separately(self):
+        base = cached_trace("dw4096", 64, "csr", 32)
+        fixed = cached_trace("dw4096", 64, "csr", 32, 4, True)
+        assert not base.fixed_k and fixed.fixed_k
+
+    def test_trace_is_compact(self):
+        """Cached traces must not retain the format arrays."""
+        tr = cached_trace("cant", 64, "ell", 32)
+        # row_work (nrows) and the histogram are the only large members.
+        assert tr.row_work.nbytes < 100_000
+        assert tr.reuse_hist.size < 64
+
+
+class TestMachinesForScale:
+    def test_pair_and_caching(self):
+        arm, x86 = machines_for_scale(32)
+        assert arm.arch == "arm" and x86.arch == "x86"
+        arm2, _ = machines_for_scale(32)
+        assert arm is arm2
+
+    def test_scaled_caches(self):
+        arm, _ = machines_for_scale(16)
+        assert arm.l3_bytes == GRACE_HOPPER.l3_bytes // 16
+
+
+class TestModeledMflops:
+    def test_positive_for_all_executions(self):
+        for execution, kwargs in (
+            ("serial", {}),
+            ("parallel", {"threads": 8}),
+            ("gpu", {}),
+        ):
+            mf = modeled_mflops(
+                "dw4096", "csr", GRACE_HOPPER, execution, scale=64, k=DEFAULT_K, **kwargs
+            )
+            assert mf > 0
+
+    def test_machine_sensitivity(self):
+        arm = modeled_mflops("cant", "csr", GRACE_HOPPER, "serial", scale=64)
+        x86 = modeled_mflops("cant", "csr", ARIES, "serial", scale=64)
+        assert arm != x86
+
+    def test_transpose_flag_changes_result(self):
+        # Compute-bound banded matrices tie (the transposed traffic hides
+        # under the compute roof); scattered matrices pay strictly.
+        base = modeled_mflops("cant", "csr", GRACE_HOPPER, "parallel", scale=64)
+        trans = modeled_mflops(
+            "cant", "csr", GRACE_HOPPER, "parallel", scale=64, transpose_b=True
+        )
+        assert trans <= base
+        base_t = modeled_mflops("torso1", "csr", GRACE_HOPPER, "parallel", scale=64)
+        trans_t = modeled_mflops(
+            "torso1", "csr", GRACE_HOPPER, "parallel", scale=64, transpose_b=True
+        )
+        assert trans_t < base_t

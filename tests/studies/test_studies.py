@@ -1,0 +1,193 @@
+"""Integration tests: every study runs end-to-end and the paper's
+qualitative findings hold.
+
+Studies run once per session at a reduced scale (64) and the assertions
+check the *shape* of each result — who wins, in which direction — not
+absolute numbers.
+"""
+
+import pytest
+
+from repro.studies import STUDIES, StudyResult
+
+SCALE = 64
+
+_cache: dict[str, StudyResult] = {}
+
+
+def run_study(study_id: str) -> StudyResult:
+    if study_id not in _cache:
+        _cache[study_id] = STUDIES[study_id].run(scale=SCALE)
+    return _cache[study_id]
+
+
+def test_registry_covers_all_studies():
+    assert set(STUDIES) == {
+        "table5.1",
+        "study1",
+        "study2",
+        "study3",
+        "study3.1",
+        "study4",
+        "study5",
+        "study6",
+        "study7",
+        "study8",
+        "study9",
+        "memory",
+    }
+
+
+@pytest.mark.parametrize("study_id", sorted(STUDIES))
+def test_study_produces_report(study_id):
+    result = run_study(study_id)
+    assert result.tables, f"{study_id} produced no tables"
+    text = result.to_text()
+    assert result.study_id in text
+    for title, headers, rows in result.tables:
+        assert len(rows) > 0
+        for row in rows:
+            assert len(row) == len(headers)
+
+
+class TestTable51:
+    def test_all_matrices_present(self):
+        r = run_study("table5.1")
+        assert r.findings["matrices"] == 14
+
+    def test_column_ratios_match_paper(self):
+        r = run_study("table5.1")
+        assert r.findings["column_ratio_matches"] >= 12
+
+    def test_torso1_outlier(self):
+        assert run_study("table5.1").findings["torso1_is_outlier"]
+
+
+class TestStudy1:
+    def test_serial_bands(self):
+        f = run_study("study1").findings
+        assert 3500 <= f["serial_arm_avg_mflops"] <= 7000
+        assert 5000 <= f["serial_x86_avg_mflops"] <= 9000
+        assert f["serial_x86_faster_than_arm"]
+
+    def test_parallel_speedups(self):
+        f = run_study("study1").findings
+        assert 4.0 <= f["arm_parallel_speedup_median"] <= 8.0
+        assert 3.0 <= f["x86_parallel_speedup_median"] <= 6.0
+        assert f["arm_parallel_speedup_median"] > f["x86_parallel_speedup_median"]
+
+    def test_csr_strong_serially(self):
+        f = run_study("study1").findings
+        counts = f["serial_arm_best_counts"]
+        assert counts["csr"] >= 7  # "scoring the highest for over half"
+        assert f["serial_x86_blocked_rarely_best"]
+
+    def test_aries_gpu_censored(self):
+        assert run_study("study1").findings["aries_gpu_censored_points"] > 0
+
+
+class TestStudy2:
+    def test_parallel_or_gpu_dominates(self):
+        f = run_study("study2").findings
+        assert f["arm_parallel_or_gpu_win_fraction"] > 0.9
+        assert f["x86_parallel_win_fraction"] > 0.9
+        assert f["serial_wins_are_minority"]
+
+
+class TestStudy3:
+    def test_high_threads_generally_best_on_arm(self):
+        f = run_study("study3").findings
+        assert f["arm_prefers_high_threads"] >= 0.6
+        assert f["arm_more_high_thread_than_x86"]
+
+
+class TestStudy31:
+    def test_arm_mostly_72(self):
+        assert run_study("study3.1").findings["arm_mostly_72"]
+
+    def test_x86_physical_cores(self):
+        f = run_study("study3.1").findings
+        assert f["x86_prefers_physical_cores"]
+
+    def test_smt_favors_blocked(self):
+        f = run_study("study3.1").findings
+        assert f["x86_smt_favors_blocked"]
+        assert f["x86_smt_wins_by_format"]["bcsr"] >= f["x86_smt_wins_by_format"]["coo"]
+
+
+class TestStudy4:
+    def test_aries_caps_more(self):
+        f = run_study("study4").findings
+        assert f["x86_caps_more_than_arm"]
+        assert f["arm_capped_cells"] <= f["cells_per_machine"] // 4
+
+
+class TestStudy5:
+    def test_small_blocks_win(self):
+        f = run_study("study5").findings
+        assert f["small_blocks_usually_best"]
+        assert f["padding_grows_with_block"]
+
+    def test_occasional_large_block_wins_allowed(self):
+        f = run_study("study5").findings
+        # The paper saw a few large-block wins; we require "few", not zero.
+        assert all(v <= 5 for v in f["large_block_wins"].values())
+
+
+class TestStudy6:
+    def test_architecture_split(self):
+        f = run_study("study6").findings
+        assert f["x86_better_for_general_formats"]
+        assert f["arm_better_for_bcsr"]
+        assert f["bcsr_degrades_with_block"]
+
+    def test_mean_bands(self):
+        means = run_study("study6").findings["mean_mflops"]
+        assert 3500 <= means["csr/arm"] <= 7000
+        assert means["ell/arm"] < means["csr/arm"]
+
+
+class TestStudy7:
+    def test_capacity_censoring(self):
+        f = run_study("study7").findings
+        assert f["h100_matrix_count"] == 9
+        assert f["h100_omitted"] == [
+            "2cubes_sphere", "cop20k_A", "shallow_water1", "torso1", "x104",
+        ]
+        assert f["a100_matrix_count"] == 8
+        assert f["aries_tested_count"] == 3
+
+    def test_cusparse_verdicts(self):
+        f = run_study("study7").findings
+        assert f["arm_cusparse_mostly_wins"]
+        assert f["x86_openmp_wins"]
+
+
+class TestStudy8:
+    def test_transpose_rarely_helps(self):
+        f = run_study("study8").findings
+        assert f["speedups_are_few"]
+        assert f["speedups_consistent_across_arch"]
+
+
+class TestStudy9:
+    def test_fixed_k_split(self):
+        f = run_study("study9").findings
+        assert f["arm_serial_neutral_or_better"]
+        assert f["x86_serial_positive"]
+        assert f["x86_gains_exceed_arm"]
+
+
+class TestMemoryStudy:
+    """The 6.3.5 extension study."""
+
+    def test_halving_claim(self):
+        f = run_study("memory").findings
+        assert f["paper_halving_claim_holds"]
+        assert 1.7 <= f["mean_64_to_32_ratio"] <= 2.1
+
+    def test_ell_blowup_is_torso1(self):
+        f = run_study("memory").findings
+        assert f["ell_blowup_is_torso1"]
+        # torso1's ELL blow-up tracks its column ratio (~44).
+        assert f["worst_ell_over_csr"] > 20

@@ -1,0 +1,167 @@
+"""Tests for the spmm-bench CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["run", "--matrix", "cant", "--format", "csr"],
+            ["study", "study1"],
+            ["sweep", "--matrix", "cant", "--format", "csr"],
+            ["table"],
+            ["list", "formats"],
+        ):
+            assert parser.parse_args(argv).command == argv[0]
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_formats(self, capsys):
+        assert main(["list", "formats"]) == 0
+        out = capsys.readouterr().out.split()
+        assert {"coo", "csr", "ell", "bcsr", "bell", "csr5"} <= set(out)
+
+    def test_list_matrices(self, capsys):
+        assert main(["list", "matrices"]) == 0
+        assert "torso1" in capsys.readouterr().out
+
+    def test_list_machines(self, capsys):
+        assert main(["list", "machines"]) == 0
+        out = capsys.readouterr().out
+        assert "grace-hopper" in out and "aries" in out
+
+    def test_list_variants(self, capsys):
+        assert main(["list", "variants"]) == 0
+        assert "parallel_transpose" in capsys.readouterr().out
+
+    def test_run_wallclock(self, capsys):
+        code = main([
+            "run", "--matrix", "dw4096", "--format", "csr",
+            "--scale", "64", "-n", "1", "-k", "8", "-t", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "measured" in out and "verified       : True" not in out  # spacing-insensitive
+        assert "MFLOPS" in out
+
+    def test_run_with_model(self, capsys):
+        code = main([
+            "run", "--matrix", "dw4096", "--format", "bcsr",
+            "--scale", "64", "-n", "1", "-k", "8", "--machine", "arm",
+            "--mode", "both",
+        ])
+        assert code == 0
+        assert "modeled" in capsys.readouterr().out
+
+    def test_run_model_only(self, capsys):
+        code = main([
+            "run", "--matrix", "dw4096", "--format", "csr",
+            "--scale", "64", "--machine", "x86", "--mode", "model",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "modeled" in out and "measured" not in out
+
+    def test_run_csv(self, capsys):
+        code = main([
+            "run", "--matrix", "dw4096", "--format", "csr",
+            "--scale", "64", "-n", "1", "-k", "8", "--csv",
+        ])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("matrix,format,")
+        assert lines[1].startswith("dw4096,csr,")
+
+    def test_run_spmv(self, capsys):
+        code = main([
+            "run", "--matrix", "dw4096", "--format", "ell",
+            "--scale", "64", "-n", "1", "--operation", "spmv",
+        ])
+        assert code == 0
+
+    def test_run_unknown_matrix_errors(self, capsys):
+        code = main(["run", "--matrix", "nope", "--format", "csr", "-n", "1"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep(self, capsys):
+        code = main([
+            "sweep", "--matrix", "dw4096", "--format", "csr",
+            "--scale", "64", "--machine", "arm", "--thread-list", "2,8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "t=2" in out and "t=8" in out and "best" in out
+
+    def test_table(self, capsys):
+        assert main(["table"]) == 0
+        out = capsys.readouterr().out
+        assert "torso1" in out and "Properties of Each Matrix" in out
+
+    def test_study_unknown(self, capsys):
+        assert main(["study", "study42"]) == 2
+        assert "unknown study" in capsys.readouterr().err
+
+    def test_study_runs(self, capsys, tmp_path):
+        out_file = tmp_path / "report.txt"
+        code = main(["study", "table5.1", "--scale", "64", "--out", str(out_file)])
+        assert code == 0
+        assert "Table 5.1" in out_file.read_text()
+
+
+class TestNewCommands:
+    def test_spy_ascii(self, capsys):
+        assert main(["spy", "--matrix", "cant", "--scale", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "cant" in out and "|" in out
+
+    def test_spy_histogram(self, capsys):
+        assert main(["spy", "--matrix", "torso1", "--scale", "64", "--histogram"]) == 0
+        assert "nonzeros per row" in capsys.readouterr().out
+
+    def test_spy_svg(self, tmp_path, capsys):
+        out_file = tmp_path / "spy.svg"
+        assert main(["spy", "--matrix", "dw4096", "--scale", "64",
+                     "--svg", str(out_file)]) == 0
+        assert out_file.read_text().startswith("<svg")
+
+    def test_study_svg_output(self, tmp_path):
+        assert main(["study", "table5.1", "--scale", "64",
+                     "--svg", str(tmp_path), "--out", str(tmp_path / "r.txt")]) == 0
+        assert list(tmp_path.glob("*.svg"))
+
+    def test_gen_script(self, tmp_path, capsys):
+        out_file = tmp_path / "grid.sh"
+        code = main(["gen-script", "--matrices", "dw4096", "--formats", "csr",
+                     "--variants", "serial", "-o", str(out_file), "--scale", "64"])
+        assert code == 0
+        assert "spmm-bench run" in out_file.read_text()
+
+    def test_roofline(self, capsys):
+        code = main(["roofline", "--matrix", "torso1", "--scale", "64",
+                     "--formats", "csr,ell", "-k", "32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "arithmetic intensity" in out
+        assert "A: csr" in out and "B: ell" in out
+
+    def test_select_command(self, capsys, tmp_path):
+        saved = tmp_path / "sel.json"
+        code = main(["select", "--matrix", "af23560", "--scale", "64",
+                     "--save", str(saved)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommended format:" in out
+        assert saved.exists()
+        # Reloading skips training.
+        code = main(["select", "--matrix", "torso1", "--scale", "64",
+                     "--selector", str(saved)])
+        assert code == 0
+        assert "loaded selector" in capsys.readouterr().out

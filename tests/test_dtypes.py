@@ -1,0 +1,79 @@
+"""Tests for the dtype policy and footprint accounting (paper §6.3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import (
+    DEFAULT_POLICY,
+    POLICY_32,
+    POLICY_64,
+    DTypePolicy,
+    footprint_report,
+    nbytes_of,
+)
+from repro.errors import FormatError
+
+
+class TestDTypePolicy:
+    def test_policy_32_halves_64(self):
+        assert POLICY_32.index_bytes * 2 == POLICY_64.index_bytes
+        assert POLICY_32.value_bytes * 2 == POLICY_64.value_bytes
+
+    def test_default_policy_mixed(self):
+        assert DEFAULT_POLICY.index_bytes == 4
+        assert DEFAULT_POLICY.value_bytes == 8
+
+    def test_rejects_float_index(self):
+        with pytest.raises(FormatError):
+            DTypePolicy(index=np.dtype(np.float32), value=np.dtype(np.float64))
+
+    def test_rejects_int_value(self):
+        with pytest.raises(FormatError):
+            DTypePolicy(index=np.dtype(np.int32), value=np.dtype(np.int64))
+
+    def test_index_array_casts(self):
+        out = POLICY_32.index_array([1, 2, 3])
+        assert out.dtype == np.int32
+        assert out.flags.c_contiguous
+
+    def test_index_array_rejects_fractional(self):
+        with pytest.raises(FormatError):
+            POLICY_32.index_array(np.array([1.5, 2.0]))
+
+    def test_index_array_accepts_integral_floats(self):
+        out = POLICY_32.index_array(np.array([1.0, 2.0]))
+        assert np.array_equal(out, [1, 2])
+
+    def test_value_array_casts(self):
+        out = POLICY_32.value_array([1.5, 2.5])
+        assert out.dtype == np.float32
+
+    def test_with_index_derives(self):
+        p = POLICY_32.with_index(np.int64)
+        assert p.index_bytes == 8
+        assert p.value_bytes == 4
+
+    def test_with_value_derives(self):
+        p = POLICY_32.with_value(np.float64)
+        assert p.value_bytes == 8
+        assert p.index_bytes == 4
+
+
+class TestFootprint:
+    def test_nbytes_of_sums(self):
+        a = np.zeros(10, dtype=np.float64)
+        b = np.zeros(5, dtype=np.int32)
+        assert nbytes_of(a, b) == 80 + 20
+
+    def test_footprint_report_total(self):
+        report = footprint_report({"x": np.zeros(4, dtype=np.float64)})
+        assert report == {"x": 32, "total": 32}
+
+    def test_memory_halving_claim(self):
+        """The paper: 32-bit types 'would cut our memory use in half'."""
+        n = 1000
+        data64 = POLICY_64.value_array(np.ones(n))
+        data32 = POLICY_32.value_array(np.ones(n))
+        idx64 = POLICY_64.index_array(np.arange(n))
+        idx32 = POLICY_32.index_array(np.arange(n))
+        assert nbytes_of(data64, idx64) == 2 * nbytes_of(data32, idx32)

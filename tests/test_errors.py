@@ -1,0 +1,34 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_base():
+    for name in errors.__all__:
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.SpmmBenchError)
+
+
+def test_conversion_is_format_error():
+    assert issubclass(errors.ConversionError, errors.FormatError)
+
+
+def test_offload_is_machine_model_error():
+    assert issubclass(errors.OffloadError, errors.MachineModelError)
+
+
+def test_offload_error_carries_matrix():
+    err = errors.OffloadError("boom", matrix="torso1")
+    assert err.matrix == "torso1"
+    assert "boom" in str(err)
+
+
+def test_offload_error_matrix_optional():
+    assert errors.OffloadError("boom").matrix is None
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(errors.SpmmBenchError):
+        raise errors.VerificationError("x")

@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples execute in a subprocess with the repo's ``examples/`` directory on
+the path; assertions inside the examples (result checks) make these more
+than import tests.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, timeout seconds). reproduce_paper is exercised separately with a
+#: reduced scale through its CLI argument.
+EXAMPLES = [
+    ("quickstart.py", 300),
+    ("format_selection.py", 300),
+    ("batched_spmv.py", 300),
+    ("custom_format.py", 300),
+    ("architecture_explorer.py", 300),
+    ("learned_selection.py", 600),
+    ("locality_engineering.py", 300),
+]
+
+
+@pytest.mark.parametrize("script,timeout", EXAMPLES)
+def test_example_runs(script, timeout):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\nstdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_reproduce_paper_reduced(tmp_path):
+    """reproduce_paper.py at a very small scale, in a temp cwd."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "reproduce_paper.py"), "64"],
+        capture_output=True,
+        text=True,
+        timeout=900,
+        cwd=tmp_path,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    reports = list((tmp_path / "reports").glob("*.txt"))
+    assert len(reports) == 12  # Table 5.1 + 10 studies + memory study
+    assert "findings" in result.stdout

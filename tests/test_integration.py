@@ -1,0 +1,144 @@
+"""End-to-end integration tests across subsystem boundaries."""
+
+import numpy as np
+
+from repro.bench import (
+    BenchParams,
+    GridRunner,
+    GridSpec,
+    SpmmBenchmark,
+    chart_from_table,
+    results_to_csv,
+)
+from repro.formats import convert, get_format
+from repro.machine import GRACE_HOPPER, predict_mflops
+from repro.matrices import (
+    analyze,
+    ascii_spy,
+    load_matrix,
+    read_matrix_market,
+    write_matrix_market,
+)
+from repro.kernels import trace_spmm
+
+
+def test_mmio_to_benchmark_pipeline(tmp_path, rng):
+    """Matrix Market file -> formats -> benchmark -> CSV -> chart.
+
+    The paper's workflow end to end: load an .mtx input, format it, run
+    the suite, and plot the report.
+    """
+    # 1. Persist a suite matrix as Matrix Market (the paper's input format).
+    t = load_matrix("bcsstk13", scale=8)
+    path = tmp_path / "bcsstk13.mtx"
+    write_matrix_market(path, t, comment="suite analog")
+
+    # 2. Reload and verify it is the same matrix.
+    t2 = read_matrix_market(path)
+    assert t2.nnz == t.nnz
+    props = analyze(t2, "bcsstk13")
+    assert props.column_ratio > 1
+
+    # 3. Benchmark two formats on the loaded matrix.
+    results = []
+    for fmt in ("csr", "bcsr"):
+        bench = SpmmBenchmark(
+            fmt,
+            BenchParams(n_runs=2, warmup=0, k=16, threads=2, variant="parallel"),
+            machine=GRACE_HOPPER.with_scaled_caches(8),
+        )
+        bench.load_triplets(t2, "bcsstk13")
+        results.append(bench.run(mode="both"))
+    assert all(r.verified for r in results)
+
+    # 4. Report as CSV and chart.
+    csv_text = results_to_csv(results)
+    assert csv_text.count("bcsstk13") == 2
+    chart = chart_from_table(
+        "measured",
+        ("format", "mflops"),
+        [(r.format_name, round(r.mflops, 1)) for r in results],
+    )
+    assert chart.to_svg().startswith("<svg")
+
+    # 5. Spy plot of the same input.
+    assert "|" in ascii_spy(t2, rows=6, cols=20)
+
+
+def test_format_conversion_chain_preserves_spmm(rng):
+    """COO -> CSR -> BCSR -> ELL -> SELL -> COO, multiplying at each hop."""
+    t = load_matrix("dw4096", scale=16)
+    B = rng.standard_normal((t.ncols, 8))
+    ref = None
+    A = get_format("coo").from_triplets(t)
+    for target, params in [
+        ("csr", {}),
+        ("bcsr", {"block_size": 4}),
+        ("ell", {}),
+        ("sell", {"chunk": 8, "sigma": 32}),
+        ("coo", {}),
+    ]:
+        A = convert(A, target, **params)
+        C = A.spmm(B)
+        if ref is None:
+            ref = C
+        assert np.allclose(C, ref)
+
+
+def test_model_and_wallclock_orderings_agree():
+    """Where the model predicts a big gap (ELL vs CSR on torso1), the real
+    Python kernels must agree on the direction."""
+    import time
+
+    t = load_matrix("torso1", scale=64)
+    csr = get_format("csr").from_triplets(t)
+    ell = get_format("ell").from_triplets(t)
+    B = np.random.default_rng(0).standard_normal((t.ncols, 8))
+
+    model_csr = predict_mflops(trace_spmm(csr, 8), GRACE_HOPPER, "serial")
+    model_ell = predict_mflops(trace_spmm(ell, 8), GRACE_HOPPER, "serial")
+    assert model_csr > 5 * model_ell
+
+    def best(fn):
+        fn()
+        times = []
+        for _ in range(2):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    wall_csr = best(lambda: csr.spmm(B))
+    wall_ell = best(lambda: ell.spmm(B))
+    assert wall_ell > 2 * wall_csr  # same direction, weaker threshold
+
+
+def test_grid_runner_full_matrix_of_variants():
+    """A compact grid across variants, censoring included, to CSV."""
+    spec = GridSpec(
+        matrices=("dw4096",),
+        formats=("coo", "csr", "ell", "bcsr"),
+        variants=("serial", "parallel", "gpu"),
+        scale=64,
+        base_params=BenchParams(n_runs=1, warmup=0, k=8, threads=2),
+    )
+    from repro.machine import ARIES
+
+    runner = GridRunner(spec, machine=ARIES.with_scaled_caches(64), mode="model")
+    records = runner.run()
+    assert len(records) == 12
+    # dw4096 is in the Aries working set: no censoring expected.
+    assert not runner.censored
+    ok = [r for r in records if r.result is not None]
+    assert len(ok) == 12
+
+
+def test_spmv_and_spmm_share_suite():
+    """The same benchmark class drives both operations (paper 6.3.4)."""
+    for op in ("spmm", "spmv"):
+        bench = SpmmBenchmark(
+            "sell", BenchParams(n_runs=1, warmup=0, k=8, threads=2), operation=op
+        )
+        bench.load_suite_matrix("shallow_water1", scale=32)
+        r = bench.run()
+        assert r.verified, op
