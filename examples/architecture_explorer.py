@@ -13,6 +13,15 @@ questions a practitioner would actually ask:
 Run:  python examples/architecture_explorer.py
 """
 
+# Allow running from any cwd without an installed package: put the repo's
+# src/ on sys.path before the first `repro` import.
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
 from dataclasses import replace
 
 from repro import get_format, load_matrix, trace_spmm

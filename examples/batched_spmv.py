@@ -13,6 +13,15 @@ several batch sizes, and checks the results agree.
 Run:  python examples/batched_spmv.py
 """
 
+# Allow running from any cwd without an installed package: put the repo's
+# src/ on sys.path before the first `repro` import.
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
 import time
 
 import numpy as np

@@ -18,6 +18,15 @@ selector, comparing its choice with the model's argmax.
 Run:  python examples/format_selection.py
 """
 
+# Allow running from any cwd without an installed package: put the repo's
+# src/ on sys.path before the first `repro` import.
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
 from repro import analyze, get_format, load_matrix, trace_spmm
 from repro.machine import GRACE_HOPPER, predict_mflops
 

@@ -15,6 +15,15 @@ of the reproduction:
 Run:  python examples/learned_selection.py
 """
 
+# Allow running from any cwd without an installed package: put the repo's
+# src/ on sys.path before the first `repro` import.
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
 from repro.matrices import analyze, load_matrix, matrix_names
 from repro.select import evaluate_selector, generate_dataset, train_default_selector
 from repro.select.dataset import oracle_label

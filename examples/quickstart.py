@@ -10,6 +10,15 @@ paper's Grace Hopper system.
 Run:  python examples/quickstart.py
 """
 
+# Allow running from any cwd without an installed package: put the repo's
+# src/ on sys.path before the first `repro` import.
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
 import numpy as np
 
 from repro import formats, load_matrix, trace_spmm

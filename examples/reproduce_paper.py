@@ -9,9 +9,16 @@ Run:  python examples/reproduce_paper.py [scale]
       (scale defaults to 32; 16 is closer to the paper but slower)
 """
 
+# Allow running from any cwd without an installed package: put the repo's
+# src/ on sys.path before the first `repro` import.
 import sys
-import time
 from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import time
 
 from repro.studies import STUDIES
 

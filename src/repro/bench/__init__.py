@@ -19,8 +19,16 @@ Two execution modes:
 from .params import BenchParams
 from .timing import TimingStats, measure
 from .verify import verify_result
+from .observe import (
+    Span,
+    Tracer,
+    build_trajectory,
+    compare_trajectories,
+    load_trajectory,
+    write_trajectory,
+)
 from .suite import SpmmBenchmark, BenchResult
-from .report import results_to_csv, format_table, write_csv
+from .report import results_to_csv, format_table, write_csv, trace_to_csv, write_trace_csv
 from .sweep import ThreadSweepResult, run_thread_sweep, best_thread_counts
 from .runner import GridRunner, GridSpec, RunRecord
 from .plots import BarChart, chart_from_table
@@ -30,11 +38,19 @@ __all__ = [
     "TimingStats",
     "measure",
     "verify_result",
+    "Span",
+    "Tracer",
+    "build_trajectory",
+    "compare_trajectories",
+    "load_trajectory",
+    "write_trajectory",
     "SpmmBenchmark",
     "BenchResult",
     "results_to_csv",
     "format_table",
     "write_csv",
+    "trace_to_csv",
+    "write_trace_csv",
     "ThreadSweepResult",
     "run_thread_sweep",
     "best_thread_counts",

@@ -1,0 +1,510 @@
+"""Structured instrumentation for the bench pipeline.
+
+The paper's suite times only the kernel call ("benchmarking is done from
+within the suite, so any potential overhead is eliminated", §4.1) and
+reports a single mean.  Characterization work built on such suites (SpChar,
+SELL-C-sigma) shows that per-phase breakdowns — format conversion vs.
+kernel vs. verification — and distribution statistics are what make the
+numbers trustworthy.  This module supplies that layer:
+
+* :class:`Span` / :class:`Tracer` — nested per-stage timers
+  (load → convert → warmup → kernel → verify) plus counters (bytes moved,
+  flops, threads used, chunks scheduled) and per-worker busy times, from
+  which a load-imbalance metric is derived;
+* exporters — a JSON-lines trace file and a ``BENCH_<study>.json``
+  trajectory writer with schema
+  ``{run_id, git_sha, config, mflops, stage_times, imbalance}``
+  (the flat CSV exporter lives in :mod:`repro.bench.report` next to the
+  result CSV);
+* :func:`compare_trajectories` — the ``--baseline`` regression gate: a
+  per-stage diff table and a mean-time verdict against a tolerance.
+
+Everything is optional: a ``tracer=None`` default threads through the
+whole pipeline, so untraced runs pay nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..errors import BenchConfigError
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "STAGES",
+    "TRAJECTORY_SCHEMA_VERSION",
+    "git_sha",
+    "build_trajectory",
+    "write_trajectory",
+    "load_trajectory",
+    "StageDiff",
+    "RegressionReport",
+    "compare_trajectories",
+]
+
+#: Canonical pipeline stages, in execution order (paper §4.1 lifecycle).
+STAGES = ("load", "convert", "warmup", "kernel", "verify")
+
+TRAJECTORY_SCHEMA_VERSION = 1
+
+
+@dataclass
+class Span:
+    """One timed stage: a name, a time range, and attached counters."""
+
+    name: str
+    start: float
+    end: float | None = None
+    parent: str | None = None
+    attrs: dict = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds; 0.0 while the span is still open."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "parent": self.parent,
+            "attrs": self.attrs,
+            "counters": self.counters,
+        }
+
+
+class Tracer:
+    """Collects spans, counters, warnings, and per-worker busy times.
+
+    The span stack is owned by the orchestrating thread; worker threads
+    only call :meth:`count`, :meth:`warn`, and :meth:`record_worker`, all
+    of which take the internal lock.
+    """
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._stack: list[Span] = []
+        #: Completed spans, in completion order.
+        self.spans: list[Span] = []
+        #: Global counters (bytes_moved, flops, chunks_scheduled, ...).
+        self.counters: dict[str, float] = {}
+        #: Warning counters (timer_clamped, thread_clamp, ...).
+        self.warnings: dict[str, int] = {}
+        self._worker_busy: dict[Any, float] = {}
+        self._worker_chunks: dict[Any, int] = {}
+
+    # -- spans ---------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Time a stage; nests under the currently open span."""
+        parent = self._stack[-1].name if self._stack else None
+        sp = Span(name=name, start=self._clock(), parent=parent, attrs=attrs)
+        self._stack.append(sp)
+        try:
+            yield sp
+        finally:
+            sp.end = self._clock()
+            self._stack.pop()
+            with self._lock:
+                self.spans.append(sp)
+
+    def stage_times(self) -> dict[str, float]:
+        """Total seconds per span name, over completed spans."""
+        totals: dict[str, float] = {}
+        with self._lock:
+            for sp in self.spans:
+                totals[sp.name] = totals.get(sp.name, 0.0) + sp.duration
+        return totals
+
+    # -- counters ------------------------------------------------------------
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Increment a counter, globally and on the innermost open span."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
+            if self._stack:
+                sp = self._stack[-1]
+                sp.counters[name] = sp.counters.get(name, 0.0) + value
+
+    def warn(self, name: str) -> None:
+        """Bump a warning counter (clamped timer, clamped threads, ...)."""
+        with self._lock:
+            self.warnings[name] = self.warnings.get(name, 0) + 1
+
+    # -- worker accounting ---------------------------------------------------
+
+    def record_worker(self, busy_seconds: float, chunks: int = 1, worker=None) -> None:
+        """Attribute busy time (and chunk count) to a worker.
+
+        The default key is the calling thread's ident, so kernels need no
+        bookkeeping of their own.
+        """
+        key = worker if worker is not None else threading.get_ident()
+        with self._lock:
+            self._worker_busy[key] = self._worker_busy.get(key, 0.0) + busy_seconds
+            self._worker_chunks[key] = self._worker_chunks.get(key, 0) + chunks
+
+    def worker_busy(self) -> dict:
+        with self._lock:
+            return dict(self._worker_busy)
+
+    def imbalance(self) -> float | None:
+        """Load imbalance: ``max(busy) / mean(busy) - 1`` over workers.
+
+        0.0 means perfectly balanced; None when no worker times were
+        recorded (serial runs, model mode).
+        """
+        busy = self.worker_busy()
+        if not busy:
+            return None
+        values = list(busy.values())
+        mean = sum(values) / len(values)
+        if mean <= 0:
+            return 0.0
+        return max(values) / mean - 1.0
+
+    # -- exporters -----------------------------------------------------------
+
+    def jsonl_lines(self) -> Iterator[str]:
+        """Spans, then counters/warnings/workers, as JSON-lines records."""
+        with self._lock:
+            spans = list(self.spans)
+            counters = dict(self.counters)
+            warnings = dict(self.warnings)
+        for sp in spans:
+            yield json.dumps({"type": "span", **sp.to_dict()})
+        yield json.dumps({"type": "counters", "counters": counters})
+        yield json.dumps({"type": "warnings", "warnings": warnings})
+        yield json.dumps(
+            {
+                "type": "workers",
+                "busy_s": {str(k): v for k, v in self.worker_busy().items()},
+                "imbalance": self.imbalance(),
+            }
+        )
+
+    def to_jsonl(self, path) -> Path:
+        """Write the trace as a JSON-lines file; returns the path."""
+        path = Path(path)
+        path.write_text("\n".join(self.jsonl_lines()) + "\n")
+        return path
+
+
+# -- trajectory files (BENCH_<study>.json) -----------------------------------
+
+
+def git_sha(cwd=None) -> str:
+    """Short git SHA of the working tree, or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=cwd,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def _cell_key(record) -> str:
+    return "/".join(
+        str(x)
+        for x in (
+            record.matrix,
+            record.format_name,
+            record.variant,
+            record.k,
+            record.threads,
+            record.block_size,
+        )
+    )
+
+
+def build_trajectory(
+    records,
+    tracer: Tracer | None,
+    config: dict,
+    run_id: str | None = None,
+) -> dict:
+    """Assemble the persisted performance trajectory for one bench run.
+
+    ``records`` are :class:`~repro.bench.runner.RunRecord` rows; censored
+    cells are listed but excluded from the aggregates.
+    """
+    cells = []
+    mflops_values = []
+    mean_times = []
+    best_times = []
+    for rec in records:
+        cell = {"key": _cell_key(rec), "mflops": rec.mflops, "censored": rec.censored}
+        timing = rec.result.timing if rec.result is not None else None
+        cell["mean_time_s"] = timing.mean if timing is not None else None
+        cell["best_time_s"] = timing.best if timing is not None else None
+        # Deterministic analytic prediction — the preferred gate metric,
+        # immune to host load (identical numbers on an unchanged tree).
+        cell["modeled_mflops"] = (
+            rec.result.modeled_mflops if rec.result is not None else None
+        ) or None
+        cells.append(cell)
+        if rec.censored is None:
+            mflops_values.append(rec.mflops)
+            if timing is not None:
+                mean_times.append(timing.mean)
+                best_times.append(timing.best)
+    traj = {
+        "schema_version": TRAJECTORY_SCHEMA_VERSION,
+        "run_id": run_id or uuid.uuid4().hex[:12],
+        "git_sha": git_sha(),
+        "config": config,
+        "mflops": {
+            "mean": sum(mflops_values) / len(mflops_values) if mflops_values else 0.0,
+            "cells": {c["key"]: c["mflops"] for c in cells},
+        },
+        "mean_time_s": sum(mean_times) / len(mean_times) if mean_times else None,
+        # The gate metric: mean over cells of each cell's best repetition.
+        # Best-of-reps is far more stable run-to-run than the mean, which
+        # scheduler noise dominates at micro-benchmark sizes.
+        "best_time_s": sum(best_times) / len(best_times) if best_times else None,
+        "stage_times": tracer.stage_times() if tracer else {},
+        "imbalance": tracer.imbalance() if tracer else None,
+        "counters": dict(tracer.counters) if tracer else {},
+        "warnings": dict(tracer.warnings) if tracer else {},
+        "cells": cells,
+        "censored": [c["key"] for c in cells if c["censored"]],
+    }
+    return traj
+
+
+def write_trajectory(trajectory: dict, path) -> Path:
+    """Write a ``BENCH_<study>.json`` trajectory file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_trajectory(path) -> dict:
+    """Read and validate a trajectory file written by :func:`write_trajectory`."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise BenchConfigError(f"baseline trajectory not found: {path}")
+    except json.JSONDecodeError as exc:
+        raise BenchConfigError(f"baseline {path} is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        raise BenchConfigError(f"baseline {path} is not a trajectory object")
+    missing = [k for k in ("run_id", "config", "mflops", "stage_times") if k not in data]
+    if missing:
+        raise BenchConfigError(
+            f"baseline {path} is missing trajectory fields: {', '.join(missing)}"
+        )
+    return data
+
+
+# -- the regression gate ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StageDiff:
+    """One row of the per-stage diff table."""
+
+    stage: str
+    baseline_s: float | None
+    current_s: float | None
+    ratio: float | None
+    regressed: bool
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of comparing a run against a baseline trajectory."""
+
+    tolerance: float
+    metric: str
+    #: Which metric decided: "modeled" (deterministic), "time" (wall clock,
+    #: noisy), or "mflops" (aggregate fallback).
+    metric_kind: str
+    baseline_value: float
+    current_value: float
+    ratio: float
+    stage_diffs: list[StageDiff]
+    baseline_run_id: str = ""
+    current_run_id: str = ""
+
+    @property
+    def regressed(self) -> bool:
+        """True when the gated mean-time metric exceeded the tolerance."""
+        return self.ratio > 1.0 + self.tolerance
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressed
+
+    def table(self) -> str:
+        """Per-stage diff table plus the verdict line, ready to print."""
+        from .report import format_table  # local import: report imports suite
+
+        rows = []
+        for d in self.stage_diffs:
+            rows.append(
+                (
+                    d.stage,
+                    "-" if d.baseline_s is None else f"{d.baseline_s * 1e3:.3f}",
+                    "-" if d.current_s is None else f"{d.current_s * 1e3:.3f}",
+                    "-" if d.ratio is None else f"{d.ratio:.3f}",
+                    "REGRESSED" if d.regressed else "ok",
+                )
+            )
+        table = format_table(
+            ("stage", "baseline ms", "current ms", "ratio", "status"),
+            rows,
+            title=f"Per-stage diff (baseline {self.baseline_run_id} -> "
+            f"{self.current_run_id}, tolerance {self.tolerance:.0%})",
+        )
+        verdict = (
+            f"{self.metric}: baseline {self.baseline_value:.6g}, current "
+            f"{self.current_value:.6g}, ratio {self.ratio:.3f} -> "
+            f"{'REGRESSION' if self.regressed else 'ok'}"
+        )
+        return table + "\n" + verdict
+
+
+def _cell_values(trajectory: dict, field_name: str) -> dict[str, float]:
+    """Uncensored per-cell values of one trajectory field (truthy only)."""
+    out: dict[str, float] = {}
+    for cell in trajectory.get("cells", []):
+        if cell.get("censored"):
+            continue
+        value = cell.get(field_name)
+        if value:
+            out[cell["key"]] = value
+    return out
+
+
+def _cell_times(trajectory: dict) -> dict[str, float]:
+    """Per-cell gate times (best-of-reps, falling back to the mean)."""
+    out = _cell_values(trajectory, "best_time_s")
+    for key, value in _cell_values(trajectory, "mean_time_s").items():
+        out.setdefault(key, value)
+    return out
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def _stage_diffs(baseline: dict, current: dict, tolerance: float) -> list[StageDiff]:
+    base_stages = baseline.get("stage_times", {}) or {}
+    cur_stages = current.get("stage_times", {}) or {}
+    names = [s for s in STAGES if s in base_stages or s in cur_stages]
+    names += sorted((set(base_stages) | set(cur_stages)) - set(STAGES))
+    diffs = []
+    for name in names:
+        b = base_stages.get(name)
+        c = cur_stages.get(name)
+        ratio = c / b if (b is not None and c is not None and b > 0) else None
+        diffs.append(
+            StageDiff(
+                stage=name,
+                baseline_s=b,
+                current_s=c,
+                ratio=ratio,
+                regressed=ratio is not None and ratio > 1.0 + tolerance,
+            )
+        )
+    return diffs
+
+
+def compare_trajectories(
+    baseline: dict, current: dict, tolerance: float = 0.15
+) -> RegressionReport:
+    """Gate a run against a baseline trajectory.
+
+    Metric preference, most reliable first:
+
+    1. median over matched cells of the **modeled-MFLOPS** ratio
+       (baseline / current) — the analytic machine model is deterministic,
+       so an unchanged tree compares at exactly 1.0 regardless of host
+       load, while structural regressions (padding blowups, worse traces,
+       changed data layouts) move it;
+    2. median over matched cells of the **best-repetition time** ratio
+       (current / baseline) — best-of-reps is stable where per-rep means
+       are dominated by scheduler noise, and the median tolerates load
+       spikes that hit a minority of cells;
+    3. aggregate mean time, then inverted mean MFLOPS, for older files.
+
+    Per-stage ratios are reported in the diff table but only the gate
+    metric decides the exit code.
+    """
+    if tolerance < 0:
+        raise BenchConfigError(f"tolerance must be >= 0, got {tolerance}")
+    base_model = _cell_values(baseline, "modeled_mflops")
+    cur_model = _cell_values(current, "modeled_mflops")
+    shared_model = sorted(set(base_model) & set(cur_model))
+    base_cells = _cell_times(baseline)
+    cur_cells = _cell_times(current)
+    shared = sorted(set(base_cells) & set(cur_cells))
+    metric_kind = "modeled"
+    if shared_model:
+        metric = f"median per-cell modeled-MFLOPS ratio ({len(shared_model)} cells)"
+        base_value = sum(base_model[k] for k in shared_model) / len(shared_model)
+        cur_value = sum(cur_model[k] for k in shared_model) / len(shared_model)
+        ratio = _median([base_model[k] / cur_model[k] for k in shared_model])
+    elif shared:
+        metric_kind = "time"
+        metric = f"median per-cell best-time ratio ({len(shared)} cells)"
+        base_value = sum(base_cells[k] for k in shared) / len(shared)
+        cur_value = sum(cur_cells[k] for k in shared) / len(shared)
+        ratio = _median([cur_cells[k] / base_cells[k] for k in shared])
+    elif (baseline.get("best_time_s") or baseline.get("mean_time_s")) and (
+        current.get("best_time_s") or current.get("mean_time_s")
+    ):
+        base_t = baseline.get("best_time_s") or baseline.get("mean_time_s")
+        cur_t = current.get("best_time_s") or current.get("mean_time_s")
+        metric_kind = "time"
+        metric, base_value, cur_value = "mean kernel time (s)", base_t, cur_t
+        ratio = cur_t / base_t
+    else:
+        base_m = baseline.get("mflops", {}).get("mean", 0.0)
+        cur_m = current.get("mflops", {}).get("mean", 0.0)
+        metric_kind = "mflops"
+        metric, base_value, cur_value = "mean MFLOPS (inverted)", base_m, cur_m
+        if base_m <= 0:
+            ratio = 1.0  # nothing to gate against
+        elif cur_m <= 0:
+            ratio = float("inf")
+        else:
+            ratio = base_m / cur_m
+    return RegressionReport(
+        tolerance=tolerance,
+        metric=metric,
+        metric_kind=metric_kind,
+        baseline_value=base_value,
+        current_value=cur_value,
+        ratio=ratio,
+        stage_diffs=_stage_diffs(baseline, current, tolerance),
+        baseline_run_id=str(baseline.get("run_id", "?")),
+        current_run_id=str(current.get("run_id", "?")),
+    )

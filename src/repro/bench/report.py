@@ -12,9 +12,18 @@ import io
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from .observe import Tracer
 from .suite import BenchResult
 
-__all__ = ["CSV_COLUMNS", "results_to_csv", "write_csv", "format_table"]
+__all__ = [
+    "CSV_COLUMNS",
+    "TRACE_CSV_COLUMNS",
+    "results_to_csv",
+    "write_csv",
+    "format_table",
+    "trace_to_csv",
+    "write_trace_csv",
+]
 
 CSV_COLUMNS = (
     "matrix",
@@ -84,6 +93,39 @@ def write_csv(results: Iterable[BenchResult], path) -> Path:
     """Write results to a CSV file; returns the path."""
     path = Path(path)
     path.write_text(results_to_csv(results))
+    return path
+
+
+TRACE_CSV_COLUMNS = ("span", "parent", "start_s", "duration_s", "attrs", "counters")
+
+
+def trace_to_csv(tracer: Tracer) -> str:
+    """Flatten a tracer's spans into report-ready CSV (header included).
+
+    Span attributes and counters are rendered as ``key=value`` lists so the
+    file stays flat — one row per span, loadable by any CSV tool.
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(TRACE_CSV_COLUMNS)
+    for sp in tracer.spans:
+        writer.writerow(
+            [
+                sp.name,
+                sp.parent or "",
+                round(sp.start, 9),
+                round(sp.duration, 9),
+                ";".join(f"{k}={v}" for k, v in sp.attrs.items()),
+                ";".join(f"{k}={v}" for k, v in sp.counters.items()),
+            ]
+        )
+    return buf.getvalue()
+
+
+def write_trace_csv(tracer: Tracer, path) -> Path:
+    """Write a tracer's spans as a flat CSV file; returns the path."""
+    path = Path(path)
+    path.write_text(trace_to_csv(tracer))
     return path
 
 

@@ -16,6 +16,7 @@ from typing import Iterator, Sequence
 
 from ..errors import OffloadError
 from ..machine.machines import Machine
+from .observe import Tracer
 from .params import BenchParams
 from .suite import BenchResult, SpmmBenchmark
 
@@ -86,10 +87,18 @@ class RunRecord:
 class GridRunner:
     """Execute a :class:`GridSpec`, on one machine model or on wall clock."""
 
-    def __init__(self, spec: GridSpec, machine: Machine | None = None, mode: str = "model"):
+    def __init__(
+        self,
+        spec: GridSpec,
+        machine: Machine | None = None,
+        mode: str = "model",
+        tracer: Tracer | None = None,
+    ):
         self.spec = spec
         self.machine = machine
         self.mode = mode
+        #: Optional instrumentation, shared by every cell of the grid.
+        self.tracer = tracer
         #: Matrices whose GPU launches were censored (offload faults /
         #: device memory), mirroring the paper's omitted data points.
         self.censored: list[RunRecord] = []
@@ -98,15 +107,27 @@ class GridRunner:
         """Run the full grid; censored cells are recorded, not raised."""
         records: list[RunRecord] = []
         for matrix, fmt, params in self.spec.configurations():
-            record = self._run_one(matrix, fmt, params)
+            if self.tracer is not None:
+                with self.tracer.span(
+                    "cell", matrix=matrix, format=fmt, variant=params.variant
+                ):
+                    record = self._run_one(matrix, fmt, params)
+            else:
+                record = self._run_one(matrix, fmt, params)
             records.append(record)
             if record.censored:
                 self.censored.append(record)
+                if self.tracer is not None:
+                    self.tracer.warn("censored_cell")
         return records
 
     def _run_one(self, matrix: str, fmt: str, params: BenchParams) -> RunRecord:
         bench = SpmmBenchmark(
-            fmt, params=params, machine=self.machine, operation=self.spec.operation
+            fmt,
+            params=params,
+            machine=self.machine,
+            operation=self.spec.operation,
+            tracer=self.tracer,
         )
         bench.load_suite_matrix(matrix, scale=self.spec.scale)
         meta = dict(

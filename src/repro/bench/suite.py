@@ -32,6 +32,7 @@ from ..machine.machines import Machine
 from ..matrices.coo_builder import Triplets
 from ..matrices.properties import MatrixProperties, analyze
 from ..matrices.suite import load_matrix
+from .observe import Tracer
 from .params import BenchParams
 from .timing import TimingStats, flops_to_mflops, measure
 from .verify import verify_result
@@ -103,6 +104,7 @@ class SpmmBenchmark:
         params: BenchParams | None = None,
         machine: Machine | None = None,
         operation: str = "spmm",
+        tracer: Tracer | None = None,
     ):
         if operation not in ("spmm", "spmv"):
             raise BenchConfigError(f"operation must be spmm or spmv, got {operation!r}")
@@ -114,6 +116,8 @@ class SpmmBenchmark:
         self.triplets: Triplets | None = None
         self.matrix_name = "matrix"
         self.offload_runtime = machine.offload_runtime() if machine else None
+        #: Optional instrumentation; stages and counters are recorded on it.
+        self.tracer = tracer
 
     # -- inputs -------------------------------------------------------------
 
@@ -125,7 +129,15 @@ class SpmmBenchmark:
 
     def load_suite_matrix(self, name: str, scale: int = 1) -> "SpmmBenchmark":
         """Load one of the 14 Table 5.1 analogs."""
-        self.triplets = load_matrix(name, scale=scale, policy=self.params.dtype_policy)
+        if self.tracer is not None:
+            with self.tracer.span("load", matrix=name, scale=scale):
+                self.triplets = load_matrix(
+                    name, scale=scale, policy=self.params.dtype_policy
+                )
+        else:
+            self.triplets = load_matrix(
+                name, scale=scale, policy=self.params.dtype_policy
+            )
         self.matrix_name = name
         return self
 
@@ -161,6 +173,13 @@ class SpmmBenchmark:
         opts: dict[str, Any] = self.params.kernel_options()
         if self.params.variant.startswith("gpu"):
             opts["runtime"] = self.offload_runtime
+        if self.tracer is not None and self.params.variant in (
+            "parallel",
+            "optimized_parallel",
+        ):
+            # These route to parallel_spmm, which records per-worker busy
+            # times and chunk counts on the tracer.
+            opts["tracer"] = self.tracer
         if self.operation == "spmv":
             return run_spmv(A, B, variant=self._spmv_variant(), **opts)
         return run_spmm(A, B, variant=self.params.variant, k=self.params.k, **opts)
@@ -203,14 +222,27 @@ class SpmmBenchmark:
         if mode not in ("wallclock", "model", "both"):
             raise BenchConfigError(f"unknown mode {mode!r}")
         self._require_loaded()
+        tracer = self.tracer
         t_start = time.perf_counter()
-        A, format_time = self.format()
+        if tracer is not None:
+            with tracer.span("convert", format=self.format_name):
+                A, format_time = self.format()
+        else:
+            A, format_time = self.format()
         # The dense operand only exists for wall-clock runs; the cost model
         # works from the trace alone.
         B = self.make_dense() if mode in ("wallclock", "both") else None
 
         k = self.params.k if self.operation == "spmm" else 1
         useful_flops = 2 * A.nnz * k
+        if tracer is not None:
+            tracer.count("flops", useful_flops)
+            # Traffic floor of one calculation: the format structure plus
+            # the dense operand and output panels.
+            bytes_moved = A.nbytes
+            if B is not None:
+                bytes_moved += B.nbytes + A.nrows * k * B.itemsize
+            tracer.count("bytes_moved", bytes_moved)
 
         # The offload fault fires at launch, before any timing.
         if self.params.variant.startswith("gpu") and self.offload_runtime is not None:
@@ -223,14 +255,14 @@ class SpmmBenchmark:
                 lambda: self.calculate(A, B),
                 n_runs=self.params.n_runs,
                 warmup=self.params.warmup,
+                tracer=tracer,
             )
             if self.params.verify:
-                if self.operation == "spmm":
-                    verified = verify_result(self.triplets, B, C, k=self.params.k)
+                if tracer is not None:
+                    with tracer.span("verify"):
+                        verified = self._verify(B, C)
                 else:
-                    verified = verify_result(
-                        self.triplets, B[:, None], C[:, None], k=1
-                    )
+                    verified = self._verify(B, C)
 
         modeled = self.model(A) if mode in ("model", "both") else None
         total_time = time.perf_counter() - t_start
@@ -250,6 +282,11 @@ class SpmmBenchmark:
             padding_ratio=A.padding_ratio,
             modeled=modeled,
         )
+
+    def _verify(self, B: np.ndarray, C: np.ndarray) -> bool:
+        if self.operation == "spmm":
+            return verify_result(self.triplets, B, C, k=self.params.k)
+        return verify_result(self.triplets, B[:, None], C[:, None], k=1)
 
     def _require_loaded(self) -> None:
         if self.triplets is None:

@@ -49,10 +49,12 @@ def run_thread_sweep(
     benchmark: SpmmBenchmark,
     thread_list: tuple[int, ...] = PAPER_THREAD_LIST,
     mode: str = "model",
+    tracer=None,
 ) -> ThreadSweepResult:
     """Run the benchmark at each thread count and collect the winner.
 
     The benchmark must be loaded and configured with a parallel variant.
+    A tracer groups each point of the sweep under a ``sweep_point`` span.
     """
     if not thread_list:
         raise BenchConfigError("thread_list must not be empty")
@@ -60,10 +62,16 @@ def run_thread_sweep(
         raise BenchConfigError(
             f"thread sweeps need a parallel variant, got {benchmark.params.variant!r}"
         )
+    if tracer is not None and benchmark.tracer is None:
+        benchmark.tracer = tracer
     results: dict[int, BenchResult] = {}
     for threads in thread_list:
         benchmark.params = benchmark.params.with_(threads=threads)
-        results[threads] = benchmark.run(mode=mode)
+        if benchmark.tracer is not None:
+            with benchmark.tracer.span("sweep_point", threads=threads):
+                results[threads] = benchmark.run(mode=mode)
+        else:
+            results[threads] = benchmark.run(mode=mode)
     return ThreadSweepResult(
         matrix=benchmark.matrix_name,
         format_name=benchmark.format_name,

@@ -11,11 +11,19 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..errors import BenchConfigError
 
-__all__ = ["TimingStats", "measure", "flops_to_mflops"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (observe is optional)
+    from .observe import Tracer
+
+__all__ = ["TimingStats", "measure", "flops_to_mflops", "timer_resolution"]
+
+
+def timer_resolution() -> float:
+    """Resolution of the benchmark clock (``perf_counter``), in seconds."""
+    return time.get_clock_info("perf_counter").resolution or 1e-9
 
 
 @dataclass(frozen=True)
@@ -50,26 +58,66 @@ class TimingStats:
         return (sum((t - m) ** 2 for t in self.times) / len(self.times)) ** 0.5
 
 
-def measure(fn: Callable[[], object], n_runs: int, warmup: int = 1) -> tuple[object, TimingStats]:
+def measure(
+    fn: Callable[[], object],
+    n_runs: int,
+    warmup: int = 1,
+    tracer: "Tracer | None" = None,
+) -> tuple[object, TimingStats]:
     """Call ``fn`` ``warmup + n_runs`` times; time the last ``n_runs``.
 
-    Returns the last call's result and the timing statistics.
+    Returns the last call's result and the timing statistics.  With a
+    tracer, the warmup calls share one ``warmup`` span and every timed
+    repetition gets its own ``kernel`` span, so the trace carries the full
+    runtime distribution, not just the mean.  A repetition measuring at or
+    below the clock resolution is clamped to that resolution and counted
+    as a ``timer_clamped`` warning — a broken timer must not masquerade as
+    an infinitely fast (or infinitely slow) kernel.
     """
     if n_runs < 1:
         raise BenchConfigError(f"n_runs must be >= 1, got {n_runs}")
     result = None
-    for _ in range(warmup):
-        result = fn()
+    if warmup:
+        if tracer is not None:
+            with tracer.span("warmup", runs=warmup):
+                for _ in range(warmup):
+                    result = fn()
+        else:
+            for _ in range(warmup):
+                result = fn()
+    resolution = timer_resolution()
     times = []
-    for _ in range(n_runs):
-        t0 = time.perf_counter()
-        result = fn()
-        times.append(time.perf_counter() - t0)
+    for rep in range(n_runs):
+        if tracer is not None:
+            with tracer.span("kernel", rep=rep):
+                t0 = time.perf_counter()
+                result = fn()
+                elapsed = time.perf_counter() - t0
+        else:
+            t0 = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - t0
+        if elapsed <= resolution:
+            elapsed = resolution
+            if tracer is not None:
+                tracer.warn("timer_clamped")
+        times.append(elapsed)
     return result, TimingStats(tuple(times))
 
 
-def flops_to_mflops(flops: int, seconds: float) -> float:
-    """Useful MFLOPS for a measured time."""
-    if seconds <= 0:
-        return 0.0
+def flops_to_mflops(flops: int, seconds: float, tracer: "Tracer | None" = None) -> float:
+    """Useful MFLOPS for a measured time.
+
+    Negative times are a configuration/timer bug and raise
+    :class:`~repro.errors.BenchConfigError`; a true-zero time is clamped to
+    the timer resolution (with a ``timer_clamped`` warning on the tracer)
+    instead of silently reporting 0.0 MFLOPS — the old behavior made a
+    broken timer look like the slowest possible kernel.
+    """
+    if seconds < 0:
+        raise BenchConfigError(f"measured time must be >= 0, got {seconds}")
+    if seconds == 0:
+        seconds = timer_resolution()
+        if tracer is not None:
+            tracer.warn("timer_clamped")
     return flops / seconds / 1e6

@@ -6,6 +6,9 @@ configuration" (§6.3.3).  This CLI is that replacement:
 
 * ``spmm-bench run`` — benchmark one (matrix, format, variant) cell, wall
   clock and/or machine model;
+* ``spmm-bench bench`` — run an instrumented grid, persist a
+  ``BENCH_<study>.json`` trajectory, and optionally gate against a
+  baseline (``--baseline``/``--tolerance``);
 * ``spmm-bench study`` — regenerate any table/figure of the evaluation;
 * ``spmm-bench sweep`` — the Study 3.1 thread-list feature;
 * ``spmm-bench table`` — Table 5.1;
@@ -21,13 +24,34 @@ from .bench.params import BenchParams
 from .bench.report import results_to_csv
 from .bench.suite import SpmmBenchmark
 from .bench.sweep import run_thread_sweep
-from .errors import SpmmBenchError
+from .errors import BenchConfigError, SpmmBenchError
 from .formats.registry import format_names
 from .kernels.dispatch import kernel_variants
 from .machine.machines import MACHINES, get_machine
 from .matrices.suite import matrix_names
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "BENCH_GRIDS"]
+
+#: Reduced grids for the instrumented ``bench`` command.  ``study1`` is the
+#: paper's Study 1 cut down to three representative matrices (including the
+#: skewed ``torso1``, whose load imbalance Study 3 cares about); ``smoke``
+#: is the minimal grid CI uses to exercise the regression gate itself.
+BENCH_GRIDS: dict[str, dict] = {
+    "study1": dict(
+        matrices=("cant", "torso1", "dw4096"),
+        formats=("coo", "csr", "ell", "bcsr"),
+        variants=("serial", "parallel"),
+    ),
+    "smoke": dict(
+        matrices=("dw4096",),
+        formats=("csr",),
+        variants=("serial", "parallel"),
+    ),
+}
+
+#: Exit code of ``bench --baseline`` when the gate trips (distinct from 1,
+#: the generic error code).
+EXIT_REGRESSION = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,6 +75,34 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--operation", default="spmm", choices=["spmm", "spmv"])
     run_p.add_argument("--csv", action="store_true", help="emit a CSV row")
     BenchParams.add_arguments(run_p)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="instrumented grid run: BENCH_<study>.json trajectory + regression gate",
+    )
+    bench_p.add_argument("--study", default="study1", choices=sorted(BENCH_GRIDS),
+                         help="which reduced grid to run (default: study1)")
+    bench_p.add_argument("--scale", type=int, default=64,
+                         help="divide the paper's matrix rows by this factor")
+    bench_p.add_argument("--mode", default="both",
+                         choices=["wallclock", "model", "both"],
+                         help="'both' (default) wall-clocks the kernels for the "
+                              "trace AND keeps the deterministic model metric "
+                              "for the gate; 'wallclock' gates on noisy times")
+    bench_p.add_argument("--machine", default=None,
+                         help="machine model for model/both modes (default arm)")
+    bench_p.add_argument("-n", "--n-runs", type=int, default=5,
+                         help="timed repetitions per cell (the gate uses best-of-n)")
+    bench_p.add_argument("--out", default=None, metavar="FILE",
+                         help="trajectory path (default: BENCH_<study>.json)")
+    bench_p.add_argument("--trace", default=None, metavar="FILE",
+                         help="also write the span trace as JSON lines")
+    bench_p.add_argument("--trace-csv", default=None, metavar="FILE",
+                         help="also write the span trace as a flat CSV")
+    bench_p.add_argument("--baseline", default=None, metavar="BENCH_JSON",
+                         help="gate this run against a prior trajectory file")
+    bench_p.add_argument("--tolerance", type=float, default=0.15,
+                         help="allowed mean-time growth before failing (default 0.15)")
 
     study_p = sub.add_parser("study", help="regenerate a table/figure of the paper")
     study_p.add_argument("study", help="study id (table5.1, study1..study9, study3.1, all)")
@@ -144,6 +196,99 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"verified      : {result.verified}")
     if result.modeled is not None:
         print(f"modeled       : {result.modeled_mflops:,.1f} MFLOPS on {machine.name}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.observe import (
+        Tracer,
+        build_trajectory,
+        compare_trajectories,
+        load_trajectory,
+        write_trajectory,
+    )
+    from .bench.report import write_trace_csv
+    from .bench.runner import GridRunner, GridSpec
+
+    grid = BENCH_GRIDS[args.study]
+    params = BenchParams(n_runs=args.n_runs, warmup=2, k=32, threads=4)
+    spec = GridSpec(
+        matrices=grid["matrices"],
+        formats=grid["formats"],
+        variants=grid["variants"],
+        k_values=(params.k,),
+        thread_counts=(params.threads,),
+        scale=args.scale,
+        base_params=params,
+    )
+    machine = None
+    if args.machine:
+        machine = get_machine(args.machine).with_scaled_caches(args.scale)
+    elif args.mode in ("model", "both"):
+        machine = get_machine("arm").with_scaled_caches(args.scale)
+
+    config = dict(
+        study=args.study,
+        scale=args.scale,
+        mode=args.mode,
+        machine=machine.name if machine else None,
+        n_runs=args.n_runs,
+        k=params.k,
+        threads=params.threads,
+        matrices=list(grid["matrices"]),
+        formats=list(grid["formats"]),
+        variants=list(grid["variants"]),
+    )
+
+    # Validate the gate inputs before spending seconds on the grid: a typo'd
+    # baseline path or tolerance should fail fast, not after the run.
+    if args.tolerance < 0:
+        raise BenchConfigError(f"tolerance must be >= 0, got {args.tolerance}")
+    baseline = load_trajectory(args.baseline) if args.baseline else None
+
+    def run_grid():
+        tracer = Tracer()
+        runner = GridRunner(spec, machine=machine, mode=args.mode, tracer=tracer)
+        records = runner.run()
+        return tracer, runner, records, build_trajectory(records, tracer, config)
+
+    tracer, runner, records, trajectory = run_grid()
+    report = None
+    if baseline is not None:
+        report = compare_trajectories(baseline, trajectory, tolerance=args.tolerance)
+        if report.regressed and report.metric_kind == "time":
+            # Wall-clock gates can trip on a load spike that inflated the
+            # whole run; a regression verdict needs two slow runs in a row.
+            # The modeled metric is deterministic — no rerun would change it.
+            print("regression suspected; confirming with a rerun...")
+            tracer2, runner2, records2, trajectory2 = run_grid()
+            report2 = compare_trajectories(
+                baseline, trajectory2, tolerance=args.tolerance
+            )
+            if report2.ratio < report.ratio:
+                tracer, runner, records = tracer2, runner2, records2
+                trajectory, report = trajectory2, report2
+
+    out = args.out or f"BENCH_{args.study}.json"
+    write_trajectory(trajectory, out)
+    print(f"wrote {out} ({len(records)} cells, {len(runner.censored)} censored)")
+    for stage, seconds in sorted(tracer.stage_times().items()):
+        print(f"  stage {stage:<12} {seconds * 1e3:10.3f} ms")
+    imbalance = tracer.imbalance()
+    if imbalance is not None:
+        print(f"  load imbalance  {imbalance:.3f} (max/mean - 1)")
+    for name, count in sorted(tracer.warnings.items()):
+        print(f"  warning {name}: {count}")
+    if args.trace:
+        print(f"wrote {tracer.to_jsonl(args.trace)}")
+    if args.trace_csv:
+        print(f"wrote {write_trace_csv(tracer, args.trace_csv)}")
+
+    if report is not None:
+        print()
+        print(report.table())
+        if report.regressed:
+            return EXIT_REGRESSION
     return 0
 
 
@@ -335,6 +480,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "bench": _cmd_bench,
         "study": _cmd_study,
         "sweep": _cmd_sweep,
         "table": _cmd_table,

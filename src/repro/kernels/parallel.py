@@ -15,6 +15,8 @@ are where dynamic pays.
 
 from __future__ import annotations
 
+import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -30,9 +32,28 @@ from ..formats.sell import SELL
 from .common import balanced_partitions
 from .serial import _segmented_stream_spmm
 
-__all__ = ["parallel_spmm", "PARALLEL_PARTITIONERS"]
+__all__ = ["parallel_spmm", "effective_threads"]
 
 DEFAULT_THREADS = 32  # the paper's default for all parallel studies (§5.1)
+
+
+def effective_threads(requested: int, tracer=None) -> int:
+    """Clamp a wall-clock thread count to the host's core count.
+
+    The paper's default of 32 threads oversubscribes smaller hosts and
+    makes wall-clock numbers meaningless; model-mode runs never reach this
+    code and keep the paper's counts.  A clamp is recorded on the tracer
+    (``thread_clamp`` warning, ``threads_requested``/``threads_used``
+    counters) so traced runs show it happened.
+    """
+    cap = os.cpu_count() or 1
+    used = min(requested, cap)
+    if tracer is not None:
+        tracer.count("threads_requested", requested)
+        tracer.count("threads_used", used)
+        if used < requested:
+            tracer.warn("thread_clamp")
+    return used
 
 
 def _resolve_chunks(indptr: np.ndarray, threads: int, schedule: str) -> list[tuple[int, int]]:
@@ -45,7 +66,17 @@ def _resolve_chunks(indptr: np.ndarray, threads: int, schedule: str) -> list[tup
     return [rng for rng in balanced_partitions(indptr, parts) if rng[0] < rng[1]]
 
 
-def _run_workers(fn, chunks, threads: int) -> None:
+def _run_workers(fn, chunks, threads: int, tracer=None) -> None:
+    if tracer is not None:
+        tracer.count("chunks_scheduled", len(chunks))
+
+        inner = fn
+
+        def fn(c, _inner=inner):
+            t0 = time.perf_counter()
+            _inner(c)
+            tracer.record_worker(time.perf_counter() - t0)
+
     if threads <= 1 or len(chunks) <= 1:
         for c in chunks:
             fn(c)
@@ -114,11 +145,13 @@ def parallel_spmm(
     *,
     threads: int = DEFAULT_THREADS,
     schedule: str = "static",
+    tracer=None,
     **_opts,
 ) -> np.ndarray:
     """Dispatch the CPU-parallel kernel for any registered paper format."""
     if threads < 1:
         raise KernelError(f"threads must be >= 1, got {threads}")
+    threads = effective_threads(threads, tracer)
     B = A.check_dense_operand(B, k)
     kk = B.shape[1]
     C = np.zeros((A.nrows, kk), dtype=A.policy.value)
@@ -126,22 +159,22 @@ def parallel_spmm(
     if isinstance(A, COO):
         indptr = A.row_segments()
         chunks = _resolve_chunks(indptr, threads, schedule)
-        _run_workers(lambda rng: _stream_rows(A, indptr, A.cols, A.values, B, C, rng), chunks, threads)
+        _run_workers(lambda rng: _stream_rows(A, indptr, A.cols, A.values, B, C, rng), chunks, threads, tracer)
         return C
 
     if isinstance(A, CSR5):
-        return _csr5_parallel(A, B, C, threads, schedule)
+        return _csr5_parallel(A, B, C, threads, schedule, tracer)
 
     if isinstance(A, CSR):
         chunks = _resolve_chunks(A.indptr, threads, schedule)
-        _run_workers(lambda rng: _stream_rows(A, A.indptr, A.indices, A.values, B, C, rng), chunks, threads)
+        _run_workers(lambda rng: _stream_rows(A, A.indptr, A.indices, A.values, B, C, rng), chunks, threads, tracer)
         return C
 
     if isinstance(A, ELL):
         # Every row has identical work (the width), so partition row counts.
         indptr = np.arange(A.nrows + 1, dtype=np.int64)
         chunks = _resolve_chunks(indptr, threads, schedule)
-        _run_workers(lambda rng: _ell_rows(A, B, C, rng), chunks, threads)
+        _run_workers(lambda rng: _ell_rows(A, B, C, rng), chunks, threads, tracer)
         return C
 
     if isinstance(A, BELL):
@@ -151,7 +184,7 @@ def parallel_spmm(
         ]
         np.cumsum(per_row, out=indptr[1:])
         chunks = _resolve_chunks(indptr, threads, schedule)
-        _run_workers(lambda rng: _bell_rows(A, B, C, rng), chunks, threads)
+        _run_workers(lambda rng: _bell_rows(A, B, C, rng), chunks, threads, tracer)
         return C
 
     if isinstance(A, SELL):
@@ -175,7 +208,7 @@ def parallel_spmm(
                     acc += val[:, j, None] * B[idx[:, j]]
                 C[out_rows] = acc
 
-        _run_workers(sell_work, chunk_ranges, threads)
+        _run_workers(sell_work, chunk_ranges, threads, tracer)
         return C
 
     if isinstance(A, BCSR):
@@ -184,7 +217,7 @@ def parallel_spmm(
         Bp = np.vstack([B, np.zeros((pad_rows, kk), dtype=B.dtype)]) if pad_rows else B
         Cp = np.zeros((A.nblockrows * br, kk), dtype=A.policy.value)
         chunks = _resolve_chunks(A.indptr, threads, schedule)
-        _run_workers(lambda rng: _bcsr_block_rows(A, Bp, Cp, rng), chunks, threads)
+        _run_workers(lambda rng: _bcsr_block_rows(A, Bp, Cp, rng), chunks, threads, tracer)
         C[:] = Cp[: A.nrows]
         return C
 
@@ -192,7 +225,7 @@ def parallel_spmm(
 
 
 def _csr5_parallel(
-    A: CSR5, B: np.ndarray, C: np.ndarray, threads: int, schedule: str
+    A: CSR5, B: np.ndarray, C: np.ndarray, threads: int, schedule: str, tracer=None
 ) -> np.ndarray:
     """Tile-partitioned CSR5 execution with dirty-row merging.
 
@@ -211,6 +244,7 @@ def _csr5_parallel(
         t0, t1 = int(bounds[p]), int(bounds[p + 1])
         if t0 == t1:
             return None
+        w0 = time.perf_counter()
         e0, e1 = int(A.tile_ptr[t0]), int(A.tile_ptr[t1])
         r_first = int(A.tile_first_row[t0])
         r_last = int(A.tile_last_row[t1 - 1])
@@ -219,8 +253,12 @@ def _csr5_parallel(
         from .common import segment_sum
 
         local = segment_sum(products, local_ptr)
+        if tracer is not None:
+            tracer.record_worker(time.perf_counter() - w0)
         return r_first, r_last, local
 
+    if tracer is not None:
+        tracer.count("chunks_scheduled", parts)
     if threads <= 1 or parts <= 1:
         results = [work(p) for p in range(parts)]
     else:

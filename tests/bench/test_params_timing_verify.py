@@ -101,7 +101,29 @@ class TestTiming:
 
     def test_flops_to_mflops(self):
         assert flops_to_mflops(2_000_000, 2.0) == pytest.approx(1.0)
-        assert flops_to_mflops(100, 0.0) == 0.0
+
+    def test_flops_to_mflops_rejects_negative_time(self):
+        with pytest.raises(BenchConfigError):
+            flops_to_mflops(100, -0.5)
+
+    def test_flops_to_mflops_clamps_zero_to_resolution(self):
+        from repro.bench.observe import Tracer
+        from repro.bench.timing import timer_resolution
+
+        tracer = Tracer()
+        mflops = flops_to_mflops(100, 0.0, tracer=tracer)
+        assert mflops == pytest.approx(100 / timer_resolution() / 1e6)
+        assert tracer.warnings["timer_clamped"] == 1
+
+    def test_measure_traces_warmup_and_kernel_spans(self):
+        from repro.bench.observe import Tracer
+
+        tracer = Tracer()
+        _, stats = measure(lambda: None, n_runs=3, warmup=2, tracer=tracer)
+        names = [sp.name for sp in tracer.spans]
+        assert names.count("warmup") == 1
+        assert names.count("kernel") == 3
+        assert stats.n == 3
 
 
 class TestVerify:

@@ -102,3 +102,43 @@ class TestCsr5DirtyRows:
         A = CSR5.from_triplets(CooBuilder(4, 4).finish())
         C = parallel_spmm(A, rng.standard_normal((4, 2)), threads=2)
         assert np.allclose(C, 0.0)
+
+
+class TestThreadClamp:
+    def test_clamped_to_cpu_count(self, monkeypatch):
+        from repro.bench.observe import Tracer
+        from repro.kernels import parallel
+        from repro.kernels.parallel import effective_threads
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 2)
+        tracer = Tracer()
+        assert effective_threads(32, tracer) == 2
+        assert tracer.warnings["thread_clamp"] == 1
+        assert tracer.counters["threads_requested"] == 32
+        assert tracer.counters["threads_used"] == 2
+
+    def test_no_clamp_within_cores(self, monkeypatch):
+        from repro.bench.observe import Tracer
+        from repro.kernels import parallel
+        from repro.kernels.parallel import effective_threads
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
+        tracer = Tracer()
+        assert effective_threads(4, tracer) == 4
+        assert "thread_clamp" not in tracer.warnings
+
+    def test_cpu_count_none_falls_back_to_one(self, monkeypatch):
+        from repro.kernels import parallel
+        from repro.kernels.parallel import effective_threads
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: None)
+        assert effective_threads(16) == 1
+
+    def test_clamp_still_correct(self, small_triplets, rng, monkeypatch):
+        from repro.kernels import parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
+        A = build_format("csr", small_triplets)
+        B = rng.standard_normal((A.ncols, 4))
+        C = parallel_spmm(A, B, threads=32)
+        assert np.allclose(C, dense_ref(small_triplets, B))

@@ -1,8 +1,10 @@
 """Tests for the spmm-bench CLI."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_REGRESSION, build_parser, main
 
 
 class TestParser:
@@ -10,6 +12,7 @@ class TestParser:
         parser = build_parser()
         for argv in (
             ["run", "--matrix", "cant", "--format", "csr"],
+            ["bench", "--study", "smoke"],
             ["study", "study1"],
             ["sweep", "--matrix", "cant", "--format", "csr"],
             ["table"],
@@ -165,3 +168,73 @@ class TestNewCommands:
                      "--selector", str(saved)])
         assert code == 0
         assert "loaded selector" in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    """The instrumented grid run and its --baseline regression gate."""
+
+    SMOKE = ["bench", "--study", "smoke", "--scale", "64", "-n", "2"]
+
+    def _run_smoke(self, tmp_path, *extra):
+        out = tmp_path / "BENCH_smoke.json"
+        code = main(self.SMOKE + ["--out", str(out), *extra])
+        return code, out
+
+    def test_bench_in_parser(self):
+        args = build_parser().parse_args(["bench", "--study", "smoke"])
+        assert args.command == "bench"
+        assert args.tolerance == 0.15
+
+    def test_writes_trajectory(self, tmp_path, capsys):
+        code, out = self._run_smoke(tmp_path)
+        assert code == 0
+        traj = json.loads(out.read_text())
+        assert traj["config"]["study"] == "smoke"
+        assert traj["mflops"]["mean"] > 0
+        for stage in ("load", "convert", "warmup", "kernel", "verify"):
+            assert traj["stage_times"][stage] > 0
+        stdout = capsys.readouterr().out
+        assert "stage kernel" in stdout
+
+    def test_trace_exports(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace_csv = tmp_path / "trace.csv"
+        code, _ = self._run_smoke(
+            tmp_path, "--trace", str(trace), "--trace-csv", str(trace_csv)
+        )
+        assert code == 0
+        kinds = {json.loads(line)["type"] for line in trace.read_text().splitlines()}
+        assert {"span", "counters", "warnings", "workers"} <= kinds
+        assert trace_csv.read_text().startswith("span,parent,")
+
+    def test_baseline_unchanged_tree_passes(self, tmp_path, capsys):
+        code, out = self._run_smoke(tmp_path)
+        assert code == 0
+        code2 = main(
+            self.SMOKE
+            + ["--out", str(tmp_path / "rerun.json"), "--baseline", str(out)]
+        )
+        assert code2 == 0
+        assert "-> ok" in capsys.readouterr().out
+
+    def test_baseline_2x_slowdown_fails(self, tmp_path, capsys):
+        code, out = self._run_smoke(tmp_path)
+        assert code == 0
+        # Doctor the baseline so the current tree looks 2x slower on the
+        # deterministic modeled metric.
+        traj = json.loads(out.read_text())
+        for cell in traj["cells"]:
+            if cell.get("modeled_mflops"):
+                cell["modeled_mflops"] *= 2.0
+        out.write_text(json.dumps(traj))
+        code2 = main(
+            self.SMOKE
+            + ["--out", str(tmp_path / "rerun.json"), "--baseline", str(out)]
+        )
+        assert code2 == EXIT_REGRESSION
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_baseline_is_error(self, tmp_path, capsys):
+        code, _ = self._run_smoke(tmp_path, "--baseline", str(tmp_path / "nope.json"))
+        assert code == 1
+        assert "not found" in capsys.readouterr().err
