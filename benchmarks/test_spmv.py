@@ -8,7 +8,7 @@ studies share consistent data.  These benchmarks deliver the comparison its
 import numpy as np
 import pytest
 
-from conftest import PAPER_FORMATS, SCALE, build
+from conftest import PAPER_FORMATS, build
 
 BATCH = 16
 

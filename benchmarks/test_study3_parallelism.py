@@ -14,7 +14,7 @@ from repro.bench.suite import SpmmBenchmark
 from repro.bench.sweep import run_thread_sweep
 from repro.studies import study3_1_best_threads, study3_parallelism
 
-from conftest import ARM, K, PAPER_FORMATS, SCALE, build, dense_operand
+from conftest import ARM, K, SCALE, build, dense_operand
 
 THREADS = (1, 2, 4, 8)
 

@@ -6,6 +6,10 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
-    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    install_requires=["numpy>=1.24"],
+    extras_require={
+        "scipy": ["scipy>=1.10"],
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
     entry_points={"console_scripts": ["spmm-bench=repro.cli:main"]},
 )

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field, replace
 
 from ..dtypes import DEFAULT_POLICY, POLICY_32, POLICY_64, DTypePolicy
 from ..errors import BenchConfigError
+from ..kernels.common import DEFAULT_CHUNK_ELEMENTS
 
 __all__ = ["BenchParams"]
 
@@ -32,6 +33,9 @@ class BenchParams:
     k: int = 128
     variant: str = "serial"
     schedule: str = "static"
+    #: Per-chunk intermediate budget (entries x k) for the stream kernels —
+    #: the tunable the autotuner samples (see repro.tune).
+    chunk_elements: int = DEFAULT_CHUNK_ELEMENTS
     thread_list: tuple[int, ...] = field(default_factory=tuple)
     dtype_policy: DTypePolicy = DEFAULT_POLICY
     seed: int = 0
@@ -50,6 +54,10 @@ class BenchParams:
             raise BenchConfigError(f"k must be >= 1, got {self.k}")
         if self.warmup < 0:
             raise BenchConfigError(f"warmup must be >= 0, got {self.warmup}")
+        if self.chunk_elements < 1:
+            raise BenchConfigError(
+                f"chunk_elements must be >= 1, got {self.chunk_elements}"
+            )
         if any(t < 1 for t in self.thread_list):
             raise BenchConfigError(f"thread_list entries must be >= 1: {self.thread_list}")
 
@@ -72,6 +80,8 @@ class BenchParams:
             opts["threads"] = self.threads
             if self.variant == "parallel":
                 opts["schedule"] = self.schedule
+        if self.chunk_elements != DEFAULT_CHUNK_ELEMENTS and not self.variant.startswith("gpu"):
+            opts["chunk_elements"] = self.chunk_elements
         return opts
 
     def with_(self, **changes) -> "BenchParams":
@@ -96,6 +106,9 @@ class BenchParams:
                             help="kernel variant (serial/parallel/gpu/...)")
         parser.add_argument("--schedule", default="static", choices=["static", "dynamic"],
                             help="parallel loop schedule")
+        parser.add_argument("--chunk-elements", type=int, default=DEFAULT_CHUNK_ELEMENTS,
+                            dest="chunk_elements",
+                            help="per-chunk intermediate budget for stream kernels")
         parser.add_argument("--thread-list", default="",
                             help="comma-separated thread counts to sweep (Study 3.1)")
         parser.add_argument("--dtypes", default="mixed", choices=sorted(_POLICIES),
@@ -121,6 +134,7 @@ class BenchParams:
             k=args.k,
             variant=args.variant,
             schedule=args.schedule,
+            chunk_elements=getattr(args, "chunk_elements", DEFAULT_CHUNK_ELEMENTS),
             thread_list=thread_list,
             dtype_policy=_POLICIES[args.dtypes],
             seed=args.seed,

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 from ..errors import OffloadError
+from ..kernels.plan import PlanCache
 from ..machine.machines import Machine
 from .observe import Tracer
 from .params import BenchParams
@@ -93,12 +94,16 @@ class GridRunner:
         machine: Machine | None = None,
         mode: str = "model",
         tracer: Tracer | None = None,
+        plan_cache: PlanCache | None = None,
     ):
         self.spec = spec
         self.machine = machine
         self.mode = mode
         #: Optional instrumentation, shared by every cell of the grid.
         self.tracer = tracer
+        #: Optional plan cache shared across cells: grid axes that revisit
+        #: the same (matrix, format) pair skip the conversion entirely.
+        self.plan_cache = plan_cache
         #: Matrices whose GPU launches were censored (offload faults /
         #: device memory), mirroring the paper's omitted data points.
         self.censored: list[RunRecord] = []
@@ -128,6 +133,7 @@ class GridRunner:
             machine=self.machine,
             operation=self.spec.operation,
             tracer=self.tracer,
+            plan_cache=self.plan_cache,
         )
         bench.load_suite_matrix(matrix, scale=self.spec.scale)
         meta = dict(

@@ -21,11 +21,11 @@ from typing import Any
 
 import numpy as np
 
-from ..dtypes import DTypePolicy
-from ..errors import BenchConfigError, OffloadError
+from ..errors import BenchConfigError
 from ..formats.base import SparseFormat
 from ..formats.registry import get_format
 from ..kernels.dispatch import run_spmm, run_spmv
+from ..kernels.plan import ExecutionPlan, PlanCache, plan_supported
 from ..kernels.traces import trace_spmm, trace_spmv
 from ..machine.costmodel import CostBreakdown, predict_spmm_time
 from ..machine.machines import Machine
@@ -105,6 +105,7 @@ class SpmmBenchmark:
         machine: Machine | None = None,
         operation: str = "spmm",
         tracer: Tracer | None = None,
+        plan_cache: PlanCache | None = None,
     ):
         if operation not in ("spmm", "spmv"):
             raise BenchConfigError(f"operation must be spmm or spmv, got {operation!r}")
@@ -118,6 +119,11 @@ class SpmmBenchmark:
         self.offload_runtime = machine.offload_runtime() if machine else None
         #: Optional instrumentation; stages and counters are recorded on it.
         self.tracer = tracer
+        #: Optional execution-plan cache: repeat runs over the same matrix
+        #: skip conversion, and repeat calculate() calls skip per-call
+        #: planning (see repro.kernels.plan).
+        self.plan_cache = plan_cache
+        self._plan: ExecutionPlan | None = None
 
     # -- inputs -------------------------------------------------------------
 
@@ -155,8 +161,39 @@ class SpmmBenchmark:
     # -- the two override points (paper §4.1) --------------------------------
 
     def format(self) -> tuple[SparseFormat, float]:
-        """Format the COO input into the benchmark's format (timed)."""
+        """Format the COO input into the benchmark's format (timed).
+
+        With a plan cache attached, the conversion artifact (and the whole
+        specialized plan) is memoized by matrix fingerprint: a cache hit
+        skips the conversion and reports a zero format time, a miss pays
+        exactly the cold path below.
+        """
         self._require_loaded()
+        self._plan = None
+        if self.plan_cache is not None and plan_supported(
+            self.params.variant, self.operation
+        ):
+            plan, provenance = self.plan_cache.get_or_build_plan(
+                self.triplets,
+                self.format_name,
+                variant=self.params.variant,
+                k=self.params.k,
+                threads=self.params.threads,
+                schedule=self.params.schedule,
+                chunk_elements=self.params.chunk_elements,
+                policy=self.params.dtype_policy,
+                format_params=self.params.format_params(self.format_name),
+                tracer=self.tracer,
+                builder=self._build_format,
+            )
+            self._plan = plan
+            A = plan.matrix
+            A._suite_name = self.matrix_name
+            return A, plan.format_time_s if provenance == "built" else 0.0
+        return self._build_format()
+
+    def _build_format(self) -> tuple[SparseFormat, float]:
+        """The cold conversion path (always what a cache miss pays)."""
         t0 = time.perf_counter()
         A = self.format_cls.from_triplets(
             self.triplets,
@@ -170,6 +207,10 @@ class SpmmBenchmark:
 
     def calculate(self, A: SparseFormat, B: np.ndarray) -> np.ndarray:
         """One kernel invocation — override to test a custom algorithm."""
+        if self._plan is not None:
+            # Plan-specialized hot path: conversion, chunk schedules, and
+            # closure planning all happened once, at plan build time.
+            return self._plan(B, tracer=self.tracer)
         opts: dict[str, Any] = self.params.kernel_options()
         if self.params.variant.startswith("gpu"):
             opts["runtime"] = self.offload_runtime
@@ -200,7 +241,10 @@ class SpmmBenchmark:
             trace = trace_spmv(A, fixed_k=fixed_k)
         else:
             trace = trace_spmm(A, self.params.k, fixed_k=fixed_k, transpose_b=transpose_b)
-        execution = _VARIANT_EXECUTION[self.params.variant]
+        execution = _VARIANT_EXECUTION.get(
+            self.params.variant,
+            "parallel" if "parallel" in self.params.variant else "serial",
+        )
         return predict_spmm_time(
             trace, self.machine, execution, threads=self.params.threads
         )
@@ -222,6 +266,8 @@ class SpmmBenchmark:
         if mode not in ("wallclock", "model", "both"):
             raise BenchConfigError(f"unknown mode {mode!r}")
         self._require_loaded()
+        if self.params.variant == "auto":
+            self._resolve_auto_variant()
         tracer = self.tracer
         t_start = time.perf_counter()
         if tracer is not None:
@@ -282,6 +328,25 @@ class SpmmBenchmark:
             padding_ratio=A.padding_ratio,
             modeled=modeled,
         )
+
+    def _resolve_auto_variant(self) -> None:
+        """Pin ``variant="auto"`` to the tuned (or heuristic) choice.
+
+        Consults the active :class:`~repro.tune.store.TuneStore` by matrix
+        fingerprint; the tuned ``threads``/``chunk_elements`` knobs ride
+        along.  Resolution happens once per run, before formatting, so the
+        plan cache and the cost model both see a concrete variant.
+        """
+        from ..tune.store import resolve_auto_variant  # lazy: tune imports bench
+
+        k = self.params.k if self.operation == "spmm" else 1
+        variant, opts = resolve_auto_variant(self.triplets, k, tracer=self.tracer)
+        changes: dict[str, Any] = {"variant": variant}
+        if "threads" in opts:
+            changes["threads"] = opts["threads"]
+        if "chunk_elements" in opts:
+            changes["chunk_elements"] = opts["chunk_elements"]
+        self.params = self.params.with_(**changes)
 
     def _verify(self, B: np.ndarray, C: np.ndarray) -> bool:
         if self.operation == "spmm":

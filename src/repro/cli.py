@@ -103,6 +103,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="gate this run against a prior trajectory file")
     bench_p.add_argument("--tolerance", type=float, default=0.15,
                          help="allowed mean-time growth before failing (default 0.15)")
+    bench_p.add_argument("--no-plan-cache", action="store_true",
+                         help="disable the execution-plan cache (measure the cold path)")
+    bench_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persist conversion artifacts to an on-disk plan cache "
+                              "(e.g. .repro_cache)")
+
+    tune_p = sub.add_parser(
+        "tune",
+        help="autotune (format, variant, chunk, threads) for a matrix and "
+             "persist the winner for variant=auto dispatch",
+    )
+    tune_p.add_argument("--matrix", required=True, help="suite matrix name")
+    tune_p.add_argument("--scale", type=int, default=64,
+                        help="divide the paper's matrix rows by this factor")
+    tune_p.add_argument("-k", type=int, default=32, dest="k",
+                        help="dense operand width to tune for")
+    tune_p.add_argument("--formats", default="coo,csr,ell,bcsr", dest="format_list",
+                        help="comma-separated candidate formats")
+    tune_p.add_argument("--variants", default="serial,parallel",
+                        help="comma-separated candidate variants")
+    tune_p.add_argument("--thread-list", default="2,4,8",
+                        help="thread counts swept for parallel variants (5.5.1)")
+    tune_p.add_argument("--chunk-list", default="",
+                        help="comma-separated chunk_elements budgets to sample")
+    tune_p.add_argument("--mode", default="model", choices=["model", "wallclock"],
+                        help="score with the deterministic machine model (default) "
+                             "or real wall-clock timings")
+    tune_p.add_argument("--machine", default="arm",
+                        help="machine model for model-mode scoring")
+    tune_p.add_argument("-n", "--n-runs", type=int, default=3,
+                        help="timed repetitions per wallclock sample")
+    tune_p.add_argument("--store", default=None, metavar="JSON",
+                        help="tuned-table path (default: .repro_cache/tuned.json)")
 
     study_p = sub.add_parser("study", help="regenerate a table/figure of the paper")
     study_p.add_argument("study", help="study id (table5.1, study1..study9, study3.1, all)")
@@ -209,6 +242,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     from .bench.report import write_trace_csv
     from .bench.runner import GridRunner, GridSpec
+    from .kernels.plan import PlanCache
 
     grid = BENCH_GRIDS[args.study]
     params = BenchParams(n_runs=args.n_runs, warmup=2, k=32, threads=4)
@@ -238,7 +272,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         matrices=list(grid["matrices"]),
         formats=list(grid["formats"]),
         variants=list(grid["variants"]),
+        plan_cache=not args.no_plan_cache,
     )
+    # The plan cache is shared across the whole grid (and the confirm
+    # rerun), so repeat cells skip conversion; --no-plan-cache measures the
+    # cold path of every cell.
+    plan_cache = None
+    if not args.no_plan_cache:
+        plan_cache = PlanCache(directory=args.cache_dir)
 
     # Validate the gate inputs before spending seconds on the grid: a typo'd
     # baseline path or tolerance should fail fast, not after the run.
@@ -248,7 +289,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     def run_grid():
         tracer = Tracer()
-        runner = GridRunner(spec, machine=machine, mode=args.mode, tracer=tracer)
+        runner = GridRunner(
+            spec, machine=machine, mode=args.mode, tracer=tracer, plan_cache=plan_cache
+        )
         records = runner.run()
         return tracer, runner, records, build_trajectory(records, tracer, config)
 
@@ -289,6 +332,58 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(report.table())
         if report.regressed:
             return EXIT_REGRESSION
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .matrices.suite import load_matrix
+    from .tune.autotune import DEFAULT_TUNE_CHUNKS, autotune
+    from .tune.store import DEFAULT_STORE_PATH, TuneStore, set_active_store
+
+    def _ints(text: str, flag: str) -> tuple[int, ...]:
+        try:
+            return tuple(int(tok) for tok in text.split(",") if tok.strip())
+        except ValueError as exc:
+            raise BenchConfigError(f"bad {flag}: {text!r}") from exc
+
+    formats = tuple(tok.strip() for tok in args.format_list.split(",") if tok.strip())
+    variants = tuple(tok.strip() for tok in args.variants.split(",") if tok.strip())
+    thread_list = _ints(args.thread_list, "--thread-list") or (2, 4, 8)
+    chunk_list = _ints(args.chunk_list, "--chunk-list") or DEFAULT_TUNE_CHUNKS
+
+    machine = None
+    if args.mode == "model":
+        machine = get_machine(args.machine).with_scaled_caches(args.scale)
+    triplets = load_matrix(args.matrix, scale=args.scale)
+    store = TuneStore(args.store or DEFAULT_STORE_PATH)
+
+    report = autotune(
+        triplets,
+        matrix_name=args.matrix,
+        k=args.k,
+        mode=args.mode,
+        machine=machine,
+        formats=formats,
+        variants=variants,
+        thread_list=thread_list,
+        chunk_list=chunk_list,
+        n_runs=args.n_runs,
+        store=store,
+    )
+    set_active_store(store)
+
+    print(f"tuned {args.matrix} (scale 1/{args.scale}, k={args.k}, "
+          f"mode={args.mode}{', machine ' + machine.name if machine else ''})")
+    print(f"sampled {len(report.cells)} cells:")
+    header = f"  {'format':<8} {'variant':<10} {'threads':>7} {'chunk':>12} {'MFLOPS':>14}"
+    print(header)
+    for fmt, variant, threads, chunk, mflops in report.table_rows():
+        print(f"  {fmt:<8} {variant:<10} {threads:>7} {chunk:>12} {mflops:>14}")
+    d = report.decision
+    print(f"winner: {d.format_name}/{d.variant} threads={d.threads} "
+          f"chunk_elements={d.chunk_elements} ({d.score_mflops:,.1f} MFLOPS)")
+    print(f"recorded {d.fingerprint}:k{d.k} -> {store.path}")
+    print("variant=auto dispatch will now pick this plan for the matrix")
     return 0
 
 
@@ -481,6 +576,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "bench": _cmd_bench,
+        "tune": _cmd_tune,
         "study": _cmd_study,
         "sweep": _cmd_sweep,
         "table": _cmd_table,

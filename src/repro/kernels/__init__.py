@@ -9,6 +9,7 @@ in :mod:`repro.kernels.dispatch` mirrors that matrix of variants.
 """
 
 from .dispatch import run_spmm, run_spmv, kernel_variants, get_kernel
+from .plan import ExecutionPlan, PlanCache, PlanKey, matrix_fingerprint
 from .traces import KernelTrace, trace_spmm, trace_spmv
 from .spgemm import spgemm, spgemm_flops
 
@@ -17,6 +18,10 @@ __all__ = [
     "run_spmv",
     "kernel_variants",
     "get_kernel",
+    "ExecutionPlan",
+    "PlanCache",
+    "PlanKey",
+    "matrix_fingerprint",
     "KernelTrace",
     "trace_spmm",
     "trace_spmv",

@@ -92,7 +92,23 @@ def get_kernel(variant: str, operation: str = "spmm") -> Callable:
 
 
 def run_spmm(A, B: np.ndarray, variant: str = "serial", k: int | None = None, **options: Any) -> np.ndarray:
-    """Execute ``C = A @ B`` with the named kernel variant."""
+    """Execute ``C = A @ B`` with the named kernel variant.
+
+    ``variant="auto"`` consults the autotuned dispatch table
+    (:mod:`repro.tune`): a matrix that was tuned runs its recorded winning
+    variant with the tuned ``threads``/``chunk_elements`` knobs, an untuned
+    one falls back to a work-size heuristic.  Explicit keyword options win
+    over tuned ones.  Pass ``tune_store=`` to consult a specific
+    :class:`~repro.tune.store.TuneStore` instead of the process default.
+    """
+    if variant == "auto":
+        from ..tune.store import resolve_auto_variant  # lazy: tune sits above kernels
+
+        kk = k if k is not None else np.asarray(B).shape[1]
+        variant, tuned_options = resolve_auto_variant(
+            A, kk, store=options.pop("tune_store", None), tracer=options.get("tracer")
+        )
+        options = {**tuned_options, **options}
     return get_kernel(variant, "spmm")(A, B, k, **options)
 
 

@@ -26,53 +26,61 @@ from ..formats.coo import COO
 from ..formats.csr import CSR
 from ..formats.csr5 import CSR5
 from ..formats.ell import ELL
-from .common import iter_row_chunks, segment_sum
+from .common import (
+    DEFAULT_CHUNK_ELEMENTS,
+    plan_stream_segments,
+    run_stream_segments,
+    segment_sum,
+)
 from .serial import serial_spmm
 
 __all__ = ["specialize_spmm", "optimized_spmm"]
 
 
-def _specialize_stream(A, indptr: np.ndarray, indices, values, k: int) -> Callable:
-    # Hoisted out of the per-call path: chunk schedule and per-chunk
-    # pointer slices — the Python analog of loop-invariant code motion.
-    chunks = []
-    for c0, c1 in iter_row_chunks(indptr, k):
-        e0, e1 = int(indptr[c0]), int(indptr[c1])
-        chunks.append((c0, c1, e0, e1, indptr[c0 : c1 + 1] - e0))
-    # Values pre-broadcast to a column, hoisting the load "outside the
-    # k loop" exactly as the paper's first manual optimization does.
+def _specialize_stream(
+    A,
+    indptr: np.ndarray,
+    indices,
+    values,
+    k: int,
+    chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+) -> Callable:
+    # Hoisted out of the per-call path: chunk schedule, per-chunk value and
+    # index slices, and the segment-reduction plan (reduceat starts and the
+    # empty-segment mask that segment_sum rebuilds per call) — the Python
+    # analog of loop-invariant code motion.
     values_col = np.ascontiguousarray(values)[:, None]
+    segments = plan_stream_segments(indptr, indices, values_col, k, max_elements=chunk_elements)
     nrows = A.nrows
     dtype = A.policy.value
 
     def kernel(B: np.ndarray) -> np.ndarray:
         B = A.check_dense_operand(B, k)
-        C = np.empty((nrows, B.shape[1]), dtype=dtype)
-        C[:] = 0
-        for c0, c1, e0, e1, local_ptr in chunks:
-            if e0 == e1:
-                continue
-            products = values_col[e0:e1] * B[indices[e0:e1]]
-            segment_sum(products, local_ptr, out=C[c0:c1])
+        C = np.zeros((nrows, B.shape[1]), dtype=dtype)
+        run_stream_segments(segments, B, C)
         return C
 
     return kernel
 
 
-def specialize_spmm(A, k: int) -> Callable[[np.ndarray], np.ndarray]:
+def specialize_spmm(
+    A, k: int, chunk_elements: int = DEFAULT_CHUNK_ELEMENTS
+) -> Callable[[np.ndarray], np.ndarray]:
     """Build a fixed-k kernel for matrix ``A`` (the "template" analog).
 
     The returned callable accepts the dense operand and returns C; all
     k-dependent planning has been done at specialization time.
+    ``chunk_elements`` bounds the per-chunk intermediate, the tunable the
+    autotuner samples.
     """
     if k < 1:
         raise KernelError(f"k must be >= 1, got {k}")
 
     if isinstance(A, COO):
         indptr = A.row_segments()  # hoisted: generic kernel rebuilds this per call
-        return _specialize_stream(A, indptr, A.cols, A.values, k)
+        return _specialize_stream(A, indptr, A.cols, A.values, k, chunk_elements)
     if isinstance(A, (CSR, CSR5)):
-        return _specialize_stream(A, A.indptr, A.indices, A.values, k)
+        return _specialize_stream(A, A.indptr, A.indices, A.values, k, chunk_elements)
     if isinstance(A, ELL):
         # Pre-split the slot columns once (hoisted loads).
         slot_vals = [np.ascontiguousarray(A.values[:, j])[:, None] for j in range(A.width)]
@@ -112,21 +120,29 @@ def specialize_spmm(A, k: int) -> Callable[[np.ndarray], np.ndarray]:
     return lambda B: serial_spmm(A, B, k)
 
 
-_SPECIALIZATION_CACHE: dict[tuple[int, int], Callable] = {}
+_SPECIALIZATION_CACHE: dict[tuple[int, int, int], Callable] = {}
 
 
-def optimized_spmm(A, B: np.ndarray, k: int | None = None, **_opts) -> np.ndarray:
+def optimized_spmm(
+    A,
+    B: np.ndarray,
+    k: int | None = None,
+    *,
+    chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+    **_opts,
+) -> np.ndarray:
     """Run the fixed-k specialized kernel, caching specializations.
 
-    The cache key is ``(id(A), k)`` — the benchmark loop calls the same
-    matrix repeatedly, which is exactly when template specialization pays.
+    The cache key is ``(id(A), k, chunk_elements)`` — the benchmark loop
+    calls the same matrix repeatedly, which is exactly when template
+    specialization pays.
     """
     B_arr = np.asarray(B)
     kk = k if k is not None else B_arr.shape[1]
-    key = (id(A), kk)
+    key = (id(A), kk, chunk_elements)
     kernel = _SPECIALIZATION_CACHE.get(key)
     if kernel is None:
-        kernel = specialize_spmm(A, kk)
+        kernel = specialize_spmm(A, kk, chunk_elements)
         if len(_SPECIALIZATION_CACHE) > 256:
             _SPECIALIZATION_CACHE.clear()
         _SPECIALIZATION_CACHE[key] = kernel

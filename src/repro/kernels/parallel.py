@@ -15,7 +15,9 @@ are where dynamic pays.
 
 from __future__ import annotations
 
+import atexit
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -29,12 +31,50 @@ from ..formats.csr import CSR
 from ..formats.csr5 import CSR5
 from ..formats.ell import ELL
 from ..formats.sell import SELL
-from .common import balanced_partitions
+from .common import balanced_partitions, plan_stream_segments, run_stream_segments
 from .serial import _segmented_stream_spmm
 
-__all__ = ["parallel_spmm", "effective_threads"]
+__all__ = [
+    "parallel_spmm",
+    "effective_threads",
+    "specialize_parallel_spmm",
+    "shared_pool",
+    "shutdown_shared_pools",
+]
 
 DEFAULT_THREADS = 32  # the paper's default for all parallel studies (§5.1)
+
+#: Process-lifetime executors, one per worker count.  Creating a
+#: ``ThreadPoolExecutor`` per call costs more than a small SpMM at bench
+#: scales; plan-specialized kernels reuse these instead.
+_SHARED_POOLS: dict[int, ThreadPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def shared_pool(threads: int) -> ThreadPoolExecutor:
+    """A reusable executor with ``threads`` workers (created on first use)."""
+    if threads < 1:
+        raise KernelError(f"threads must be >= 1, got {threads}")
+    with _POOLS_LOCK:
+        pool = _SHARED_POOLS.get(threads)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix=f"spmm{threads}"
+            )
+            _SHARED_POOLS[threads] = pool
+        return pool
+
+
+def shutdown_shared_pools() -> None:
+    """Tear down the shared executors (idempotent; re-creation is lazy)."""
+    with _POOLS_LOCK:
+        pools = list(_SHARED_POOLS.values())
+        _SHARED_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=False)
+
+
+atexit.register(shutdown_shared_pools)
 
 
 def effective_threads(requested: int, tracer=None) -> int:
@@ -66,7 +106,7 @@ def _resolve_chunks(indptr: np.ndarray, threads: int, schedule: str) -> list[tup
     return [rng for rng in balanced_partitions(indptr, parts) if rng[0] < rng[1]]
 
 
-def _run_workers(fn, chunks, threads: int, tracer=None) -> None:
+def _run_workers(fn, chunks, threads: int, tracer=None, pool=None) -> None:
     if tracer is not None:
         tracer.count("chunks_scheduled", len(chunks))
 
@@ -81,8 +121,11 @@ def _run_workers(fn, chunks, threads: int, tracer=None) -> None:
         for c in chunks:
             fn(c)
         return
-    with ThreadPoolExecutor(max_workers=threads) as pool:
+    if pool is not None:
         # Consume results to propagate worker exceptions.
+        list(pool.map(fn, chunks))
+        return
+    with ThreadPoolExecutor(max_workers=threads) as pool:
         list(pool.map(fn, chunks))
 
 
@@ -222,6 +265,82 @@ def parallel_spmm(
         return C
 
     raise KernelError(f"no parallel SpMM kernel for format {type(A).__name__}")
+
+
+def specialize_parallel_spmm(
+    A,
+    k: int,
+    *,
+    threads: int = DEFAULT_THREADS,
+    schedule: str = "static",
+):
+    """Build a fixed-``(matrix, k, threads)`` parallel kernel.
+
+    The parallel analog of :func:`repro.kernels.optimized.specialize_spmm`:
+    the work partition (``balanced_partitions`` over the format's natural
+    indptr) is resolved once, and repeat calls run on the process-shared
+    executor instead of constructing a ``ThreadPoolExecutor`` per call —
+    both costs the generic :func:`parallel_spmm` pays every time.  Returns
+    ``kernel(B, tracer=None) -> C``.  Formats whose parallel execution is
+    not a row-range partition (CSR5 tiles, BCSR block rows, SELL chunks)
+    fall back to the generic kernel, keeping only the conversion hoist.
+    """
+    if threads < 1:
+        raise KernelError(f"threads must be >= 1, got {threads}")
+    if k < 1:
+        raise KernelError(f"k must be >= 1, got {k}")
+    used = effective_threads(threads)
+
+    if isinstance(A, COO):
+        indptr, indices, values = A.row_segments(), A.cols, A.values
+    elif isinstance(A, CSR) and not isinstance(A, CSR5):
+        indptr, indices, values = A.indptr, A.indices, A.values
+    elif isinstance(A, ELL):
+        indptr = np.arange(A.nrows + 1, dtype=np.int64)
+        indices = values = None
+    else:
+
+        def fallback(B, tracer=None):
+            return parallel_spmm(A, B, k, threads=threads, schedule=schedule, tracer=tracer)
+
+        return fallback
+
+    chunks = _resolve_chunks(indptr, used, schedule)
+    nrows, dtype = A.nrows, A.policy.value
+    pool = shared_pool(used) if used > 1 and len(chunks) > 1 else None
+
+    if indices is not None:
+        # Hoist the segmented-reduction schedule per worker range — the
+        # reduceat starts and empty-segment masks _segmented_stream_spmm
+        # otherwise re-derives on every call.  Work items become the
+        # precomputed schedules themselves (one per range, so the tracer's
+        # chunks_scheduled count is unchanged).
+        values_col = np.ascontiguousarray(values)[:, None]
+        seg_plans = [
+            plan_stream_segments(indptr, indices, values_col, k, rng) for rng in chunks
+        ]
+    else:
+        seg_plans = None
+
+    def kernel(B, tracer=None):
+        if tracer is not None:
+            # Keep the per-call clamp accounting of the unplanned kernel.
+            effective_threads(threads, tracer)
+        Bc = A.check_dense_operand(B, k)
+        C = np.zeros((nrows, Bc.shape[1]), dtype=dtype)
+        if seg_plans is None:
+            _run_workers(lambda rng: _ell_rows(A, Bc, C, rng), chunks, used, tracer, pool=pool)
+        else:
+            _run_workers(
+                lambda segs: run_stream_segments(segs, Bc, C),
+                seg_plans,
+                used,
+                tracer,
+                pool=pool,
+            )
+        return C
+
+    return kernel
 
 
 def _csr5_parallel(

@@ -63,19 +63,35 @@ def _segmented_stream_spmm(
     return C
 
 
-def coo_spmm_serial(A: COO, B: np.ndarray, k: int | None = None, **_opts) -> np.ndarray:
+def coo_spmm_serial(
+    A: COO,
+    B: np.ndarray,
+    k: int | None = None,
+    *,
+    chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+    **_opts,
+) -> np.ndarray:
     """COO SpMM: stream (row, col, value) triplets and accumulate into C."""
     B = A.check_dense_operand(B, k)
     C = np.zeros((A.nrows, B.shape[1]), dtype=A.policy.value)
     indptr = A.row_segments()
-    return _segmented_stream_spmm(indptr, A.cols, A.values, B, C)
+    return _segmented_stream_spmm(indptr, A.cols, A.values, B, C, max_elements=chunk_elements)
 
 
-def csr_spmm_serial(A: CSR, B: np.ndarray, k: int | None = None, **_opts) -> np.ndarray:
+def csr_spmm_serial(
+    A: CSR,
+    B: np.ndarray,
+    k: int | None = None,
+    *,
+    chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+    **_opts,
+) -> np.ndarray:
     """CSR SpMM: per-row segments over the compressed entry stream."""
     B = A.check_dense_operand(B, k)
     C = np.zeros((A.nrows, B.shape[1]), dtype=A.policy.value)
-    return _segmented_stream_spmm(A.indptr, A.indices, A.values, B, C)
+    return _segmented_stream_spmm(
+        A.indptr, A.indices, A.values, B, C, max_elements=chunk_elements
+    )
 
 
 def ell_spmm_serial(A: ELL, B: np.ndarray, k: int | None = None, **_opts) -> np.ndarray:
@@ -92,7 +108,13 @@ def ell_spmm_serial(A: ELL, B: np.ndarray, k: int | None = None, **_opts) -> np.
 
 
 def bcsr_spmm_serial(
-    A: BCSR, B: np.ndarray, k: int | None = None, *, max_elements: int = DEFAULT_CHUNK_ELEMENTS, **_opts
+    A: BCSR,
+    B: np.ndarray,
+    k: int | None = None,
+    *,
+    max_elements: int = DEFAULT_CHUNK_ELEMENTS,
+    chunk_elements: int | None = None,
+    **_opts,
 ) -> np.ndarray:
     """BCSR SpMM: dense tile times gathered B panel, per block row.
 
@@ -100,6 +122,8 @@ def bcsr_spmm_serial(
     B rows starting at ``c * bc`` and contract ``(br, bc) @ (bc, k)``; tiles
     of a block row accumulate into the same C panel.
     """
+    if chunk_elements is not None:
+        max_elements = chunk_elements
     B = A.check_dense_operand(B, k)
     kk = B.shape[1]
     br, bc = A.block_shape
@@ -154,7 +178,14 @@ def bell_spmm_serial(A: BELL, B: np.ndarray, k: int | None = None, **_opts) -> n
     return C
 
 
-def csr5_spmm_serial(A: CSR5, B: np.ndarray, k: int | None = None, **_opts) -> np.ndarray:
+def csr5_spmm_serial(
+    A: CSR5,
+    B: np.ndarray,
+    k: int | None = None,
+    *,
+    chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+    **_opts,
+) -> np.ndarray:
     """CSR5 SpMM: segmented reduction over equal-nnz tiles.
 
     Serially the tiles reduce in order, merging the partial sum of rows that
@@ -164,7 +195,9 @@ def csr5_spmm_serial(A: CSR5, B: np.ndarray, k: int | None = None, **_opts) -> n
     """
     B = A.check_dense_operand(B, k)
     C = np.zeros((A.nrows, B.shape[1]), dtype=A.policy.value)
-    return _segmented_stream_spmm(A.indptr, A.indices, A.values, B, C)
+    return _segmented_stream_spmm(
+        A.indptr, A.indices, A.values, B, C, max_elements=chunk_elements
+    )
 
 
 def sell_spmm_serial(A: SELL, B: np.ndarray, k: int | None = None, **_opts) -> np.ndarray:

@@ -8,7 +8,7 @@ modeled numbers compare to the paper's.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import MachineModelError

@@ -24,7 +24,7 @@ from ..formats.csr5 import CSR5
 from ..formats.ell import ELL
 from ..formats.sell import SELL
 from ..kernels.traces import trace_spmm
-from .cache import CacheHierarchy, SetAssociativeCache
+from .cache import SetAssociativeCache
 
 __all__ = ["GatherValidation", "gather_stream", "validate_hit_model"]
 

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import OffloadError
 from ..machine.machines import ARIES
 from .common import (
     DEFAULT_K,

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from ..machine.costmodel import gpu_memory_required
 from ..machine.machines import ARIES, GRACE_HOPPER
-from ..matrices.suite import SUITE, load_matrix, paper_table_5_1
+from ..matrices.suite import load_matrix, paper_table_5_1
 from .common import DEFAULT_SCALE, StudyResult, all_matrices, machines_for_scale, modeled_mflops
 
 __all__ = ["run", "memory_eligible_matrices"]

@@ -1,0 +1,44 @@
+"""Run-time auto-tuning of (format, variant, chunk, threads) choices.
+
+The paper's through-line is that no single configuration wins everywhere
+(Studies 1, 3.1, 5, 9); this package turns that observation into mechanism:
+:func:`~repro.tune.autotune.autotune` samples the candidate space with the
+benchmark suite itself, :class:`~repro.tune.store.TuneStore` persists
+winners per matrix fingerprint, and
+:func:`~repro.tune.store.resolve_auto_variant` serves the table to
+``run_spmm(..., variant="auto")``.
+"""
+
+from .autotune import (
+    DEFAULT_TUNE_CHUNKS,
+    DEFAULT_TUNE_FORMATS,
+    DEFAULT_TUNE_THREADS,
+    DEFAULT_TUNE_VARIANTS,
+    TuneCell,
+    TuneReport,
+    autotune,
+)
+from .store import (
+    DEFAULT_STORE_PATH,
+    TuneDecision,
+    TuneStore,
+    get_active_store,
+    resolve_auto_variant,
+    set_active_store,
+)
+
+__all__ = [
+    "autotune",
+    "TuneCell",
+    "TuneReport",
+    "TuneDecision",
+    "TuneStore",
+    "DEFAULT_STORE_PATH",
+    "DEFAULT_TUNE_FORMATS",
+    "DEFAULT_TUNE_VARIANTS",
+    "DEFAULT_TUNE_THREADS",
+    "DEFAULT_TUNE_CHUNKS",
+    "get_active_store",
+    "set_active_store",
+    "resolve_auto_variant",
+]

@@ -1,0 +1,195 @@
+"""Persisted autotune decisions and the ``variant="auto"`` resolution.
+
+The tuner (:mod:`repro.tune.autotune`) samples candidate
+``(format, variant, chunk_elements, threads)`` cells and records the winner
+per matrix *content fingerprint* — the same digest the plan cache uses, so
+a decision made for ``cant`` applies to that matrix in any format or
+loading path.  :class:`TuneStore` is the table: an in-memory dict with JSON
+persistence (conventionally ``.repro_cache/tuned.json``).
+
+:func:`resolve_auto_variant` is the dispatch side:
+``run_spmm(A, B, variant="auto")`` consults the active store and falls back
+to a size heuristic when the matrix was never tuned.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..errors import BenchConfigError
+from ..kernels.common import DEFAULT_CHUNK_ELEMENTS
+from ..kernels.plan import matrix_fingerprint
+
+__all__ = [
+    "TuneDecision",
+    "TuneStore",
+    "DEFAULT_STORE_PATH",
+    "get_active_store",
+    "set_active_store",
+    "resolve_auto_variant",
+]
+
+DEFAULT_STORE_PATH = Path(".repro_cache") / "tuned.json"
+
+TUNE_STORE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TuneDecision:
+    """The winning cell for one (matrix, k) pair."""
+
+    fingerprint: str
+    matrix: str
+    format_name: str
+    variant: str
+    threads: int
+    chunk_elements: int
+    k: int
+    score_mflops: float
+    mode: str = "model"
+    machine: str | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TuneDecision":
+        known = {f: data[f] for f in cls.__dataclass_fields__ if f in data}
+        missing = [f for f in ("fingerprint", "format_name", "variant") if f not in known]
+        if missing:
+            raise BenchConfigError(f"tune entry missing fields: {', '.join(missing)}")
+        return cls(**known)
+
+
+class TuneStore:
+    """Fingerprint-keyed table of :class:`TuneDecision` rows.
+
+    ``path=None`` keeps the store purely in memory (tests); with a path the
+    table loads lazily from disk and :meth:`record` persists through it.
+    Unreadable or stale files are treated as empty — a corrupt cache must
+    never break a benchmark run.
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self._table: dict[str, TuneDecision] = {}
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    @staticmethod
+    def _key(fingerprint: str, k: int) -> str:
+        return f"{fingerprint}:k{int(k)}"
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def decisions(self) -> list[TuneDecision]:
+        return list(self._table.values())
+
+    def record(self, decision: TuneDecision, persist: bool = True) -> None:
+        """Insert/replace the decision for its (fingerprint, k) slot."""
+        self._table[self._key(decision.fingerprint, decision.k)] = decision
+        if persist and self.path is not None:
+            self.save()
+
+    def lookup(self, fingerprint: str, k: int | None = None) -> TuneDecision | None:
+        """Best decision for a matrix: exact k first, then any k."""
+        if k is not None:
+            exact = self._table.get(self._key(fingerprint, k))
+            if exact is not None:
+                return exact
+        for decision in self._table.values():
+            if decision.fingerprint == fingerprint:
+                return decision
+        return None
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self) -> Path:
+        if self.path is None:
+            raise BenchConfigError("this TuneStore has no backing path")
+        payload = {
+            "schema_version": TUNE_STORE_SCHEMA_VERSION,
+            "decisions": {key: d.to_dict() for key, d in self._table.items()},
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        tmp.replace(self.path)
+        return self.path
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("schema_version") != TUNE_STORE_SCHEMA_VERSION:
+            return
+        for key, row in (payload.get("decisions") or {}).items():
+            try:
+                self._table[key] = TuneDecision.from_dict(row)
+            except (BenchConfigError, TypeError):
+                continue
+
+
+# -- the active store (what variant="auto" consults) --------------------------
+
+_ACTIVE_STORE: TuneStore | None = None
+
+
+def get_active_store() -> TuneStore:
+    """The process-wide store, lazily bound to :data:`DEFAULT_STORE_PATH`."""
+    global _ACTIVE_STORE
+    if _ACTIVE_STORE is None:
+        path = DEFAULT_STORE_PATH if DEFAULT_STORE_PATH.exists() else None
+        _ACTIVE_STORE = TuneStore(path)
+    return _ACTIVE_STORE
+
+
+def set_active_store(store: TuneStore | None) -> None:
+    """Swap the process-wide store (``None`` resets to lazy default)."""
+    global _ACTIVE_STORE
+    _ACTIVE_STORE = store
+
+
+#: Work threshold (nnz * k flo-pairs) above which the untuned fallback
+#: prefers the parallel kernel.  Below it, thread fan-out overhead loses —
+#: the paper's Study 3 sub-linear scaling story at small sizes.
+AUTO_PARALLEL_WORK_THRESHOLD = 1_000_000
+
+
+def resolve_auto_variant(
+    matrix,
+    k: int,
+    store: TuneStore | None = None,
+    tracer=None,
+) -> tuple[str, dict]:
+    """Resolve ``variant="auto"`` for a matrix: ``(variant, extra options)``.
+
+    ``matrix`` is a :class:`~repro.formats.SparseFormat` or
+    :class:`~repro.matrices.Triplets`.  A tuned decision contributes its
+    variant plus its ``threads`` / ``chunk_elements`` knobs; without one, a
+    work-size heuristic picks serial or parallel.
+    """
+    store = store if store is not None else get_active_store()
+    decision = store.lookup(matrix_fingerprint(matrix), k)
+    if decision is None:
+        if tracer is not None:
+            tracer.count("auto_dispatch_fallback")
+        cores = os.cpu_count() or 1
+        if matrix.nnz * max(k, 1) >= AUTO_PARALLEL_WORK_THRESHOLD and cores > 1:
+            return "parallel", {"threads": min(cores, 8)}
+        return "serial", {}
+    if tracer is not None:
+        tracer.count("auto_dispatch_tuned")
+    options: dict = {}
+    if "parallel" in decision.variant:
+        options["threads"] = decision.threads
+    if decision.chunk_elements != DEFAULT_CHUNK_ELEMENTS:
+        options["chunk_elements"] = decision.chunk_elements
+    return decision.variant, options

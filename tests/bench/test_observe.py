@@ -7,8 +7,6 @@ import pytest
 
 from repro.bench.observe import (
     STAGES,
-    RegressionReport,
-    Span,
     Tracer,
     build_trajectory,
     compare_trajectories,

@@ -1,6 +1,5 @@
 """Tests for the benchmark suite class, reporting, sweeps, and grid runner."""
 
-import numpy as np
 import pytest
 
 from repro.bench.params import BenchParams
@@ -232,3 +231,72 @@ class TestGridRunner:
         )
         records = GridRunner(spec, mode="wallclock").run()
         assert records[0].result.verified
+
+
+class TestPlanCacheIntegration:
+    """The plan cache threaded through SpmmBenchmark and GridRunner."""
+
+    def _bench(self, cache, variant="serial", **kw):
+        params = BenchParams(variant=variant, k=6, n_runs=1, warmup=0, **kw)
+        return SpmmBenchmark("csr", params=params, plan_cache=cache)
+
+    def test_repeat_run_skips_conversion(self, small_triplets):
+        from repro.kernels.plan import PlanCache
+
+        cache = PlanCache()
+        bench = self._bench(cache)
+        bench.load_triplets(small_triplets)
+        first = bench.run(mode="wallclock")
+        assert first.format_time_s > 0  # cold: conversion was timed
+        second = bench.run(mode="wallclock")
+        assert second.format_time_s == 0.0  # memo hit: no conversion
+        assert second.verified is True
+        assert cache.stats["plan_hits"] >= 1
+
+    def test_cached_result_matches_uncached(self, small_triplets):
+        import numpy as np
+
+        from repro.kernels.plan import PlanCache
+
+        for variant in ("serial", "parallel", "optimized"):
+            cached = self._bench(PlanCache(), variant=variant, threads=2)
+            plain = self._bench(None, variant=variant, threads=2)
+            cached.load_triplets(small_triplets)
+            plain.load_triplets(small_triplets)
+            B = cached.make_dense()
+            A_c, _ = cached.format()
+            A_p, _ = plain.format()
+            assert np.array_equal(
+                cached.calculate(A_c, B), plain.calculate(A_p, B)
+            ), variant
+
+    def test_grid_runner_shares_cache_across_variants(self, small_triplets):
+        from repro.kernels.plan import PlanCache
+
+        cache = PlanCache()
+        spec = GridSpec(
+            matrices=("dw4096",),
+            formats=("csr",),
+            variants=("serial", "parallel"),
+            k_values=(8,),
+            thread_counts=(2,),
+            scale=64,
+            base_params=BenchParams(n_runs=1, warmup=0, k=8, threads=2),
+        )
+        runner = GridRunner(spec, mode="wallclock", plan_cache=cache)
+        records = runner.run()
+        assert all(r.censored is None for r in records)
+        # Both variants share one conversion artifact.
+        assert cache.stats["format_misses"] == 1
+        assert cache.stats["format_hits"] == 1
+
+    def test_gpu_variant_bypasses_plan_cache(self, small_triplets):
+        from repro.kernels.plan import PlanCache
+
+        cache = PlanCache()
+        params = BenchParams(variant="gpu", k=6, n_runs=1, warmup=0)
+        bench = SpmmBenchmark("csr", params=params, plan_cache=cache)
+        bench.load_triplets(small_triplets)
+        result = bench.run(mode="wallclock")
+        assert result.verified is True
+        assert len(cache) == 0  # unplannable variant never touched the cache

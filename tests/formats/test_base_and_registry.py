@@ -14,7 +14,7 @@ from repro.formats import (
     iter_formats,
     register_format,
 )
-from tests.conftest import ALL_FORMATS, build_format
+from tests.conftest import build_format
 
 
 class TestRegistry:

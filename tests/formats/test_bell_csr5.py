@@ -8,7 +8,6 @@ from repro.formats.bell import BELL
 from repro.formats.csr import CSR
 from repro.formats.csr5 import CSR5
 from repro.matrices.coo_builder import CooBuilder
-from tests.conftest import make_random_triplets
 
 
 class TestBELL:

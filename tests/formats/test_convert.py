@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.dtypes import POLICY_32
-from repro.formats import CSR, CSR5, convert, from_scipy, get_format, to_scipy
+from repro.formats import CSR, CSR5, convert, from_scipy, to_scipy
 from tests.conftest import ALL_FORMATS, FORMAT_PARAMS, build_format
 
 
@@ -53,6 +53,7 @@ def test_convert_preserves_policy_by_default(small_triplets):
 
 
 def test_scipy_roundtrip(small_triplets):
+    pytest.importorskip("scipy.sparse", reason="scipy is an optional extra")
     A = build_format("csr", small_triplets)
     S = to_scipy(A)
     back = from_scipy(S, target="bcsr", block_size=3)
@@ -60,7 +61,7 @@ def test_scipy_roundtrip(small_triplets):
 
 
 def test_from_scipy_formats(small_triplets):
-    import scipy.sparse as sp
+    sp = pytest.importorskip("scipy.sparse", reason="scipy is an optional extra")
 
     S = sp.csr_matrix(small_triplets.to_dense())
     for fmt in ALL_FORMATS:

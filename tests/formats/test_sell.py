@@ -7,7 +7,6 @@ from repro.errors import FormatError
 from repro.formats.ell import ELL
 from repro.formats.sell import SELL
 from repro.matrices.coo_builder import CooBuilder
-from tests.conftest import make_random_triplets
 
 
 class TestSellStructure:

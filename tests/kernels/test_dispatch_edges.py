@@ -6,7 +6,7 @@ import pytest
 from repro.dtypes import POLICY_32, POLICY_64
 from repro.errors import KernelError, ShapeError
 from repro.kernels.dispatch import run_spmm, run_spmv
-from tests.conftest import ALL_FORMATS, FORMAT_PARAMS, build_format, make_random_triplets
+from tests.conftest import ALL_FORMATS, build_format, make_random_triplets
 
 
 class TestDtypeMatrix:

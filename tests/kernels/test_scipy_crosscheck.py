@@ -8,7 +8,8 @@ kernel variant.
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
+
+sp = pytest.importorskip("scipy.sparse", reason="scipy is an optional extra")
 
 from repro.formats.convert import to_scipy
 from repro.kernels.dispatch import run_spmm, run_spmv

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import KernelError
 from repro.kernels.traces import (
-    KernelTrace,
     reuse_distance_histogram,
     trace_spmm,
     trace_spmv,

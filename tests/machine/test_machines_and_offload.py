@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import MachineModelError, OffloadError
-from repro.machine.machines import ARIES, GRACE_HOPPER, MACHINES, get_machine
+from repro.machine.machines import ARIES, GRACE_HOPPER, get_machine
 from repro.machine.offload import (
     ARIES_WORKING_MATRICES,
     FaultyOffloadRuntime,

@@ -1,6 +1,5 @@
 """Tests for the roofline analysis."""
 
-import numpy as np
 import pytest
 
 from repro.kernels.traces import trace_spmm

@@ -12,7 +12,7 @@ from repro.machine.validation import (
 )
 from repro.matrices.generators import banded_matrix, matrix_from_row_counts
 from repro.matrices.suite import load_matrix
-from tests.conftest import ALL_FORMATS, build_format, make_random_triplets
+from tests.conftest import ALL_FORMATS, build_format
 
 import numpy as np
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.dtypes import POLICY_32
 from repro.errors import FormatError, ShapeError
-from repro.matrices.coo_builder import CooBuilder, Triplets, triplets_from_dense
+from repro.matrices.coo_builder import CooBuilder, triplets_from_dense
 
 
 class TestCooBuilder:

@@ -7,7 +7,6 @@ import pytest
 
 from repro.errors import MatrixMarketError
 from repro.matrices.mmio import read_matrix_market, write_matrix_market
-from tests.conftest import make_random_triplets
 
 
 def test_roundtrip(tmp_path, small_triplets):
@@ -88,7 +87,7 @@ def test_symmetric_diagonal_not_duplicated(tmp_path):
 
 def test_scipy_interop(tmp_path, small_triplets):
     """Our writer produces files scipy can read, and vice versa."""
-    import scipy.io as sio
+    sio = pytest.importorskip("scipy.io", reason="scipy is an optional extra")
 
     path = tmp_path / "interop.mtx"
     write_matrix_market(path, small_triplets)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.matrices.generators import banded_matrix, powerlaw_matrix
+from repro.matrices.generators import banded_matrix
 from repro.matrices.suite import load_matrix
 from repro.select import (
     CANDIDATE_FORMATS,

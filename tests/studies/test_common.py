@@ -1,8 +1,5 @@
 """Tests for the study plumbing (trace caching, modeled cells)."""
 
-import numpy as np
-import pytest
-
 from repro.machine.machines import ARIES, GRACE_HOPPER
 from repro.studies.common import (
     DEFAULT_K,

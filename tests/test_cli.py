@@ -238,3 +238,75 @@ class TestBenchCommand:
         code, _ = self._run_smoke(tmp_path, "--baseline", str(tmp_path / "nope.json"))
         assert code == 1
         assert "not found" in capsys.readouterr().err
+
+
+class TestPlanCacheFlags:
+    """bench --no-plan-cache / --cache-dir and the counters they drive."""
+
+    SMOKE = ["bench", "--study", "smoke", "--scale", "64", "-n", "1"]
+
+    def test_counters_present_with_cache(self, tmp_path):
+        out = tmp_path / "t.json"
+        assert main(self.SMOKE + ["--out", str(out)]) == 0
+        traj = json.loads(out.read_text())
+        assert traj["config"]["plan_cache"] is True
+        assert traj["counters"]["plan_cache_miss"] >= 1
+
+    def test_no_plan_cache_disables_counters(self, tmp_path):
+        out = tmp_path / "t.json"
+        assert main(self.SMOKE + ["--no-plan-cache", "--out", str(out)]) == 0
+        traj = json.loads(out.read_text())
+        assert traj["config"]["plan_cache"] is False
+        assert "plan_cache_miss" not in traj["counters"]
+
+    def test_cache_dir_persists_artifacts(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        out = tmp_path / "t.json"
+        argv = self.SMOKE + ["--cache-dir", str(cache_dir), "--out", str(out)]
+        assert main(argv) == 0
+        assert list(cache_dir.glob("*.plan.pkl"))
+        # Second run hits the disk tier from a fresh process-level cache.
+        out2 = tmp_path / "t2.json"
+        argv2 = self.SMOKE + ["--cache-dir", str(cache_dir), "--out", str(out2)]
+        assert main(argv2) == 0
+        traj2 = json.loads(out2.read_text())
+        assert traj2["counters"]["plan_cache_disk_hit"] >= 1
+
+    def test_cached_and_uncached_match_modeled(self, tmp_path):
+        """The plan cache must not change the deterministic model metric."""
+        cached, uncached = tmp_path / "c.json", tmp_path / "u.json"
+        assert main(self.SMOKE + ["--out", str(cached)]) == 0
+        assert main(self.SMOKE + ["--no-plan-cache", "--out", str(uncached)]) == 0
+        cm = {c["key"]: c["modeled_mflops"] for c in json.loads(cached.read_text())["cells"]}
+        um = {c["key"]: c["modeled_mflops"] for c in json.loads(uncached.read_text())["cells"]}
+        assert cm == um
+
+
+class TestTuneCommand:
+    def test_tune_in_parser(self):
+        args = build_parser().parse_args(["tune", "--matrix", "dw4096"])
+        assert args.command == "tune"
+        assert args.mode == "model"
+
+    def test_tune_records_decision(self, tmp_path, capsys):
+        store = tmp_path / "tuned.json"
+        code = main([
+            "tune", "--matrix", "dw4096", "--scale", "64", "-k", "8",
+            "--formats", "coo,csr", "--variants", "serial,parallel",
+            "--thread-list", "2,4", "--store", str(store),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "winner:" in out
+        payload = json.loads(store.read_text())
+        (entry,) = payload["decisions"].values()
+        assert entry["variant"] in ("serial", "parallel")
+        assert entry["k"] == 8
+
+    def test_tune_bad_thread_list(self, capsys):
+        code = main([
+            "tune", "--matrix", "dw4096", "--scale", "64",
+            "--thread-list", "two,4",
+        ])
+        assert code == 1
+        assert "thread-list" in capsys.readouterr().err

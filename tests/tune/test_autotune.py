@@ -1,0 +1,168 @@
+"""Tests for the autotuner (model-mode: deterministic, no wall clock)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.observe import Tracer
+from repro.bench.params import BenchParams
+from repro.bench.suite import SpmmBenchmark
+from repro.errors import BenchConfigError
+from repro.kernels.plan import PlanCache, fingerprint_triplets
+from repro.machine.machines import get_machine
+from repro.tune.autotune import autotune
+from repro.tune.store import TuneStore, set_active_store
+from tests.conftest import make_random_triplets
+
+MACHINE = get_machine("arm")
+
+
+@pytest.fixture(autouse=True)
+def _reset_active_store():
+    set_active_store(None)
+    yield
+    set_active_store(None)
+
+
+@pytest.fixture
+def trip():
+    return make_random_triplets(60, 60, density=0.1, seed=11)
+
+
+def test_autotune_model_mode(trip, tmp_path):
+    store = TuneStore(tmp_path / "tuned.json")
+    report = autotune(
+        trip,
+        matrix_name="rand60",
+        k=6,
+        machine=MACHINE,
+        formats=("coo", "csr"),
+        variants=("serial", "parallel"),
+        thread_list=(2, 4),
+        store=store,
+    )
+    # serial: 1 cell per format; parallel: 1 per (format, thread count).
+    assert len(report.cells) == 2 * (1 + 2)
+    assert report.fingerprint == fingerprint_triplets(trip)
+
+    best = max(report.cells, key=lambda c: c.mflops)
+    d = report.decision
+    assert (d.format_name, d.variant, d.threads) == (
+        best.format_name,
+        best.variant,
+        best.threads,
+    )
+    assert d.mode == "model"
+
+    # Persisted and discoverable by the auto dispatch path.
+    reloaded = TuneStore(tmp_path / "tuned.json")
+    assert reloaded.lookup(report.fingerprint, 6) is not None
+
+
+def test_autotune_is_deterministic_in_model_mode(trip):
+    kwargs = dict(
+        k=6,
+        machine=MACHINE,
+        formats=("coo", "csr", "ell"),
+        variants=("serial",),
+        thread_list=(2,),
+    )
+    a = autotune(trip, **kwargs)
+    b = autotune(trip, **kwargs)
+    assert [c.mflops for c in a.cells] == [c.mflops for c in b.cells]
+    assert a.decision == b.decision
+
+
+def test_autotune_counts_on_tracer(trip):
+    tracer = Tracer()
+    report = autotune(
+        trip,
+        k=6,
+        machine=MACHINE,
+        formats=("csr",),
+        variants=("serial",),
+        tracer=tracer,
+    )
+    assert tracer.counters["tune_cells_sampled"] == len(report.cells)
+    assert tracer.counters["tune_decisions"] == 1
+
+
+def test_autotune_shares_plan_cache(trip):
+    cache = PlanCache()
+    autotune(
+        trip,
+        k=6,
+        machine=MACHINE,
+        formats=("csr",),
+        variants=("serial",),
+        plan_cache=cache,
+    )
+    assert cache.stats["plan_misses"] >= 1
+
+
+def test_autotune_validation(trip):
+    with pytest.raises(BenchConfigError):
+        autotune(trip, mode="nope")
+    with pytest.raises(BenchConfigError):
+        autotune(trip, mode="model", machine=None)
+    with pytest.raises(BenchConfigError):
+        autotune(trip, machine=MACHINE, formats=())
+    with pytest.raises(BenchConfigError):
+        autotune(trip, machine=MACHINE, variants=("gpu",))
+
+
+def test_benchmark_auto_variant_uses_tuned_store(trip, tmp_path):
+    """SpmmBenchmark(variant="auto") resolves through the active store."""
+    store = TuneStore(tmp_path / "tuned.json")
+    report = autotune(
+        trip,
+        k=6,
+        machine=MACHINE,
+        formats=("csr",),
+        variants=("serial", "parallel"),
+        thread_list=(2,),
+        store=store,
+    )
+    set_active_store(store)
+
+    params = BenchParams(variant="auto", k=6, n_runs=1, warmup=0)
+    bench = SpmmBenchmark("csr", params=params, machine=MACHINE)
+    bench.load_triplets(trip, "rand60")
+    result = bench.run(mode="model")
+    assert result.variant == report.decision.variant
+    assert result.modeled_mflops > 0
+
+    # The resolved variant matches a direct run of the tuned configuration.
+    direct_params = BenchParams(
+        variant=report.decision.variant,
+        k=6,
+        n_runs=1,
+        warmup=0,
+        threads=max(report.decision.threads, 1),
+    )
+    direct = SpmmBenchmark("csr", params=direct_params, machine=MACHINE)
+    direct.load_triplets(trip, "rand60")
+    assert result.modeled_mflops == direct.run(mode="model").modeled_mflops
+
+
+def test_benchmark_auto_wallclock_correct(trip):
+    """Auto dispatch through the wall-clock path verifies against COO."""
+    params = BenchParams(variant="auto", k=6, n_runs=1, warmup=0)
+    bench = SpmmBenchmark("csr", params=params)
+    bench.load_triplets(trip, "rand60")
+    result = bench.run(mode="wallclock")
+    assert result.verified is True
+    assert result.variant in ("serial", "parallel")
+
+
+def test_wallclock_mode_requires_no_machine(trip):
+    report = autotune(
+        trip,
+        k=4,
+        mode="wallclock",
+        formats=("csr",),
+        variants=("serial",),
+        n_runs=1,
+    )
+    assert report.mode == "wallclock"
+    assert report.decision.machine is None
+    assert np.isfinite(report.decision.score_mflops)

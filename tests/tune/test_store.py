@@ -1,0 +1,148 @@
+"""Tests for the tuned-decision store and variant="auto" resolution."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import BenchConfigError
+from repro.kernels.common import DEFAULT_CHUNK_ELEMENTS
+from repro.kernels.dispatch import run_spmm
+from repro.kernels.plan import fingerprint_triplets
+from repro.tune.store import (
+    AUTO_PARALLEL_WORK_THRESHOLD,
+    TuneDecision,
+    TuneStore,
+    resolve_auto_variant,
+    set_active_store,
+)
+from tests.conftest import build_format, make_random_triplets
+
+
+@pytest.fixture(autouse=True)
+def _reset_active_store():
+    set_active_store(None)
+    yield
+    set_active_store(None)
+
+
+def _decision(fingerprint, *, variant="parallel", k=6, threads=4, chunk=None):
+    return TuneDecision(
+        fingerprint=fingerprint,
+        matrix="m",
+        format_name="csr",
+        variant=variant,
+        threads=threads,
+        chunk_elements=chunk if chunk is not None else DEFAULT_CHUNK_ELEMENTS,
+        k=k,
+        score_mflops=123.0,
+    )
+
+
+def test_store_round_trip(tmp_path):
+    path = tmp_path / "tuned.json"
+    store = TuneStore(path)
+    store.record(_decision("abc123", k=6))
+    assert path.exists()
+
+    reloaded = TuneStore(path)
+    got = reloaded.lookup("abc123", 6)
+    assert got is not None
+    assert got.variant == "parallel"
+    assert got.threads == 4
+    assert got.k == 6
+
+
+def test_store_any_k_fallback(tmp_path):
+    store = TuneStore(tmp_path / "tuned.json")
+    store.record(_decision("abc123", k=6))
+    assert store.lookup("abc123", 99) is not None  # any-k fallback
+    assert store.lookup("otherfp", 6) is None
+
+
+def test_store_survives_corrupt_file(tmp_path):
+    path = tmp_path / "tuned.json"
+    path.write_text("{not json")
+    store = TuneStore(path)  # does not raise
+    assert store.lookup("abc123") is None
+
+
+def test_store_rejects_incomplete_entry():
+    with pytest.raises(BenchConfigError):
+        TuneDecision.from_dict({"fingerprint": "x"})
+
+
+def test_store_schema_version_mismatch_ignored(tmp_path):
+    path = tmp_path / "tuned.json"
+    store = TuneStore(path)
+    store.record(_decision("abc123", k=6))
+    payload = json.loads(path.read_text())
+    payload["schema_version"] = 999
+    path.write_text(json.dumps(payload))
+    assert TuneStore(path).lookup("abc123", 6) is None
+
+
+def test_resolve_auto_uses_tuned_decision():
+    trip = make_random_triplets(20, 20, density=0.2, seed=1)
+    store = TuneStore()
+    store.record(
+        _decision(fingerprint_triplets(trip), variant="parallel", k=6, threads=3),
+        persist=False,
+    )
+    variant, opts = resolve_auto_variant(trip, 6, store=store)
+    assert variant == "parallel"
+    assert opts == {"threads": 3}
+
+
+def test_resolve_auto_carries_chunk_elements():
+    trip = make_random_triplets(20, 20, density=0.2, seed=1)
+    store = TuneStore()
+    store.record(
+        _decision(fingerprint_triplets(trip), variant="serial", k=6, chunk=4096),
+        persist=False,
+    )
+    variant, opts = resolve_auto_variant(trip, 6, store=store)
+    assert variant == "serial"
+    assert opts == {"chunk_elements": 4096}
+
+
+def test_resolve_auto_fallback_heuristic():
+    small = make_random_triplets(10, 10, density=0.2, seed=2)
+    variant, opts = resolve_auto_variant(small, 4, store=TuneStore())
+    assert variant == "serial"
+    assert opts == {}
+    assert small.nnz * 4 < AUTO_PARALLEL_WORK_THRESHOLD
+
+
+def test_resolve_auto_counts_on_tracer():
+    from repro.bench.observe import Tracer
+
+    trip = make_random_triplets(12, 12, density=0.2, seed=3)
+    tracer = Tracer()
+    resolve_auto_variant(trip, 4, store=TuneStore(), tracer=tracer)
+    assert tracer.counters["auto_dispatch_fallback"] == 1
+
+    store = TuneStore()
+    store.record(_decision(fingerprint_triplets(trip), k=4), persist=False)
+    resolve_auto_variant(trip, 4, store=store, tracer=tracer)
+    assert tracer.counters["auto_dispatch_tuned"] == 1
+
+
+def test_run_spmm_auto_variant():
+    """Dispatch-level variant="auto" returns a correct product."""
+    trip = make_random_triplets(15, 18, density=0.25, seed=5)
+    A = build_format("csr", trip)
+    B = np.random.default_rng(0).standard_normal((18, 6))
+    expected = run_spmm(A, B, variant="serial", k=6)
+
+    got = run_spmm(A, B, variant="auto", k=6)  # heuristic: small -> serial
+    assert np.array_equal(got, expected)
+
+    store = TuneStore()
+    store.record(
+        _decision(fingerprint_triplets(trip), variant="parallel", k=6, threads=2),
+        persist=False,
+    )
+    set_active_store(store)
+    got_tuned = run_spmm(A, B, variant="auto", k=6)
+    assert np.allclose(got_tuned, expected)
