@@ -1,0 +1,121 @@
+"""Batched-engine throughput vs N independent benchmark calls.
+
+The engine's pitch (and this PR's acceptance bar) in one script: a
+repeated-matrix workload — the serving scenario where many requests hit the
+same few matrices — runs through (a) N independent single-cell paths, each
+paying format conversion and plan construction, and (b) one
+:class:`repro.engine.Engine` batch, where the first request of each
+``(matrix, fmt, variant, k)`` group builds the plan and the rest share it.
+
+Run it::
+
+    PYTHONPATH=src python benchmarks/engine_throughput.py
+
+Outputs are checked bit-for-bit against the serial path before any timing
+is reported.  ``run_comparison`` is imported by
+``tests/engine/test_throughput.py``, which gates the speedup at >= 1.3x
+(best of three attempts, tolerant of wall-clock noise).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.engine import Engine, SpmmRequest
+from repro.formats.registry import get_format
+from repro.kernels.dispatch import run_spmm
+from repro.kernels.plan import PlanCache
+from repro.matrices.suite import load_matrix
+
+#: The default workload: many requests over one matrix, conversion-heavy
+#: formats, one multiplication each — plan sharing is the whole game.
+MATRICES = ("cant",)
+FORMATS = ("bcsr", "ell")
+REQUESTS = 24
+K = 8
+SCALE = 16
+
+
+def build_workload(
+    matrices=MATRICES, formats=FORMATS, n_requests=REQUESTS, k=K, scale=SCALE
+) -> list[SpmmRequest]:
+    """``n_requests`` jobs cycling over ``matrices`` x ``formats``."""
+    pairs = [(m, f) for m in matrices for f in formats]
+    return [
+        SpmmRequest(
+            matrix=pairs[i % len(pairs)][0],
+            fmt=pairs[i % len(pairs)][1],
+            k=k,
+            scale=scale,
+            repeats=1,
+        )
+        for i in range(n_requests)
+    ]
+
+
+def run_serial(requests: list[SpmmRequest]) -> tuple[float, list[np.ndarray]]:
+    """N independent single-cell runs: convert + plan every time."""
+    outputs = []
+    start = time.perf_counter()
+    for req in requests:
+        triplets = load_matrix(req.matrix, scale=req.scale)
+        A = get_format(req.fmt).from_triplets(triplets)
+        rng = np.random.default_rng(req.seed + 1)
+        B = A.policy.value_array(rng.standard_normal((triplets.ncols, req.k)))
+        outputs.append(run_spmm(A, B, variant=req.variant, k=req.k))
+    return time.perf_counter() - start, outputs
+
+
+def run_batched(
+    requests: list[SpmmRequest], workers: int = 4
+) -> tuple[float, list[np.ndarray], dict]:
+    """One engine batch: plans built once per group, shared by the rest."""
+    start = time.perf_counter()
+    with Engine(workers=workers, plan_cache=PlanCache()) as engine:
+        results = engine.map_batch(requests)
+        stats = engine.stats
+    return time.perf_counter() - start, [r.output for r in results], stats
+
+
+def run_comparison(
+    requests: list[SpmmRequest] | None = None, workers: int = 4
+) -> dict:
+    """Time both paths on the same workload; verify outputs bit-identical."""
+    requests = requests if requests is not None else build_workload()
+    # Warm the suite-matrix loader so neither path pays generation cost.
+    for req in requests:
+        load_matrix(req.matrix, scale=req.scale)
+
+    serial_s, serial_out = run_serial(requests)
+    batched_s, batched_out, stats = run_batched(requests, workers=workers)
+
+    for a, b in zip(serial_out, batched_out):
+        np.testing.assert_array_equal(a, b)
+
+    return {
+        "n_requests": len(requests),
+        "serial_s": serial_s,
+        "batched_s": batched_s,
+        "speedup": serial_s / batched_s if batched_s > 0 else float("inf"),
+        "plans_built": int(stats.get("engine_plan_built", 0)),
+        "plans_shared": int(stats.get("engine_plan_shared", 0)),
+    }
+
+
+def main() -> int:
+    report = run_comparison()
+    print(f"workload        : {report['n_requests']} requests, "
+          f"{'x'.join(MATRICES)} / {'x'.join(FORMATS)}, k={K}, scale 1/{SCALE}")
+    print(f"serial path     : {report['serial_s'] * 1e3:10.1f} ms "
+          f"(convert + plan every request)")
+    print(f"batched engine  : {report['batched_s'] * 1e3:10.1f} ms "
+          f"({report['plans_built']} plans built, "
+          f"{report['plans_shared']} shared)")
+    print(f"speedup         : {report['speedup']:.2f}x  (outputs bit-identical)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,7 +22,7 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:
 import numpy as np
 
 from repro import formats, load_matrix, trace_spmm
-from repro.bench import BenchParams, SpmmBenchmark
+from repro.api import benchmark, multiply
 from repro.machine import GRACE_HOPPER, predict_mflops
 
 SCALE = 64   # 1/64 of the paper's matrix sizes — keeps pure Python snappy
@@ -35,11 +35,10 @@ def main() -> None:
     print(f"cant (scale 1/{SCALE}): {triplets.nrows} x {triplets.ncols}, "
           f"{triplets.nnz} nonzeros")
 
-    # 2. Format and multiply by hand.
-    A = formats.CSR.from_triplets(triplets)
+    # 2. One multiplication through the stable facade.
     rng = np.random.default_rng(0)
-    B = rng.standard_normal((A.ncols, K))
-    C = A.spmm(B, variant="parallel", threads=4)
+    B = rng.standard_normal((triplets.ncols, K))
+    C = multiply(triplets, B, fmt="csr", variant="parallel", threads=4)
     print(f"C = A @ B -> {C.shape}, ||C|| = {np.linalg.norm(C):.3f}")
 
     # 3. Or let the benchmark suite drive the whole lifecycle.
@@ -48,10 +47,9 @@ def main() -> None:
           f"{'padding':>8} {'verified':>8}")
     for fmt in ("coo", "csr", "ell", "bcsr"):
         for variant in ("serial", "parallel"):
-            params = BenchParams(n_runs=3, k=K, threads=4, variant=variant)
-            bench = SpmmBenchmark(fmt, params, machine=machine)
-            bench.load_suite_matrix("cant", scale=SCALE)
-            r = bench.run(mode="both")
+            r = benchmark("cant", fmt=fmt, variant=variant, k=K,
+                          threads=4, n_runs=3, scale=SCALE,
+                          machine=machine, mode="both")
             print(f"{fmt:>6} {variant:>10} {r.mflops:>12,.0f} "
                   f"{r.modeled_mflops:>11,.0f} {r.padding_ratio:>8.2f} "
                   f"{str(r.verified):>8}")

@@ -8,14 +8,17 @@ kernels, an extensible benchmark suite, analytic machine models for the
 paper's Grace Hopper (Arm) and Aries (x86) systems, and the nine studies of
 the paper's evaluation chapter.
 
+The stable entrypoint is :mod:`repro.api` — ``multiply``, ``benchmark``,
+``benchmark_grid``, ``tune``, and the batched ``Engine``.
+
 Quickstart
 ----------
->>> from repro import load_matrix, formats
+>>> from repro.api import multiply, benchmark, load_matrix
 >>> import numpy as np
 >>> t = load_matrix("cant", scale=64)
->>> A = formats.CSR.from_triplets(t)
->>> B = np.random.default_rng(0).random((A.ncols, 128))
->>> C = A.spmm(B, variant="parallel", threads=8)
+>>> B = np.random.default_rng(0).random((t.ncols, 128))
+>>> C = multiply(t, B, fmt="csr", variant="parallel", threads=8)
+>>> r = benchmark("cant", fmt="csr", variant="parallel", k=128, scale=64)
 """
 
 from . import dtypes, errors, formats, kernels, matrices, select
@@ -33,11 +36,38 @@ from .formats import (
     get_format,
     format_names,
 )
-from .kernels import run_spmm, run_spmv, trace_spmm, trace_spmv
+from .kernels import trace_spmm, trace_spmv
+from . import api
+from .api import (
+    Engine,
+    SpmmRequest,
+    SpmmResult,
+    benchmark,
+    benchmark_grid,
+    multiply,
+    tune,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Legacy top-level kernel entrypoints, now behind a deprecation gate:
+#: ``repro.run_spmm`` / ``repro.run_spmv`` keep working but warn, pointing
+#: at ``repro.api.multiply()``.  The undeprecated homes are
+#: ``repro.kernels.run_spmm`` / ``run_spmv``.
+_LEGACY_KERNEL_EXPORTS = ("run_spmm", "run_spmv")
+
+
+def __getattr__(name: str):
+    if name in _LEGACY_KERNEL_EXPORTS:
+        from ._compat import warn_legacy
+
+        warn_legacy(f"repro.{name}", "repro.api.multiply()")
+        return getattr(kernels, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "api",
     "dtypes",
     "errors",
     "formats",
@@ -62,6 +92,13 @@ __all__ = [
     "convert",
     "get_format",
     "format_names",
+    "Engine",
+    "SpmmRequest",
+    "SpmmResult",
+    "multiply",
+    "benchmark",
+    "benchmark_grid",
+    "tune",
     "run_spmm",
     "run_spmv",
     "trace_spmm",

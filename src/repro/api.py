@@ -1,0 +1,333 @@
+"""The stable public API of the SpMM-Bench reproduction.
+
+Everything a user of this package needs lives here, under one consistent
+keyword vocabulary — ``fmt=`` (sparse format name), ``k=`` (dense operand
+width), ``threads=`` (parallel worker count), ``variant=`` (kernel
+variant, including ``"auto"``):
+
+* :func:`multiply` — one SpMM/SpMV call (the old ``run_spmm``/``A.spmm``);
+* :func:`benchmark` — one instrumented benchmark cell (the old
+  ``SpmmBenchmark`` lifecycle);
+* :func:`benchmark_grid` — a declarative grid sweep (the old
+  ``GridRunner``);
+* :func:`tune` — the autotuner, recording ``variant="auto"`` decisions;
+* :class:`Engine` / :class:`SpmmRequest` — the batched execution engine
+  for concurrent, plan-sharing workloads.
+
+The exported surface (``__all__``) is gated by CI against
+``docs/api_surface.txt``; additions require updating that file, removals
+are a breaking change.  The legacy entrypoints keep working but emit
+:class:`DeprecationWarning` — the old → new mapping is tabulated in
+``docs/api_migration.md``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from ._compat import legacy_ok
+from .bench.observe import Tracer
+from .bench.params import BenchParams
+from .bench.runner import GridRunner, GridSpec, RunRecord
+from .bench.suite import BenchResult, SpmmBenchmark
+from .bench.timing import TimingStats
+from .engine import Engine, SpmmRequest, SpmmResult
+from .errors import BenchConfigError
+from .formats.base import SparseFormat
+from .formats.convert import convert
+from .formats.registry import get_format
+from .kernels.dispatch import run_spmm, run_spmv
+from .kernels.plan import PlanCache
+from .machine.machines import Machine, get_machine
+from .matrices.coo_builder import Triplets
+from .matrices.suite import load_matrix
+from .tune.autotune import (
+    DEFAULT_TUNE_CHUNKS,
+    DEFAULT_TUNE_FORMATS,
+    DEFAULT_TUNE_THREADS,
+    DEFAULT_TUNE_VARIANTS,
+    TuneReport,
+    autotune,
+)
+from .tune.store import TuneDecision, TuneStore, set_active_store
+
+__all__ = [
+    "BenchParams",
+    "BenchResult",
+    "Engine",
+    "GridSpec",
+    "PlanCache",
+    "RunRecord",
+    "SpmmRequest",
+    "SpmmResult",
+    "TimingStats",
+    "Tracer",
+    "TuneDecision",
+    "TuneReport",
+    "TuneStore",
+    "benchmark",
+    "benchmark_grid",
+    "load_matrix",
+    "multiply",
+    "tune",
+]
+
+
+# -- input coercion -----------------------------------------------------------
+
+
+def _as_format(
+    matrix: SparseFormat | Triplets | str,
+    fmt: str | None,
+    *,
+    scale: int = 1,
+    **format_params: Any,
+) -> SparseFormat:
+    """Coerce any accepted matrix spec into a built sparse format."""
+    if isinstance(matrix, SparseFormat):
+        if fmt is not None and fmt.lower() != matrix.format_name:
+            return convert(matrix, fmt, **format_params)
+        return matrix
+    if isinstance(matrix, str):
+        matrix = load_matrix(matrix, scale=scale)
+    if isinstance(matrix, Triplets):
+        return get_format(fmt or "csr").from_triplets(matrix, **format_params)
+    raise BenchConfigError(
+        f"matrix must be a SparseFormat, Triplets, or suite name; "
+        f"got {type(matrix).__name__}"
+    )
+
+
+def _as_machine(machine: Machine | str | None, scale: int) -> Machine | None:
+    if machine is None or isinstance(machine, Machine):
+        return machine
+    return get_machine(machine).with_scaled_caches(scale)
+
+
+def _as_tuple(value) -> tuple:
+    if value is None:
+        return ()
+    if isinstance(value, (list, tuple)):
+        return tuple(value)
+    return (value,)
+
+
+# -- one multiplication -------------------------------------------------------
+
+
+def multiply(
+    matrix: SparseFormat | Triplets | str,
+    dense: np.ndarray,
+    *,
+    fmt: str | None = None,
+    variant: str = "serial",
+    k: int | None = None,
+    threads: int | None = None,
+    scale: int = 1,
+    **options: Any,
+) -> np.ndarray:
+    """``C = A @ B`` (or ``y = A @ x`` for a 1-D operand).
+
+    ``matrix`` is a built :class:`~repro.formats.SparseFormat`, raw
+    :class:`~repro.matrices.Triplets` (formatted into ``fmt``, default
+    CSR), or a suite-matrix name (loaded at ``scale``).  ``variant``
+    selects the kernel, including ``"auto"`` (tuned-table dispatch); extra
+    ``options`` go to the kernel unchanged.
+
+    >>> from repro.api import multiply, load_matrix
+    >>> C = multiply(load_matrix("cant", scale=64), B, fmt="csr",
+    ...              variant="parallel", threads=4)
+    """
+    A = _as_format(matrix, fmt, scale=scale)
+    B = np.asarray(dense)
+    if threads is not None:
+        options["threads"] = threads
+    if B.ndim == 1:
+        base = variant.replace("_transpose", "").replace("optimized", "serial")
+        if base not in ("serial", "parallel", "gpu"):
+            base = "serial"
+        return run_spmv(A, B, variant=base, **options)
+    return run_spmm(A, B, variant=variant, k=k, **options)
+
+
+# -- one benchmark cell -------------------------------------------------------
+
+
+def benchmark(
+    matrix: Triplets | str,
+    *,
+    fmt: str = "csr",
+    variant: str | None = None,
+    k: int | None = None,
+    threads: int | None = None,
+    n_runs: int | None = None,
+    scale: int = 1,
+    operation: str = "spmm",
+    mode: str = "wallclock",
+    machine: Machine | str | None = None,
+    params: BenchParams | None = None,
+    tracer: Tracer | None = None,
+    plan_cache: PlanCache | None = None,
+) -> BenchResult:
+    """Benchmark one ``(matrix, fmt, variant)`` cell — the §4.1 lifecycle.
+
+    Load → format → calculate ×``n_runs`` → verify → report.  ``params``
+    is the escape hatch for the long tail of knobs
+    (:class:`~repro.api.BenchParams`); the explicit keywords override it.
+    ``n_runs=0`` is the empty run: the kernel executes once untimed,
+    ``result.timing`` is ``None`` and measured MFLOPS are 0.0.
+
+    >>> from repro.api import benchmark
+    >>> r = benchmark("cant", fmt="bcsr", variant="parallel", k=64,
+    ...               threads=4, scale=64)
+    >>> r.mflops, r.verified
+    """
+    overrides = {
+        name: value
+        for name, value in (
+            ("variant", variant),
+            ("k", k),
+            ("threads", threads),
+            ("n_runs", n_runs),
+        )
+        if value is not None
+    }
+    p = (params or BenchParams()).with_(**overrides)
+    with legacy_ok():
+        bench = SpmmBenchmark(
+            fmt,
+            params=p,
+            machine=_as_machine(machine, scale),
+            operation=operation,
+            tracer=tracer,
+            plan_cache=plan_cache,
+        )
+        if isinstance(matrix, str):
+            bench.load_suite_matrix(matrix, scale=scale)
+        elif isinstance(matrix, Triplets):
+            bench.load_triplets(matrix)
+        else:
+            raise BenchConfigError(
+                f"matrix must be a Triplets or suite name; got {type(matrix).__name__}"
+            )
+        return bench.run(mode=mode)
+
+
+# -- a declarative grid -------------------------------------------------------
+
+
+def benchmark_grid(
+    matrices: Sequence[str] | str,
+    fmts: Sequence[str] | str,
+    *,
+    variants: Sequence[str] | str = ("serial",),
+    k: Sequence[int] | int = (128,),
+    threads: Sequence[int] | int = (32,),
+    block_sizes: Sequence[int] | int = (4,),
+    scale: int = 1,
+    operation: str = "spmm",
+    mode: str = "model",
+    machine: Machine | str | None = None,
+    params: BenchParams | None = None,
+    tracer: Tracer | None = None,
+    plan_cache: PlanCache | None = None,
+) -> list[RunRecord]:
+    """Run a ``matrices × fmts × variants × k × threads`` grid.
+
+    The old :class:`~repro.api.GridSpec`/``GridRunner`` pair behind one
+    call: scalar arguments are promoted to one-element axes, censored
+    cells (offload faults) come back as records instead of raising.
+
+    >>> from repro.api import benchmark_grid
+    >>> records = benchmark_grid(["cant", "torso1"], ["csr", "ell"],
+    ...                          variants=["serial", "parallel"],
+    ...                          k=32, threads=4, scale=64,
+    ...                          mode="model", machine="arm")
+    """
+    spec = GridSpec(
+        matrices=_as_tuple(matrices),
+        formats=_as_tuple(fmts),
+        variants=_as_tuple(variants),
+        k_values=_as_tuple(k),
+        thread_counts=_as_tuple(threads),
+        block_sizes=_as_tuple(block_sizes),
+        scale=scale,
+        operation=operation,
+        base_params=params or BenchParams(),
+    )
+    with legacy_ok():
+        runner = GridRunner(
+            spec,
+            machine=_as_machine(machine, scale),
+            mode=mode,
+            tracer=tracer,
+            plan_cache=plan_cache,
+        )
+        return runner.run()
+
+
+# -- the autotuner ------------------------------------------------------------
+
+
+def tune(
+    matrix: Triplets | str,
+    *,
+    k: int = 32,
+    fmts: Sequence[str] = DEFAULT_TUNE_FORMATS,
+    variants: Sequence[str] = DEFAULT_TUNE_VARIANTS,
+    threads: Sequence[int] = DEFAULT_TUNE_THREADS,
+    chunks: Sequence[int] = DEFAULT_TUNE_CHUNKS,
+    mode: str = "model",
+    machine: Machine | str | None = None,
+    scale: int = 1,
+    n_runs: int = 3,
+    store: TuneStore | str | Path | None = None,
+    activate: bool = False,
+    tracer: Tracer | None = None,
+) -> TuneReport:
+    """Autotune ``(fmt, variant, chunk, threads)`` for one matrix.
+
+    The winner is recorded into ``store`` (a :class:`TuneStore` or a path)
+    keyed by matrix content fingerprint; ``activate=True`` additionally
+    makes it the process-wide store so ``variant="auto"`` dispatch — in
+    :func:`multiply`, :func:`benchmark`, and the :class:`Engine` — picks
+    the decision up immediately.
+
+    >>> from repro.api import tune, multiply
+    >>> report = tune("torso1", k=32, scale=64, activate=True)
+    >>> C = multiply("torso1", B, variant="auto", scale=64)
+    """
+    name = matrix if isinstance(matrix, str) else "matrix"
+    triplets = load_matrix(matrix, scale=scale) if isinstance(matrix, str) else matrix
+    if mode == "model" and machine is None:
+        machine = "arm"
+    if isinstance(store, (str, Path)):
+        store = TuneStore(store)
+    with legacy_ok():
+        report = autotune(
+            triplets,
+            matrix_name=name,
+            k=k,
+            mode=mode,
+            machine=_as_machine(machine, scale),
+            formats=tuple(fmts),
+            variants=tuple(variants),
+            thread_list=tuple(threads),
+            chunk_list=tuple(chunks),
+            n_runs=n_runs,
+            store=store,
+            tracer=tracer,
+        )
+    if activate:
+        set_active_store(store if store is not None else _decision_store(report))
+    return report
+
+
+def _decision_store(report: TuneReport) -> TuneStore:
+    """An in-memory store holding just this report's decision."""
+    store = TuneStore()
+    store.record(report.decision, persist=False)
+    return store

@@ -44,8 +44,10 @@ class BenchParams:
     debug: bool = False
 
     def __post_init__(self) -> None:
-        if self.n_runs < 1:
-            raise BenchConfigError(f"n_runs must be >= 1, got {self.n_runs}")
+        # n_runs=0 is the empty-run contract: the calculation executes once
+        # untimed (outputs verifiable), timing is None, measured MFLOPS 0.0.
+        if self.n_runs < 0:
+            raise BenchConfigError(f"n_runs must be >= 0, got {self.n_runs}")
         if self.threads < 1:
             raise BenchConfigError(f"threads must be >= 1, got {self.threads}")
         if self.block_size < 1:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
+from .._compat import legacy_ok, warn_legacy
 from ..errors import OffloadError
 from ..kernels.plan import PlanCache
 from ..machine.machines import Machine
@@ -96,6 +97,7 @@ class GridRunner:
         tracer: Tracer | None = None,
         plan_cache: PlanCache | None = None,
     ):
+        warn_legacy("constructing GridRunner directly", "repro.api.benchmark_grid()")
         self.spec = spec
         self.machine = machine
         self.mode = mode
@@ -127,14 +129,15 @@ class GridRunner:
         return records
 
     def _run_one(self, matrix: str, fmt: str, params: BenchParams) -> RunRecord:
-        bench = SpmmBenchmark(
-            fmt,
-            params=params,
-            machine=self.machine,
-            operation=self.spec.operation,
-            tracer=self.tracer,
-            plan_cache=self.plan_cache,
-        )
+        with legacy_ok():  # internal delegation, not a legacy caller
+            bench = SpmmBenchmark(
+                fmt,
+                params=params,
+                machine=self.machine,
+                operation=self.spec.operation,
+                tracer=self.tracer,
+                plan_cache=self.plan_cache,
+            )
         bench.load_suite_matrix(matrix, scale=self.spec.scale)
         meta = dict(
             matrix=matrix,

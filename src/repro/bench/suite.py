@@ -21,6 +21,7 @@ from typing import Any
 
 import numpy as np
 
+from .._compat import warn_legacy
 from ..errors import BenchConfigError
 from ..formats.base import SparseFormat
 from ..formats.registry import get_format
@@ -107,6 +108,7 @@ class SpmmBenchmark:
         tracer: Tracer | None = None,
         plan_cache: PlanCache | None = None,
     ):
+        warn_legacy("constructing SpmmBenchmark directly", "repro.api.benchmark()")
         if operation not in ("spmm", "spmv"):
             raise BenchConfigError(f"operation must be spmm or spmv, got {operation!r}")
         self.format_cls = get_format(format_name)
@@ -297,6 +299,8 @@ class SpmmBenchmark:
         timing: TimingStats | None = None
         verified: bool | None = None
         if mode in ("wallclock", "both"):
+            # n_runs=0 is the empty-run contract: one untimed calculation,
+            # timing stays None and mflops falls back to modeled (or 0.0).
             C, timing = measure(
                 lambda: self.calculate(A, B),
                 n_runs=self.params.n_runs,

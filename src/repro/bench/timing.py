@@ -63,7 +63,7 @@ def measure(
     n_runs: int,
     warmup: int = 1,
     tracer: "Tracer | None" = None,
-) -> tuple[object, TimingStats]:
+) -> tuple[object, TimingStats | None]:
     """Call ``fn`` ``warmup + n_runs`` times; time the last ``n_runs``.
 
     Returns the last call's result and the timing statistics.  With a
@@ -73,9 +73,15 @@ def measure(
     below the clock resolution is clamped to that resolution and counted
     as a ``timer_clamped`` warning — a broken timer must not masquerade as
     an infinitely fast (or infinitely slow) kernel.
+
+    ``n_runs=0`` is the **empty-run contract**, shared by the suite and
+    the batched engine: ``fn`` runs exactly once *untimed* (so the output
+    exists and can be verified), the returned stats are ``None``, and no
+    ``kernel`` spans or ``timer_clamped`` warnings are emitted — callers
+    report 0.0 measured MFLOPS rather than a clamped-timer artifact.
     """
-    if n_runs < 1:
-        raise BenchConfigError(f"n_runs must be >= 1, got {n_runs}")
+    if n_runs < 0:
+        raise BenchConfigError(f"n_runs must be >= 0, got {n_runs}")
     result = None
     if warmup:
         if tracer is not None:
@@ -85,6 +91,8 @@ def measure(
         else:
             for _ in range(warmup):
                 result = fn()
+    if n_runs == 0:
+        return fn(), None
     resolution = timer_resolution()
     times = []
     for rep in range(n_runs):
@@ -113,9 +121,15 @@ def flops_to_mflops(flops: int, seconds: float, tracer: "Tracer | None" = None) 
     the timer resolution (with a ``timer_clamped`` warning on the tracer)
     instead of silently reporting 0.0 MFLOPS — the old behavior made a
     broken timer look like the slowest possible kernel.
+
+    Zero flops is the empty-run case (nothing was computed, e.g. a
+    zero-repeat run): the answer is exactly 0.0 MFLOPS, with no clamping
+    and no ``timer_clamped`` warning, even when ``seconds`` is also zero.
     """
     if seconds < 0:
         raise BenchConfigError(f"measured time must be >= 0, got {seconds}")
+    if flops == 0:
+        return 0.0
     if seconds == 0:
         seconds = timer_resolution()
         if tracer is not None:

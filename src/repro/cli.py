@@ -9,6 +9,9 @@ configuration" (§6.3.3).  This CLI is that replacement:
 * ``spmm-bench bench`` — run an instrumented grid, persist a
   ``BENCH_<study>.json`` trajectory, and optionally gate against a
   baseline (``--baseline``/``--tolerance``);
+* ``spmm-bench serve --jobs FILE`` — run a batch of SpMM jobs through the
+  plan-sharing execution engine (:mod:`repro.engine`) and persist an
+  engine trajectory;
 * ``spmm-bench study`` — regenerate any table/figure of the evaluation;
 * ``spmm-bench sweep`` — the Study 3.1 thread-list feature;
 * ``spmm-bench table`` — Table 5.1;
@@ -109,6 +112,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persist conversion artifacts to an on-disk plan cache "
                               "(e.g. .repro_cache)")
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="run a batch of SpMM jobs through the plan-sharing engine",
+    )
+    serve_p.add_argument("--jobs", required=True, metavar="FILE",
+                         help="JSON job file: a list of request objects, or "
+                              '{"defaults": {...}, "jobs": [...]}')
+    serve_p.add_argument("--workers", type=int, default=None,
+                         help="engine worker threads (default: host-sized)")
+    serve_p.add_argument("--max-in-flight", type=int, default=64,
+                         help="submission-window backpressure bound (default 64)")
+    serve_p.add_argument("--out", default=None, metavar="FILE",
+                         help="engine trajectory path (default: BENCH_serve.json)")
+    serve_p.add_argument("--no-plan-cache", action="store_true",
+                         help="shrink the plan cache to one entry "
+                              "(approximates the cold path)")
+    serve_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persist plans to an on-disk cache directory")
+
     tune_p = sub.add_parser(
         "tune",
         help="autotune (format, variant, chunk, threads) for a matrix and "
@@ -201,15 +223,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .api import benchmark
+
     params = BenchParams.from_args(args)
     machine = None
     if args.machine:
         machine = get_machine(args.machine).with_scaled_caches(args.scale)
-    bench = SpmmBenchmark(
-        args.format_name, params=params, machine=machine, operation=args.operation
+    result = benchmark(
+        args.matrix,
+        fmt=args.format_name,
+        params=params,
+        scale=args.scale,
+        operation=args.operation,
+        mode=args.mode,
+        machine=machine,
     )
-    bench.load_suite_matrix(args.matrix, scale=args.scale)
-    result = bench.run(mode=args.mode)
     if args.csv:
         print(results_to_csv([result]), end="")
         return 0
@@ -288,10 +316,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     baseline = load_trajectory(args.baseline) if args.baseline else None
 
     def run_grid():
+        from ._compat import legacy_ok
+
         tracer = Tracer()
-        runner = GridRunner(
-            spec, machine=machine, mode=args.mode, tracer=tracer, plan_cache=plan_cache
-        )
+        with legacy_ok():  # internal delegation, not a legacy caller
+            runner = GridRunner(
+                spec, machine=machine, mode=args.mode, tracer=tracer, plan_cache=plan_cache
+            )
         records = runner.run()
         return tracer, runner, records, build_trajectory(records, tracer, config)
 
@@ -332,6 +363,58 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(report.table())
         if report.regressed:
             return EXIT_REGRESSION
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .bench.observe import Tracer, write_trajectory
+    from .engine import Engine, load_jobs, results_to_trajectory
+    from .kernels.plan import PlanCache
+
+    requests = load_jobs(args.jobs)
+    if args.no_plan_cache:
+        plan_cache = PlanCache(maxsize=1)
+    else:
+        plan_cache = PlanCache(directory=args.cache_dir)
+    tracer = Tracer()
+    with Engine(
+        workers=args.workers,
+        max_in_flight=args.max_in_flight,
+        plan_cache=plan_cache,
+        tracer=tracer,
+    ) as engine:
+        results = engine.map_batch(requests)
+        stats = engine.stats
+
+    config = dict(
+        jobs=args.jobs,
+        n_jobs=len(requests),
+        workers=engine.workers,
+        max_in_flight=args.max_in_flight,
+        plan_cache=not args.no_plan_cache,
+    )
+    trajectory = results_to_trajectory(results, tracer, config)
+    out = args.out or "BENCH_serve.json"
+    write_trajectory(trajectory, out)
+
+    built = int(stats.get("engine_plan_built", 0))
+    shared = int(stats.get("engine_plan_shared", 0)) + int(
+        stats.get("engine_plan_memory", 0)
+    )
+    print(f"wrote {out} ({len(results)} jobs, {engine.workers} workers)")
+    print(f"  plans built {built}, reused {shared} "
+          f"(hit ratio {shared / max(1, built + shared):.2f})")
+    print(f"  queue wait  {stats.get('engine_queue_wait_s', 0.0) * 1e3:10.3f} ms total")
+    print(f"  plan stage  {stats.get('engine_plan_s', 0.0) * 1e3:10.3f} ms total")
+    print(f"  execute     {stats.get('engine_execute_s', 0.0) * 1e3:10.3f} ms total")
+    failed = int(stats.get("engine_failed", 0))
+    if failed:
+        print(f"  failed jobs {failed}")
+    bad = [r for r in results if r.verified is False]
+    if bad:
+        print(f"  VERIFY FAILED for {len(bad)} jobs: "
+              + ", ".join(r.request.label for r in bad[:5]))
+        return 1
     return 0
 
 
@@ -529,9 +612,12 @@ def _cmd_gen_script(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from ._compat import legacy_ok
+
     params = BenchParams.from_args(args).with_(variant="parallel")
     machine = get_machine(args.machine).with_scaled_caches(args.scale)
-    bench = SpmmBenchmark(args.format_name, params=params, machine=machine)
+    with legacy_ok():  # internal delegation, not a legacy caller
+        bench = SpmmBenchmark(args.format_name, params=params, machine=machine)
     bench.load_suite_matrix(args.matrix, scale=args.scale)
     thread_list = params.thread_list or (2, 4, 8, 16, 32, 48, 64, 72)
     sweep = run_thread_sweep(bench, thread_list, mode=args.mode)
@@ -576,6 +662,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
         "tune": _cmd_tune,
         "study": _cmd_study,
         "sweep": _cmd_sweep,

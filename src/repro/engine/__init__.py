@@ -1,0 +1,25 @@
+"""Batched SpMM execution engine (see :mod:`repro.engine.core`).
+
+>>> from repro.api import Engine, SpmmRequest
+>>> with Engine(workers=4) as eng:
+...     results = eng.map_batch(
+...         [SpmmRequest(matrix="cant", fmt="csr", k=32, scale=64)
+...          for _ in range(16)]
+...     )
+"""
+
+from .core import DEFAULT_WORKERS, Engine, batch_requests
+from .jobs import load_jobs, results_to_trajectory
+from .request import SpmmRequest, SpmmResult
+from .scheduler import WorkerPool
+
+__all__ = [
+    "Engine",
+    "SpmmRequest",
+    "SpmmResult",
+    "WorkerPool",
+    "DEFAULT_WORKERS",
+    "batch_requests",
+    "load_jobs",
+    "results_to_trajectory",
+]

@@ -1,0 +1,398 @@
+"""The batched SpMM execution engine.
+
+The paper's suite (and the facade's :func:`repro.api.benchmark`) serves one
+``(matrix, format, variant)`` cell per call, paying format conversion and
+plan construction every time.  Auto-tuning and feature-driven dispatch work
+(Katagiri & Sato; SpChar) shows those per-matrix costs only pay off when
+amortized across many multiplications — the serving scenario the ROADMAP
+targets.  :class:`Engine` is that amortization layer:
+
+* requests (:class:`~repro.engine.request.SpmmRequest`) are grouped by
+  matrix **content fingerprint**: the first request of a group builds the
+  conversion artifact + :class:`~repro.kernels.plan.ExecutionPlan` (through
+  the shared :class:`~repro.kernels.plan.PlanCache`), everyone else shares
+  it — a per-key lock guarantees exactly one build even under concurrency;
+* execution happens on a bounded :class:`~repro.engine.scheduler.WorkerPool`
+  with backpressure (``max_in_flight``), per-request futures, and
+  cancellation of queued work;
+* ``variant="auto"`` resolves through the :mod:`repro.tune` store once per
+  ``(matrix, k)`` and is memoized for the rest of the batch;
+* every stage is observable on the PR 1 tracer as ``engine_*`` counters
+  (queue wait, plan build/share, execute seconds) that flow into
+  ``BENCH_*.json`` trajectories via ``spmm-bench serve``.
+
+Results are bit-identical to the serial single-call path: plans never
+change kernel arithmetic, and the dense operand is generated exactly as
+:meth:`repro.bench.suite.SpmmBenchmark.make_dense` does.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import Future
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..bench.observe import Tracer
+from ..bench.timing import measure
+from ..bench.verify import verify_result
+from ..dtypes import DEFAULT_POLICY, DTypePolicy
+from ..errors import EngineClosedError, EngineError
+from ..formats.base import SparseFormat
+from ..formats.registry import get_format
+from ..kernels.dispatch import run_spmm
+from ..kernels.plan import PlanCache, fingerprint_triplets, matrix_fingerprint, plan_supported
+from ..matrices.coo_builder import Triplets
+from ..matrices.suite import load_matrix
+from ..tune.store import TuneStore, resolve_auto_variant
+from .request import SpmmRequest, SpmmResult
+from .scheduler import WorkerPool
+
+__all__ = ["Engine", "DEFAULT_WORKERS"]
+
+#: Worker default: enough to overlap NumPy kernels (they release the GIL)
+#: without oversubscribing small CI hosts.
+DEFAULT_WORKERS = max(1, min(4, (os.cpu_count() or 2) - 1))
+
+
+class Engine:
+    """Batched SpMM execution with plan sharing and a bounded worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker threads executing requests (default: host-derived).
+    max_in_flight:
+        Backpressure window — queued + executing requests; blocking
+        submits wait for a slot, non-blocking ones raise
+        :class:`~repro.errors.EngineBusyError`.
+    plan_cache:
+        Shared :class:`~repro.kernels.plan.PlanCache`; created on demand.
+        Pass a disk-backed cache to share conversions across processes.
+    tracer:
+        :class:`~repro.bench.observe.Tracer` receiving ``engine_*``
+        counters; created on demand so :attr:`stats` always works.
+    tune_store:
+        :class:`~repro.tune.store.TuneStore` consulted for
+        ``variant="auto"`` requests (default: the process-wide store).
+    policy:
+        Dtype policy for loading/formatting/operand generation.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int | None = None,
+        max_in_flight: int = 64,
+        plan_cache: PlanCache | None = None,
+        tracer: Tracer | None = None,
+        tune_store: TuneStore | None = None,
+        policy: DTypePolicy = DEFAULT_POLICY,
+    ):
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.tune_store = tune_store
+        self.policy = policy
+        self.workers = workers or DEFAULT_WORKERS
+        self._pool = WorkerPool(self.workers, max_in_flight)
+        self._lock = threading.Lock()
+        self._closed = False
+        #: Memos shared across requests: suite-name -> triplets, fingerprint
+        #: -> triplets (for SparseFormat inputs), (fingerprint, k) -> auto
+        #: resolution, and the per-plan-key build locks.
+        self._matrix_memo: dict = {}
+        self._auto_memo: dict[tuple[str, int], tuple[str, dict]] = {}
+        self._plan_locks: dict[tuple, threading.Lock] = {}
+        self._built_keys: set[tuple] = set()
+        self._format_memo: dict[tuple, SparseFormat] = {}
+        #: id(triplets) -> (triplets, fingerprint).  Holding the object
+        #: keeps the id stable; the engine assumes matrices are not mutated
+        #: mid-batch (the serving contract), so one sha256 per matrix.
+        self._fp_memo: dict[int, tuple[Triplets, str]] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Shut the pool down; queued requests finish unless cancelled."""
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait, cancel_pending=cancel_pending)
+
+    def cancel_pending(self) -> int:
+        """Cancel every request still waiting in the queue."""
+        cancelled = self._pool.cancel_pending()
+        if cancelled:
+            self.tracer.count("engine_cancelled", cancelled)
+        return cancelled
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(wait=True)
+
+    @property
+    def stats(self) -> dict:
+        """Engine counters plus the shared plan cache's hit/miss stats."""
+        out = {k: v for k, v in self.tracer.counters.items() if k.startswith("engine_")}
+        out["plan_cache"] = dict(self.plan_cache.stats)
+        return out
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(
+        self,
+        request: SpmmRequest,
+        *,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> "Future[SpmmResult]":
+        """Enqueue one request; returns a future resolving to its result.
+
+        Blocks when ``max_in_flight`` requests are pending (backpressure);
+        ``block=False`` raises :class:`~repro.errors.EngineBusyError`
+        instead.  ``future.cancel()`` works while the request is queued.
+        """
+        if self._closed:
+            raise EngineClosedError("engine is closed")
+        if not isinstance(request, SpmmRequest):
+            raise EngineError(f"submit() takes an SpmmRequest, got {type(request).__name__}")
+        self.tracer.count("engine_submitted")
+        submitted_at = time.perf_counter()
+        return self._pool.submit(
+            self._execute, request, submitted_at, block=block, timeout=timeout
+        )
+
+    def map_batch(self, requests: Iterable[SpmmRequest]) -> list[SpmmResult]:
+        """Run a batch synchronously; results come back in request order.
+
+        The convenience path for throughput workloads: submit everything
+        (the engine's grouping and plan sharing do the batching work), then
+        wait.  Any request failure propagates after the batch drains.
+        """
+        futures = [self.submit(req) for req in requests]
+        results: list[SpmmResult] = []
+        error: BaseException | None = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        return results
+
+    def run(self, request: SpmmRequest) -> SpmmResult:
+        """Execute one request and wait for its result."""
+        return self.submit(request).result()
+
+    # -- per-request pipeline (worker threads) --------------------------------
+
+    def _execute(self, request: SpmmRequest, submitted_at: float) -> SpmmResult:
+        started = time.perf_counter()
+        queue_wait = started - submitted_at
+        self.tracer.count("engine_queue_wait_s", queue_wait)
+        try:
+            triplets, name = self._resolve_matrix(request)
+            variant, tuned_opts = self._resolve_variant(request, triplets)
+            B = self._dense_operand(request, triplets)
+            t_plan = time.perf_counter()
+            kernel, provenance = self._acquire_kernel(
+                request, triplets, name, variant, tuned_opts, B
+            )
+            plan_time = time.perf_counter() - t_plan
+            self.tracer.count("engine_plan_s", plan_time)
+
+            t_exec = time.perf_counter()
+            output, timing = measure(kernel, n_runs=request.repeats, warmup=0)
+            execute_s = time.perf_counter() - t_exec
+            self.tracer.count("engine_execute_s", execute_s)
+            self.tracer.record_worker(execute_s)
+            self.tracer.count("engine_repeats", request.repeats)
+
+            verified: bool | None = None
+            if request.verify:
+                verified = verify_result(triplets, B, output, k=request.k)
+        except BaseException:
+            self.tracer.count("engine_failed")
+            raise
+        self.tracer.count("engine_completed")
+        return SpmmResult(
+            request=request,
+            output=output,
+            fingerprint=self._fingerprint(triplets),
+            variant=variant,
+            timing=timing,
+            useful_flops=2 * triplets.nnz * request.k,
+            plan_provenance=provenance,
+            queue_wait_s=queue_wait,
+            plan_time_s=plan_time,
+            execute_s=execute_s,
+            verified=verified,
+        )
+
+    # -- matrix / variant resolution ------------------------------------------
+
+    def _fingerprint(self, triplets: Triplets) -> str:
+        """Content fingerprint, hashed once per matrix object per engine."""
+        key = id(triplets)
+        with self._lock:
+            hit = self._fp_memo.get(key)
+        if hit is not None:
+            return hit[1]
+        fp = fingerprint_triplets(triplets)
+        with self._lock:
+            self._fp_memo[key] = (triplets, fp)
+        return fp
+
+    def _resolve_matrix(self, request: SpmmRequest) -> tuple[Triplets, str]:
+        """Triplets + display name for a request's matrix, memoized."""
+        matrix = request.matrix
+        if isinstance(matrix, Triplets):
+            return matrix, "matrix"
+        if isinstance(matrix, str):
+            key = ("suite", matrix, request.scale, self.policy.name)
+            with self._lock:
+                hit = self._matrix_memo.get(key)
+            if hit is None:
+                hit = load_matrix(matrix, scale=request.scale, policy=self.policy)
+                with self._lock:
+                    self._matrix_memo[key] = hit
+            return hit, matrix
+        if isinstance(matrix, SparseFormat):
+            key = ("fp", matrix_fingerprint(matrix))
+            with self._lock:
+                hit = self._matrix_memo.get(key)
+            if hit is None:
+                hit = matrix.to_triplets()
+                with self._lock:
+                    self._matrix_memo[key] = hit
+            return hit, getattr(matrix, "_suite_name", "matrix")
+        raise EngineError(
+            "request.matrix must be a suite name, Triplets, or SparseFormat; "
+            f"got {type(matrix).__name__}"
+        )
+
+    def _resolve_variant(
+        self, request: SpmmRequest, triplets: Triplets
+    ) -> tuple[str, dict]:
+        """Pin ``variant="auto"`` via the tune store, once per (matrix, k)."""
+        if request.variant != "auto":
+            return request.variant, {}
+        memo_key = (self._fingerprint(triplets), request.k)
+        with self._lock:
+            hit = self._auto_memo.get(memo_key)
+        if hit is not None:
+            return hit
+        variant, opts = resolve_auto_variant(
+            triplets, request.k, store=self.tune_store, tracer=self.tracer
+        )
+        self.tracer.count("engine_auto_resolved")
+        with self._lock:
+            self._auto_memo[memo_key] = (variant, opts)
+        return variant, opts
+
+    # -- plan acquisition ------------------------------------------------------
+
+    def _acquire_kernel(
+        self,
+        request: SpmmRequest,
+        triplets: Triplets,
+        name: str,
+        variant: str,
+        tuned_opts: dict,
+        B: np.ndarray,
+    ):
+        """A zero-argument kernel closure over ``B``, plus plan provenance.
+
+        Plannable variants go through the shared :class:`PlanCache` behind
+        a per-key lock, so one engine request builds and the rest of the
+        fingerprint group shares.  Unplannable variants (GPU) at least
+        share the conversion artifact through an engine-local memo.
+        """
+        threads = int(tuned_opts.get("threads", request.threads))
+        fingerprint = self._fingerprint(triplets)
+        if plan_supported(variant):
+            key = (
+                fingerprint,
+                request.fmt.lower(),
+                variant,
+                request.k,
+                threads,
+                self.policy.name,
+            )
+            with self._lock:
+                lock = self._plan_locks.setdefault(key, threading.Lock())
+            with lock:
+                plan, provenance = self.plan_cache.get_or_build_plan(
+                    triplets,
+                    request.fmt,
+                    variant=variant,
+                    k=request.k,
+                    threads=threads,
+                    policy=self.policy,
+                    tracer=self.tracer,
+                    fingerprint=fingerprint,
+                )
+                with self._lock:
+                    if provenance == "built":
+                        self._built_keys.add(key)
+                    elif provenance == "memory" and key in self._built_keys:
+                        # Hit on a plan this engine built for an earlier
+                        # request of the group: the batch-sharing win,
+                        # distinct from a cache that was warm beforehand.
+                        provenance = "shared"
+            self.tracer.count(f"engine_plan_{provenance}")
+            plan.matrix._suite_name = name
+
+            def kernel(_plan=plan, _B=B):
+                return _plan(_B, tracer=None)
+
+            return kernel, provenance
+
+        # Unplannable variant: memoize only the conversion artifact.
+        fkey = (fingerprint, request.fmt.lower(), self.policy.name)
+        with self._lock:
+            A = self._format_memo.get(fkey)
+        if A is None:
+            A = get_format(request.fmt).from_triplets(triplets, policy=self.policy)
+            A._suite_name = name
+            with self._lock:
+                self._format_memo[fkey] = A
+        self.tracer.count("engine_plan_unplanned")
+        opts = dict(tuned_opts)
+        if "parallel" in variant:
+            opts.setdefault("threads", threads)
+
+        def unplanned_kernel(_A=A, _B=B, _variant=variant, _opts=opts):
+            return run_spmm(_A, _B, variant=_variant, k=request.k, **_opts)
+
+        return unplanned_kernel, "unplanned"
+
+    def _dense_operand(self, request: SpmmRequest, triplets: Triplets) -> np.ndarray:
+        """The dense B panel — explicit, or generated exactly like the suite."""
+        if request.dense is not None:
+            B = np.asarray(request.dense)
+            if B.ndim != 2 or B.shape[0] != triplets.ncols or B.shape[1] != request.k:
+                raise EngineError(
+                    f"dense operand must be ({triplets.ncols}, {request.k}), "
+                    f"got {B.shape}"
+                )
+            return B
+        rng = np.random.default_rng(request.seed + 1)
+        return self.policy.value_array(
+            rng.standard_normal((triplets.ncols, request.k))
+        )
+
+
+def batch_requests(
+    matrix,
+    panels: Sequence[np.ndarray],
+    **request_kwargs,
+) -> list[SpmmRequest]:
+    """Helper: one request per dense panel against a single matrix."""
+    return [SpmmRequest(matrix=matrix, dense=panel, **request_kwargs) for panel in panels]

@@ -1,0 +1,143 @@
+"""Job files and trajectories for ``spmm-bench serve --jobs FILE``.
+
+A job file is JSON describing one batch of engine requests::
+
+    {
+      "defaults": {"fmt": "csr", "k": 32, "variant": "serial",
+                   "scale": 64, "repeats": 3},
+      "jobs": [
+        {"matrix": "cant"},
+        {"matrix": "cant", "fmt": "ell"},
+        {"matrix": "torso1", "variant": "parallel", "threads": 4,
+         "tag": "torso-par"}
+      ]
+    }
+
+Every job entry is ``defaults`` overlaid with its own keys; ``matrix`` is
+required (a suite-matrix name).  :func:`results_to_trajectory` then folds a
+batch's results plus the engine tracer into the same trajectory shape
+``spmm-bench bench`` persists, so ``BENCH_*.json`` consumers (including the
+``--baseline`` regression gate's loader) read engine runs unchanged — with
+the ``engine_*`` counters riding in ``counters``.
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+from pathlib import Path
+from typing import Sequence
+
+from ..bench.observe import TRAJECTORY_SCHEMA_VERSION, Tracer, git_sha
+from ..errors import BenchConfigError, EngineError
+from .request import SpmmRequest, SpmmResult
+
+__all__ = ["load_jobs", "results_to_trajectory"]
+
+#: Job-file keys forwarded to :class:`SpmmRequest`.
+_REQUEST_KEYS = (
+    "matrix",
+    "k",
+    "fmt",
+    "variant",
+    "threads",
+    "repeats",
+    "seed",
+    "scale",
+    "verify",
+    "tag",
+)
+
+
+def load_jobs(path: str | Path) -> list[SpmmRequest]:
+    """Parse a job file into engine requests (defaults overlaid per job)."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise BenchConfigError(f"job file not found: {path}")
+    except json.JSONDecodeError as exc:
+        raise BenchConfigError(f"job file {path} is not valid JSON: {exc}")
+    if isinstance(payload, list):  # bare list shorthand
+        payload = {"jobs": payload}
+    if not isinstance(payload, dict):
+        raise BenchConfigError(f"job file {path} must be a JSON object or list")
+    defaults = payload.get("defaults") or {}
+    if not isinstance(defaults, dict):
+        raise BenchConfigError(f"job file {path}: 'defaults' must be an object")
+    jobs = payload.get("jobs")
+    if not isinstance(jobs, list) or not jobs:
+        raise BenchConfigError(f"job file {path} has no 'jobs' entries")
+
+    requests = []
+    for i, job in enumerate(jobs):
+        if not isinstance(job, dict):
+            raise BenchConfigError(f"job file {path}: job #{i} must be an object")
+        merged = {**defaults, **job}
+        unknown = sorted(set(merged) - set(_REQUEST_KEYS))
+        if unknown:
+            raise BenchConfigError(
+                f"job file {path}: job #{i} has unknown keys: {', '.join(unknown)}"
+            )
+        if "matrix" not in merged:
+            raise BenchConfigError(f"job file {path}: job #{i} is missing 'matrix'")
+        try:
+            requests.append(SpmmRequest(**merged))
+        except (TypeError, ValueError, EngineError) as exc:
+            raise BenchConfigError(f"job file {path}: job #{i} is invalid: {exc}")
+    return requests
+
+
+def _cell_key(result: SpmmResult, index: int) -> str:
+    req = result.request
+    name = req.matrix if isinstance(req.matrix, str) else "matrix"
+    key = f"{name}/{req.fmt}/{result.variant}/{req.k}/{req.threads}/{index}"
+    return f"{key}#{req.tag}" if req.tag else key
+
+
+def results_to_trajectory(
+    results: Sequence[SpmmResult],
+    tracer: Tracer | None,
+    config: dict,
+    run_id: str | None = None,
+) -> dict:
+    """A ``BENCH_*.json``-shaped trajectory for one engine batch."""
+    cells = []
+    mflops_values: list[float] = []
+    mean_times: list[float] = []
+    best_times: list[float] = []
+    for i, res in enumerate(results):
+        cell = {
+            "key": _cell_key(res, i),
+            "mflops": res.mflops,
+            "censored": None,
+            "mean_time_s": res.timing.mean if res.timing else None,
+            "best_time_s": res.timing.best if res.timing else None,
+            "modeled_mflops": None,
+            "plan_provenance": res.plan_provenance,
+            "queue_wait_s": res.queue_wait_s,
+            "verified": res.verified,
+        }
+        cells.append(cell)
+        mflops_values.append(res.mflops)
+        if res.timing is not None:
+            mean_times.append(res.timing.mean)
+            best_times.append(res.timing.best)
+    return {
+        "schema_version": TRAJECTORY_SCHEMA_VERSION,
+        "run_id": run_id or uuid.uuid4().hex[:12],
+        "git_sha": git_sha(),
+        "config": config,
+        "mflops": {
+            "mean": sum(mflops_values) / len(mflops_values) if mflops_values else 0.0,
+            "cells": {c["key"]: c["mflops"] for c in cells},
+        },
+        "mean_time_s": sum(mean_times) / len(mean_times) if mean_times else None,
+        "best_time_s": sum(best_times) / len(best_times) if best_times else None,
+        "stage_times": tracer.stage_times() if tracer else {},
+        "imbalance": tracer.imbalance() if tracer else None,
+        "counters": dict(tracer.counters) if tracer else {},
+        "warnings": dict(tracer.warnings) if tracer else {},
+        "cells": cells,
+        "censored": [],
+    }

@@ -1,0 +1,96 @@
+"""Request and result dataclasses of the batched execution engine.
+
+One :class:`SpmmRequest` describes one multiplication job — which matrix,
+which format, which kernel variant, what dense width — using the facade's
+canonical keyword vocabulary (``fmt=``, ``k=``, ``threads=``,
+``variant=``).  The engine groups requests by matrix content fingerprint so
+conversion artifacts and execution plans are built once per group and
+shared (see :mod:`repro.engine.core`).
+
+``repeats`` follows the suite's empty-run contract: ``repeats >= 1`` times
+every kernel call, ``repeats == 0`` executes the kernel once *untimed* —
+the output still exists (and can be verified) but ``timing`` is ``None``
+and the reported MFLOPS are 0.0, never a clamped-timer artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..bench.timing import TimingStats, flops_to_mflops
+from ..errors import EngineError
+
+__all__ = ["SpmmRequest", "SpmmResult"]
+
+
+@dataclass(frozen=True)
+class SpmmRequest:
+    """One SpMM job: ``C = A @ B`` for a (matrix, fmt, variant, k) cell.
+
+    ``matrix`` is a suite-matrix name (loaded at ``scale``), a
+    :class:`~repro.matrices.coo_builder.Triplets`, or a built
+    :class:`~repro.formats.SparseFormat` instance.  ``dense`` overrides the
+    auto-generated operand (width ``k``, seeded by ``seed`` exactly like
+    the benchmark suite, so engine and suite outputs are bit-comparable).
+    """
+
+    matrix: Any
+    k: int = 32
+    fmt: str = "csr"
+    variant: str = "serial"
+    threads: int = 1
+    repeats: int = 1
+    dense: np.ndarray | None = field(default=None, compare=False)
+    seed: int = 0
+    scale: int = 1
+    verify: bool = False
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise EngineError(f"k must be >= 1, got {self.k}")
+        if self.threads < 1:
+            raise EngineError(f"threads must be >= 1, got {self.threads}")
+        if self.repeats < 0:
+            raise EngineError(f"repeats must be >= 0, got {self.repeats}")
+        if self.scale < 1:
+            raise EngineError(f"scale must be >= 1, got {self.scale}")
+
+    @property
+    def label(self) -> str:
+        """Human-readable identity for logs and trajectory cell keys."""
+        name = self.matrix if isinstance(self.matrix, str) else "matrix"
+        return self.tag or f"{name}/{self.fmt}/{self.variant}/k{self.k}/t{self.threads}"
+
+
+@dataclass
+class SpmmResult:
+    """What one request produced, plus where its time went.
+
+    ``plan_provenance`` is ``"built"`` (this request paid the conversion),
+    ``"shared"`` (another request in the batch built it first),
+    ``"memory"``/``"disk"`` (a pre-existing plan-cache tier served it), or
+    ``"unplanned"`` (the variant cannot be plan-specialized).
+    """
+
+    request: SpmmRequest
+    output: np.ndarray
+    fingerprint: str
+    variant: str
+    timing: TimingStats | None
+    useful_flops: int
+    plan_provenance: str
+    queue_wait_s: float
+    plan_time_s: float
+    execute_s: float
+    verified: bool | None = None
+
+    @property
+    def mflops(self) -> float:
+        """Measured useful MFLOPS; 0.0 for zero-repeat (untimed) runs."""
+        if self.timing is None:
+            return 0.0
+        return flops_to_mflops(self.useful_flops, self.timing.mean)

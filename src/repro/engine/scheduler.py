@@ -1,0 +1,152 @@
+"""Bounded worker pool: the engine's submission queue and backpressure.
+
+``concurrent.futures.ThreadPoolExecutor`` has an unbounded work queue — a
+producer can enqueue millions of jobs and discover the overload only
+through memory pressure.  A serving engine needs the opposite: a bounded
+queue whose ``submit`` *blocks* (or fails fast) once ``max_in_flight``
+requests are queued or executing.  :class:`WorkerPool` provides that on
+top of plain threads and :class:`concurrent.futures.Future`:
+
+* ``submit(fn, *args)`` returns a ``Future``; with ``block=False`` a full
+  window raises :class:`~repro.errors.EngineBusyError` instead of waiting;
+* ``Future.cancel()`` works while a job is still queued (the standard
+  future contract: a running job cannot be interrupted);
+* ``shutdown(cancel_pending=True)`` drains and cancels everything still
+  queued; workers exit after finishing their current job.
+
+The in-flight window counts queued *plus executing* jobs, so ``workers``
+many slots are always executable and the queue holds the rest.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from typing import Any, Callable
+
+from ..errors import EngineBusyError, EngineClosedError, EngineError
+
+__all__ = ["WorkerPool"]
+
+_SENTINEL = object()
+
+
+class WorkerPool:
+    """Fixed worker threads pulling from a bounded submission queue."""
+
+    def __init__(self, workers: int = 4, max_in_flight: int = 64, name: str = "engine"):
+        if workers < 1:
+            raise EngineError(f"workers must be >= 1, got {workers}")
+        if max_in_flight < workers:
+            raise EngineError(
+                f"max_in_flight must be >= workers, got {max_in_flight} < {workers}"
+            )
+        self.workers = workers
+        self.max_in_flight = max_in_flight
+        # Queue capacity excludes the jobs already claimed by workers: the
+        # window is enforced by the semaphore, the queue just hands work over.
+        self._queue: queue.Queue = queue.Queue()
+        self._window = threading.Semaphore(max_in_flight)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"{name}-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        block: bool = True,
+        timeout: float | None = None,
+        **kwargs: Any,
+    ) -> Future:
+        """Enqueue ``fn(*args, **kwargs)``; returns its :class:`Future`.
+
+        Blocks while ``max_in_flight`` jobs are pending; ``block=False``
+        (or an expired ``timeout``) raises :class:`EngineBusyError`
+        instead.  Submitting to a shut-down pool raises
+        :class:`EngineClosedError`.
+        """
+        if self._closed:
+            raise EngineClosedError("worker pool is shut down")
+        if not self._window.acquire(blocking=block, timeout=timeout):
+            raise EngineBusyError(
+                f"engine backpressure: {self.max_in_flight} requests already in flight"
+            )
+        if self._closed:  # closed while we waited for a slot
+            self._window.release()
+            raise EngineClosedError("worker pool is shut down")
+        future: Future = Future()
+        future.add_done_callback(lambda _f: self._window.release())
+        self._queue.put((future, fn, args, kwargs))
+        return future
+
+    def in_flight(self) -> int:
+        """Jobs currently queued or executing (approximate, race-tolerant)."""
+        # Semaphore internals are CPython-stable; fall back to queue size.
+        free = getattr(self._window, "_value", None)
+        if free is None:  # pragma: no cover - non-CPython
+            return self._queue.qsize()
+        return self.max_in_flight - free
+
+    # -- teardown -------------------------------------------------------------
+
+    def cancel_pending(self) -> int:
+        """Cancel every still-queued job; returns how many were cancelled."""
+        cancelled = 0
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return cancelled
+            if item is _SENTINEL:
+                # Preserve shutdown sentinels for the workers.
+                self._queue.put(_SENTINEL)
+                return cancelled
+            future = item[0]
+            if future.cancel():
+                cancelled += 1
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop the pool.  Idempotent; workers finish their current job."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if cancel_pending:
+            self.cancel_pending()
+        for _ in self._threads:
+            self._queue.put(_SENTINEL)
+        if wait:
+            for t in self._threads:
+                t.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown(wait=True)
+
+    # -- the worker loop ------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                return
+            future, fn, args, kwargs = item
+            if not future.set_running_or_notify_cancel():
+                continue  # cancelled while queued
+            try:
+                result = fn(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - delivered via the future
+                future.set_exception(exc)
+            else:
+                future.set_result(result)

@@ -19,6 +19,9 @@ __all__ = [
     "MatrixMarketError",
     "GeneratorError",
     "BenchConfigError",
+    "EngineError",
+    "EngineClosedError",
+    "EngineBusyError",
 ]
 
 
@@ -73,3 +76,20 @@ class GeneratorError(SpmmBenchError):
 
 class BenchConfigError(SpmmBenchError):
     """Benchmark parameters are invalid (bad thread list, k, block size...)."""
+
+
+class EngineError(SpmmBenchError):
+    """The batched execution engine was misused or misconfigured."""
+
+
+class EngineClosedError(EngineError):
+    """A request was submitted to an engine that has been shut down."""
+
+
+class EngineBusyError(EngineError):
+    """A non-blocking submit found the engine's in-flight window full.
+
+    The engine applies backpressure: at most ``max_in_flight`` requests may
+    be queued or executing at once.  Blocking submits wait for a slot;
+    non-blocking submits raise this instead.
+    """

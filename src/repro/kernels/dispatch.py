@@ -115,3 +115,19 @@ def run_spmm(A, B: np.ndarray, variant: str = "serial", k: int | None = None, **
 def run_spmv(A, x: np.ndarray, variant: str = "serial", **options: Any) -> np.ndarray:
     """Execute ``y = A @ x`` with the named kernel variant."""
     return get_kernel(variant, "spmv")(A, x, **options)
+
+
+def spmm(A, B: np.ndarray, variant: str = "serial", k: int | None = None, **options: Any) -> np.ndarray:
+    """Deprecated alias of :func:`run_spmm` — use :func:`repro.api.multiply`."""
+    from .._compat import warn_legacy
+
+    warn_legacy("repro.kernels.dispatch.spmm()", "repro.api.multiply()")
+    return run_spmm(A, B, variant=variant, k=k, **options)
+
+
+def spmv(A, x: np.ndarray, variant: str = "serial", **options: Any) -> np.ndarray:
+    """Deprecated alias of :func:`run_spmv` — use :func:`repro.api.multiply`."""
+    from .._compat import warn_legacy
+
+    warn_legacy("repro.kernels.dispatch.spmv()", "repro.api.multiply()")
+    return run_spmv(A, x, variant=variant, **options)

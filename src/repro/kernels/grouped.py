@@ -88,16 +88,20 @@ def build_plan(A) -> GroupedPlan:
     return GroupedPlan(A.nrows, groups)
 
 
-_PLAN_CACHE: dict[int, GroupedPlan] = {}
+#: id(A) -> (A, plan).  The matrix object itself is held in the entry: a
+#: bare id key goes stale when the object is collected and a *new* matrix
+#: reuses the address — the identity check below makes that impossible.
+_PLAN_CACHE: dict[int, tuple[object, GroupedPlan]] = {}
 
 
 def _plan_for(A) -> GroupedPlan:
-    plan = _PLAN_CACHE.get(id(A))
-    if plan is None or plan.nrows != A.nrows:
-        plan = build_plan(A)
-        if len(_PLAN_CACHE) > 64:
-            _PLAN_CACHE.clear()
-        _PLAN_CACHE[id(A)] = plan
+    hit = _PLAN_CACHE.get(id(A))
+    if hit is not None and hit[0] is A:
+        return hit[1]
+    plan = build_plan(A)
+    if len(_PLAN_CACHE) > 64:
+        _PLAN_CACHE.clear()
+    _PLAN_CACHE[id(A)] = (A, plan)
     return plan
 
 

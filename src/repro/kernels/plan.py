@@ -269,6 +269,7 @@ class PlanCache:
         format_params: dict | None = None,
         tracer=None,
         builder: Callable[[], tuple[SparseFormat, float]] | None = None,
+        fingerprint: str | None = None,
     ) -> tuple[ExecutionPlan, str]:
         """Return ``(plan, provenance)`` for one cell.
 
@@ -277,12 +278,14 @@ class PlanCache:
         ``"built"`` (cold path: conversion ran).  ``builder`` overrides how
         the conversion artifact is produced — the benchmark suite passes its
         own ``format()`` step so format-specific knobs apply; it must return
-        ``(matrix, conversion_seconds)``.
+        ``(matrix, conversion_seconds)``.  ``fingerprint`` lets a caller
+        that already hashed the triplets (the engine memoizes per batch)
+        skip the sha256; the caller then owns the no-mutation guarantee.
         """
         if not plan_supported(variant):
             raise BenchConfigError(f"variant {variant!r} is not plannable")
         key = PlanKey(
-            fingerprint=fingerprint_triplets(triplets),
+            fingerprint=fingerprint or fingerprint_triplets(triplets),
             format_name=format_name.lower(),
             variant=variant,
             k=int(k),

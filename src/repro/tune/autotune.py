@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .._compat import legacy_ok
 from ..bench.params import BenchParams
 from ..bench.suite import SpmmBenchmark
 from ..bench.sweep import run_thread_sweep
@@ -133,13 +134,14 @@ def autotune(
                     chunk_elements=chunk,
                     threads=thread_list[0] if "parallel" in variant else 1,
                 )
-                bench = SpmmBenchmark(
-                    fmt,
-                    params=params,
-                    machine=machine,
-                    tracer=tracer,
-                    plan_cache=plan_cache,
-                )
+                with legacy_ok():  # internal delegation, not a legacy caller
+                    bench = SpmmBenchmark(
+                        fmt,
+                        params=params,
+                        machine=machine,
+                        tracer=tracer,
+                        plan_cache=plan_cache,
+                    )
                 bench.load_triplets(triplets, matrix_name)
                 if "parallel" in variant:
                     sweep = run_thread_sweep(bench, thread_list, mode=mode)

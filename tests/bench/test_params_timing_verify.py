@@ -23,7 +23,7 @@ class TestBenchParams:
 
     def test_validation(self):
         for bad in (
-            dict(n_runs=0),
+            dict(n_runs=-1),
             dict(threads=0),
             dict(block_size=0),
             dict(k=0),
@@ -91,9 +91,17 @@ class TestTiming:
         assert result == 5
         assert stats.n == 3
 
-    def test_measure_rejects_zero_runs(self):
+    def test_measure_rejects_negative_runs(self):
         with pytest.raises(BenchConfigError):
-            measure(lambda: None, n_runs=0)
+            measure(lambda: None, n_runs=-1)
+
+    def test_measure_zero_runs_is_untimed_single_call(self):
+        # The empty-run contract: one untimed call, stats None.
+        calls = []
+        result, stats = measure(lambda: calls.append(1) or len(calls), n_runs=0, warmup=0)
+        assert calls == [1]
+        assert result == 1
+        assert stats is None
 
     def test_measure_times_positive(self):
         _, stats = measure(lambda: time.sleep(0.001), n_runs=2, warmup=0)

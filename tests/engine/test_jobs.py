@@ -1,0 +1,101 @@
+"""Job files, engine trajectories, and the ``spmm-bench serve`` command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine import load_jobs
+from repro.errors import BenchConfigError
+
+
+def write_jobs(tmp_path, payload, name="jobs.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestLoadJobs:
+    def test_defaults_overlay(self, tmp_path):
+        path = write_jobs(tmp_path, {
+            "defaults": {"fmt": "csr", "k": 8, "scale": 64},
+            "jobs": [{"matrix": "cant"}, {"matrix": "cant", "fmt": "ell", "k": 4}],
+        })
+        reqs = load_jobs(path)
+        assert [r.fmt for r in reqs] == ["csr", "ell"]
+        assert [r.k for r in reqs] == [8, 4]
+        assert all(r.scale == 64 for r in reqs)
+
+    def test_bare_list_shorthand(self, tmp_path):
+        path = write_jobs(tmp_path, [{"matrix": "dw4096", "k": 4, "scale": 64}])
+        reqs = load_jobs(path)
+        assert len(reqs) == 1
+        assert reqs[0].matrix == "dw4096"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BenchConfigError, match="not found"):
+            load_jobs(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchConfigError, match="not valid JSON"):
+            load_jobs(path)
+
+    def test_unknown_key_rejected(self, tmp_path):
+        path = write_jobs(tmp_path, [{"matrix": "cant", "banana": 1}])
+        with pytest.raises(BenchConfigError, match="banana"):
+            load_jobs(path)
+
+    def test_missing_matrix_rejected(self, tmp_path):
+        path = write_jobs(tmp_path, [{"k": 8}])
+        with pytest.raises(BenchConfigError, match="missing 'matrix'"):
+            load_jobs(path)
+
+    def test_empty_jobs_rejected(self, tmp_path):
+        path = write_jobs(tmp_path, {"jobs": []})
+        with pytest.raises(BenchConfigError, match="no 'jobs'"):
+            load_jobs(path)
+
+    def test_invalid_request_field_rejected(self, tmp_path):
+        path = write_jobs(tmp_path, [{"matrix": "cant", "k": 0}])
+        with pytest.raises(BenchConfigError, match="invalid"):
+            load_jobs(path)
+
+
+class TestServeCommand:
+    def test_serve_writes_trajectory(self, tmp_path, capsys):
+        jobs = write_jobs(tmp_path, {
+            "defaults": {"fmt": "csr", "k": 4, "scale": 64, "repeats": 1},
+            "jobs": [
+                {"matrix": "dw4096"},
+                {"matrix": "dw4096"},
+                {"matrix": "dw4096", "variant": "parallel", "threads": 2,
+                 "tag": "par"},
+                {"matrix": "dw4096", "verify": True},
+            ],
+        })
+        out = tmp_path / "BENCH_serve.json"
+        code = main(["serve", "--jobs", str(jobs), "--workers", "2",
+                     "--out", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "plans built" in stdout
+
+        trajectory = json.loads(out.read_text())
+        assert len(trajectory["cells"]) == 4
+        # Engine counters ride into the trajectory for BENCH_* consumers.
+        assert trajectory["counters"]["engine_completed"] == 4
+        assert any(k.endswith("#par") for k in trajectory["mflops"]["cells"])
+        verified = [c["verified"] for c in trajectory["cells"]]
+        assert verified.count(True) == 1
+        # The trajectory parses with the observability loader (same schema).
+        from repro.bench.observe import load_trajectory
+
+        loaded = load_trajectory(out)
+        assert loaded["run_id"] == trajectory["run_id"]
+
+    def test_serve_bad_jobs_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(["serve", "--jobs", str(tmp_path / "missing.json")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

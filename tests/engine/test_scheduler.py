@@ -1,0 +1,129 @@
+"""WorkerPool unit tests: futures, backpressure, cancellation, shutdown."""
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.scheduler import WorkerPool
+from repro.errors import EngineBusyError, EngineClosedError
+
+
+class TestSubmit:
+    def test_result_roundtrip(self):
+        pool = WorkerPool(workers=2, max_in_flight=4)
+        try:
+            futures = [pool.submit(lambda i=i: i * i) for i in range(8)]
+            assert [f.result(timeout=10) for f in futures] == [i * i for i in range(8)]
+        finally:
+            pool.shutdown()
+
+    def test_exception_propagates(self):
+        pool = WorkerPool(workers=1, max_in_flight=2)
+        try:
+            future = pool.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                future.result(timeout=10)
+        finally:
+            pool.shutdown()
+
+    def test_validates_sizes(self):
+        with pytest.raises(Exception):
+            WorkerPool(workers=0, max_in_flight=4)
+        with pytest.raises(Exception):
+            WorkerPool(workers=4, max_in_flight=2)
+
+
+class TestBackpressure:
+    def test_nonblocking_submit_raises_when_full(self):
+        release = threading.Event()
+        pool = WorkerPool(workers=1, max_in_flight=2)
+        try:
+            # One job occupies the worker, one fills the queue window.
+            blocker = pool.submit(release.wait)
+            queued = pool.submit(lambda: "queued")
+            with pytest.raises(EngineBusyError):
+                pool.submit(lambda: "overflow", block=False)
+            release.set()
+            assert queued.result(timeout=10) == "queued"
+            assert blocker.result(timeout=10) is True
+            # The window drains once jobs finish.
+            assert pool.submit(lambda: "after", block=False).result(timeout=10) == "after"
+        finally:
+            release.set()
+            pool.shutdown()
+
+    def test_blocking_submit_waits_for_slot(self):
+        release = threading.Event()
+        pool = WorkerPool(workers=1, max_in_flight=1)
+        try:
+            pool.submit(release.wait)
+            t = threading.Timer(0.05, release.set)
+            t.start()
+            # Blocks until the first job completes and frees the window.
+            assert pool.submit(lambda: "slot").result(timeout=10) == "slot"
+            t.cancel()
+        finally:
+            release.set()
+            pool.shutdown()
+
+
+class TestCancellation:
+    def test_cancel_pending_drops_queued_jobs(self):
+        release = threading.Event()
+        started = threading.Event()
+        ran = []
+        pool = WorkerPool(workers=1, max_in_flight=8)
+        try:
+            # Wait until the worker actually holds the blocker, so
+            # cancel_pending only sees the queued jobs.
+            blocker = pool.submit(lambda: (started.set(), release.wait()))
+            assert started.wait(timeout=10)
+            queued = [pool.submit(lambda i=i: ran.append(i)) for i in range(4)]
+            cancelled = pool.cancel_pending()
+            release.set()
+            blocker.result(timeout=10)
+            pool.shutdown(wait=True)
+            assert cancelled == 4
+            assert all(f.cancelled() for f in queued)
+            assert ran == []
+        finally:
+            release.set()
+            pool.shutdown()
+
+    def test_future_cancel_while_queued(self):
+        release = threading.Event()
+        started = threading.Event()
+        pool = WorkerPool(workers=1, max_in_flight=4)
+        try:
+            pool.submit(lambda: (started.set(), release.wait()))
+            assert started.wait(timeout=10)
+            queued = pool.submit(lambda: "never")
+            assert queued.cancel()
+            release.set()
+            pool.shutdown(wait=True)
+            assert queued.cancelled()
+        finally:
+            release.set()
+            pool.shutdown()
+
+
+class TestShutdown:
+    def test_submit_after_shutdown_raises(self):
+        pool = WorkerPool(workers=1, max_in_flight=2)
+        pool.shutdown()
+        with pytest.raises(EngineClosedError):
+            pool.submit(lambda: 1)
+
+    def test_shutdown_is_idempotent(self):
+        pool = WorkerPool(workers=2, max_in_flight=4)
+        pool.shutdown()
+        pool.shutdown()
+
+    def test_shutdown_waits_for_queued_work(self):
+        done = []
+        pool = WorkerPool(workers=1, max_in_flight=8)
+        for i in range(3):
+            pool.submit(lambda i=i: (time.sleep(0.01), done.append(i)))
+        pool.shutdown(wait=True)
+        assert done == [0, 1, 2]
