@@ -146,10 +146,9 @@ def multiply(
     if threads is not None:
         options["threads"] = threads
     if B.ndim == 1:
-        base = variant.replace("_transpose", "").replace("optimized", "serial")
-        if base not in ("serial", "parallel", "gpu"):
-            base = "serial"
-        return run_spmv(A, B, variant=base, **options)
+        # run_spmv normalizes SpMM variant names (and "auto") itself, so the
+        # 1-D path stays oracle-identical to the (n, 1) SpMM path.
+        return run_spmv(A, B, variant=variant, **options)
     return run_spmm(A, B, variant=variant, k=k, **options)
 
 

@@ -1,59 +1,13 @@
-"""Result verification.
+"""Result verification — compatibility shim.
 
-"The suite has a built-in verification function for verifying the accuracy
-of the calculation.  We originally tried to implement this using a pure
-matrix-matrix multiplication algorithm, but this took too long.  We decided
-instead to use the COO multiplication algorithm for verification." (§4.3)
-
-Same here: the reference is the COO serial kernel on the retained original
-triplets, compared entry-wise with a tolerance scaled to the accumulation
-depth.
+The verification machinery grew into a full correctness subsystem and moved
+to :mod:`repro.verify` (reference multiplies, differential oracle,
+metamorphic relations, fuzzer).  This module keeps the historical import
+path working for the suite, the engine, and external callers.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..errors import VerificationError
-from ..formats.coo import COO
-from ..kernels.serial import coo_spmm_serial
-from ..matrices.coo_builder import Triplets
+from ..verify.reference import reference_spmm, verify_result
 
 __all__ = ["verify_result", "reference_spmm"]
-
-
-def reference_spmm(triplets: Triplets, B: np.ndarray, k: int | None = None) -> np.ndarray:
-    """The COO reference multiply used for verification."""
-    ref_fmt = COO.from_triplets(triplets)
-    return coo_spmm_serial(ref_fmt, B, k)
-
-
-def verify_result(
-    triplets: Triplets,
-    B: np.ndarray,
-    C: np.ndarray,
-    k: int | None = None,
-    rtol: float = 1e-6,
-    raise_on_failure: bool = True,
-) -> bool:
-    """Check a kernel result against the COO reference.
-
-    Tolerance scales with the maximum row population (accumulation order
-    differs between formats, so bit-exact equality is not expected).
-    """
-    reference = reference_spmm(triplets, B, k)
-    if C.shape != reference.shape:
-        if raise_on_failure:
-            raise VerificationError(
-                f"result shape {C.shape} != reference {reference.shape}"
-            )
-        return False
-    scale = float(np.abs(reference).max()) or 1.0
-    max_err = float(np.abs(C - reference).max())
-    ok = bool(max_err <= rtol * scale * 16)
-    if not ok and raise_on_failure:
-        raise VerificationError(
-            f"verification failed: max abs error {max_err:.3e} "
-            f"(tolerance {rtol * scale * 16:.3e})"
-        )
-    return ok

@@ -56,6 +56,10 @@ BENCH_GRIDS: dict[str, dict] = {
 #: the generic error code).
 EXIT_REGRESSION = 3
 
+#: Exit code of ``fuzz`` when the differential oracle or a metamorphic
+#: relation found a discrepancy (or a corpus replay still fails).
+EXIT_FUZZ = 4
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The full argparse tree (exposed for tests/docs)."""
@@ -158,6 +162,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="timed repetitions per wallclock sample")
     tune_p.add_argument("--store", default=None, metavar="JSON",
                         help="tuned-table path (default: .repro_cache/tuned.json)")
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: every execution path against the reference",
+    )
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="master seed; every case is a pure function of "
+                             "(seed, index)")
+    fuzz_p.add_argument("--budget", type=int, default=200,
+                        help="number of fuzz cases to run (default 200)")
+    fuzz_p.add_argument("--corpus", default=None, metavar="DIR",
+                        help="directory for shrunk failing cases (JSON, replayable)")
+    fuzz_p.add_argument("--replay", action="store_true",
+                        help="re-run the saved corpus instead of fuzzing")
+    fuzz_p.add_argument("--formats", default=None, dest="format_list",
+                        help="comma-separated formats (default: all registered)")
+    fuzz_p.add_argument("--variants", default="serial,parallel",
+                        help="comma-separated kernel variants to differentiate")
+    fuzz_p.add_argument("--no-shrink", action="store_true",
+                        help="persist failures unshrunk (faster triage loop)")
+    fuzz_p.add_argument("--trace", default=None, metavar="FILE",
+                        help="write the fuzz tracer (fuzz_* counters) as JSON lines")
 
     study_p = sub.add_parser("study", help="regenerate a table/figure of the paper")
     study_p.add_argument("study", help="study id (table5.1, study1..study9, study3.1, all)")
@@ -470,6 +496,54 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .bench.observe import Tracer
+    from .verify import replay_corpus, run_fuzz
+
+    tracer = Tracer()
+    if args.replay:
+        if not args.corpus:
+            raise BenchConfigError("--replay requires --corpus DIR")
+        results = replay_corpus(args.corpus, tracer=tracer)
+        if not results:
+            print(f"corpus {args.corpus}: no entries to replay")
+            return 0
+        failing = [r for r in results if r["still_failing"]]
+        for r in results:
+            status = "STILL FAILING" if r["still_failing"] else "fixed"
+            print(f"  {r['path']}: {status}")
+            for message in r["messages"][:3]:
+                print(f"    {message}")
+        print(f"replayed {len(results)} corpus entries, {len(failing)} still failing")
+        return EXIT_FUZZ if failing else 0
+
+    formats = None
+    if args.format_list:
+        formats = tuple(tok.strip() for tok in args.format_list.split(",") if tok.strip())
+    variants = tuple(tok.strip() for tok in args.variants.split(",") if tok.strip())
+    report = run_fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        corpus_dir=args.corpus,
+        formats=formats,
+        variants=variants or ("serial",),
+        tracer=tracer,
+        shrink=not args.no_shrink,
+    )
+    print(report.summary())
+    for f in report.failures:
+        check = f["check"]
+        where = "/".join(str(check[key]) for key in sorted(check))
+        print(f"  case {f['index']} ({f['case']}) {where}: {f['error']}")
+        print(f"    shrunk to {f['shrunk_shape'][0]}x{f['shrunk_shape'][1]} "
+              f"nnz={f['shrunk_nnz']} in {f['shrink_steps']} steps")
+    for path in report.corpus_paths:
+        print(f"  wrote {path}")
+    if args.trace:
+        print(f"wrote {tracer.to_jsonl(args.trace)}")
+    return EXIT_FUZZ if report.failures else 0
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     from .studies import STUDIES
 
@@ -664,6 +738,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "serve": _cmd_serve,
         "tune": _cmd_tune,
+        "fuzz": _cmd_fuzz,
         "study": _cmd_study,
         "sweep": _cmd_sweep,
         "table": _cmd_table,

@@ -24,7 +24,14 @@ from .serial import serial_spmm
 from .spmv import parallel_spmv, serial_spmv
 from .transpose import transpose_spmm
 
-__all__ = ["run_spmm", "run_spmv", "kernel_variants", "get_kernel", "SPMM_VARIANTS"]
+__all__ = [
+    "run_spmm",
+    "run_spmv",
+    "kernel_variants",
+    "get_kernel",
+    "SPMM_VARIANTS",
+    "SPMV_BASE",
+]
 
 
 def _serial_transpose(A, B, k=None, **opts):
@@ -73,6 +80,23 @@ SPMV_VARIANTS: dict[str, Callable] = {
     )[1],
 }
 
+#: SpMM variant -> the SpMV kernel that computes the same k=1 product.
+#: SpMV is SpMM with k=1 (§6.3.4): transposing a vector operand is a no-op
+#: and the Study 9 specializations plan over k, so each SpMM variant
+#: degenerates to its serial/parallel/gpu base at the k=1 boundary.
+SPMV_BASE: dict[str, str] = {
+    "serial": "serial",
+    "parallel": "parallel",
+    "gpu": "gpu",
+    "serial_transpose": "serial",
+    "parallel_transpose": "parallel",
+    "gpu_transpose": "gpu",
+    "optimized": "serial",
+    "optimized_parallel": "parallel",
+    "grouped": "serial",
+    "grouped_parallel": "parallel",
+}
+
 
 def kernel_variants(operation: str = "spmm") -> list[str]:
     """Names of the available kernel variants for an operation."""
@@ -113,7 +137,22 @@ def run_spmm(A, B: np.ndarray, variant: str = "serial", k: int | None = None, **
 
 
 def run_spmv(A, x: np.ndarray, variant: str = "serial", **options: Any) -> np.ndarray:
-    """Execute ``y = A @ x`` with the named kernel variant."""
+    """Execute ``y = A @ x`` with the named kernel variant.
+
+    Accepts any SpMM variant name (or ``"auto"``): each is normalized to
+    the SpMV kernel computing the same k=1 product (:data:`SPMV_BASE`), so
+    a 1-D operand and its ``(n, 1)`` reshape always agree regardless of
+    which variant the caller selected.
+    """
+    if variant == "auto":
+        from ..tune.store import resolve_auto_variant  # lazy: tune sits above kernels
+
+        variant, tuned_options = resolve_auto_variant(
+            A, 1, store=options.pop("tune_store", None), tracer=options.get("tracer")
+        )
+        options = {**tuned_options, **options}
+    if variant not in SPMV_VARIANTS and variant in SPMV_BASE:
+        variant = SPMV_BASE[variant]
     return get_kernel(variant, "spmv")(A, x, **options)
 
 

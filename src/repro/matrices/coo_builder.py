@@ -106,6 +106,11 @@ class CooBuilder:
             raise FormatError(f"row index out of range [0, {self.nrows})")
         if c.min() < 0 or c.max() >= self.ncols:
             raise FormatError(f"col index out of range [0, {self.ncols})")
+        if not np.isfinite(v).all():
+            bad = int(np.count_nonzero(~np.isfinite(v)))
+            raise FormatError(
+                f"triplet values must be finite; batch contains {bad} NaN/Inf entries"
+            )
         self._rows.append(r)
         self._cols.append(c)
         self._vals.append(v)

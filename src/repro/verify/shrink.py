@@ -1,0 +1,146 @@
+"""Greedy test-case shrinking (delta debugging for sparse matrices).
+
+A fuzz failure on a 64x64 matrix with 400 entries is evidence; the same
+failure on a 2x3 matrix with one entry is a diagnosis.  Given a failing
+case and a predicate that re-runs exactly the failing check,
+:func:`shrink_case` repeatedly tries smaller candidates — keep one half of
+the rows, one half of the columns, drop half the entries, trim empty
+borders, halve ``k`` — and greedily accepts any candidate that still
+fails, until no reduction survives.
+
+The predicate must be deterministic (the fuzzer's checks are seeded), and
+is called ``O(attempts)`` times; every candidate strictly reduces the
+``(nnz, area, k)`` size triple, so termination is structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..matrices.coo_builder import CooBuilder, Triplets
+
+__all__ = ["ShrinkResult", "shrink_case"]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of a shrink run."""
+
+    triplets: Triplets
+    k: int
+    steps: int  # accepted reductions
+    attempts: int  # predicate evaluations
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.triplets.nrows, self.triplets.ncols)
+
+
+def _size(triplets: Triplets, k: int) -> tuple[int, int, int]:
+    return (triplets.nnz, triplets.nrows * triplets.ncols, k)
+
+
+def _rebuild(nrows: int, ncols: int, rows, cols, values) -> Triplets:
+    builder = CooBuilder(nrows, ncols)
+    builder.add_batch(rows, cols, values)
+    return builder.finish()
+
+
+def _keep_row_range(t: Triplets, lo: int, hi: int) -> Triplets | None:
+    """Keep rows in [lo, hi), renumbered to start at zero."""
+    if hi - lo < 1 or (lo, hi) == (0, t.nrows):
+        return None
+    mask = (t.rows >= lo) & (t.rows < hi)
+    return _rebuild(hi - lo, t.ncols, t.rows[mask] - lo, t.cols[mask], t.values[mask])
+
+
+def _keep_col_range(t: Triplets, lo: int, hi: int) -> Triplets | None:
+    if hi - lo < 1 or (lo, hi) == (0, t.ncols):
+        return None
+    mask = (t.cols >= lo) & (t.cols < hi)
+    return _rebuild(t.nrows, hi - lo, t.rows[mask], t.cols[mask] - lo, t.values[mask])
+
+
+def _drop_entries(t: Triplets, keep: np.ndarray) -> Triplets | None:
+    if keep.all() or t.nnz == 0:
+        return None
+    return _rebuild(t.nrows, t.ncols, t.rows[keep], t.cols[keep], t.values[keep])
+
+
+def _trim_borders(t: Triplets) -> Triplets | None:
+    """Cut empty leading/trailing rows and columns without touching entries."""
+    if t.nnz == 0:
+        if (t.nrows, t.ncols) == (1, 1):
+            return None
+        return _rebuild(1, 1, [], [], [])
+    r_lo, r_hi = int(t.rows.min()), int(t.rows.max()) + 1
+    c_lo, c_hi = int(t.cols.min()), int(t.cols.max()) + 1
+    if (r_lo, r_hi, c_lo, c_hi) == (0, t.nrows, 0, t.ncols):
+        return None
+    return _rebuild(r_hi - r_lo, c_hi - c_lo, t.rows - r_lo, t.cols - c_lo, t.values)
+
+
+def _candidates(t: Triplets, k: int) -> Iterator[tuple[Triplets, int]]:
+    """Smaller candidates, most aggressive first."""
+    half_r, half_c = t.nrows // 2, t.ncols // 2
+    for cand in (
+        _keep_row_range(t, 0, half_r),
+        _keep_row_range(t, half_r, t.nrows),
+        _keep_col_range(t, 0, half_c),
+        _keep_col_range(t, half_c, t.ncols),
+    ):
+        if cand is not None:
+            yield cand, k
+    if t.nnz > 1:
+        n = t.nnz
+        idx = np.arange(n)
+        for keep in (idx < n // 2, idx >= n // 2, idx % 2 == 0, idx % 2 == 1):
+            cand = _drop_entries(t, keep)
+            if cand is not None:
+                yield cand, k
+    trimmed = _trim_borders(t)
+    if trimmed is not None:
+        yield trimmed, k
+    if k > 1:
+        yield t, max(1, k // 2)
+
+
+def shrink_case(
+    triplets: Triplets,
+    k: int,
+    predicate: Callable[[Triplets, int], bool],
+    max_attempts: int = 500,
+) -> ShrinkResult:
+    """Greedily minimize a failing case.
+
+    ``predicate(triplets, k)`` must return True while the case still fails;
+    the input case is assumed failing (it is returned unchanged if the
+    predicate immediately disagrees).  Stops when no strictly-smaller
+    candidate still fails, or after ``max_attempts`` predicate calls.
+    """
+    current, cur_k = triplets, int(k)
+    steps = attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for cand, cand_k in _candidates(current, cur_k):
+            if _size(cand, cand_k) >= _size(current, cur_k):
+                continue
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            try:
+                still_failing = bool(predicate(cand, cand_k))
+            except Exception:
+                # A candidate that crashes the *harness* (not the check) is
+                # not evidence; skip it rather than mistake it for the bug.
+                still_failing = False
+            if still_failing:
+                current, cur_k = cand, cand_k
+                steps += 1
+                progress = True
+                break  # restart candidate generation from the smaller case
+    return ShrinkResult(triplets=current, k=cur_k, steps=steps, attempts=attempts)

@@ -42,6 +42,20 @@ def rng():
 
 
 @pytest.fixture
+def rng_factory():
+    """Seeded-RNG factory: ``rng_factory(seed)`` is deterministic per test.
+
+    Use instead of ad-hoc ``np.random.default_rng(...)`` calls so every
+    test names its stream explicitly and reruns bit-identically.
+    """
+
+    def factory(seed: int = 0) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    return factory
+
+
+@pytest.fixture
 def small_triplets():
     """A 23x31 random matrix with ~20% density."""
     return make_random_triplets(23, 31, density=0.2, seed=42)
@@ -50,23 +64,25 @@ def small_triplets():
 @pytest.fixture
 def skewed_triplets():
     """A matrix with one very long row (the torso1 pathology)."""
-    rng = np.random.default_rng(7)
-    builder = CooBuilder(40, 50)
-    builder.add_batch(
-        np.zeros(45, dtype=int), np.arange(45), rng.uniform(1, 2, 45)
-    )
-    for r in range(1, 40):
-        cols = rng.choice(50, size=3, replace=False)
-        builder.add_batch([r] * 3, cols, rng.uniform(1, 2, 3))
-    return builder.finish()
+    from repro.verify.adversarial import build_adversarial
+
+    return build_adversarial("skewed_row", 7)
 
 
 @pytest.fixture
 def empty_rows_triplets():
     """A matrix with several completely empty rows."""
-    builder = CooBuilder(10, 10)
-    builder.add_batch([0, 0, 4, 9], [1, 3, 4, 9], [1.0, 2.0, 3.0, 4.0])
-    return builder.finish()
+    from repro.verify.adversarial import build_adversarial
+
+    return build_adversarial("empty_rows")
+
+
+@pytest.fixture
+def degenerate_zoo():
+    """Every adversarial boundary matrix, keyed by name (repro.verify)."""
+    from repro.verify.adversarial import degenerate_zoo as _zoo
+
+    return _zoo(0)
 
 
 @pytest.fixture(params=ALL_FORMATS)

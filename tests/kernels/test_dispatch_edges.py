@@ -82,10 +82,19 @@ class TestErrorSurface:
         with pytest.raises(ShapeError):
             run_spmm(A, rng.standard_normal((A.ncols + 3, 4)))
 
-    def test_spmv_wrong_variant(self, small_triplets, rng):
+    def test_spmv_normalizes_spmm_variants(self, small_triplets, rng):
+        # SpMM variant names degenerate to their k=1 base kernel (SPMV_BASE)
+        # instead of raising: SpMV is SpMM with k=1.
+        A = build_format("csr", small_triplets)
+        x = rng.standard_normal(A.ncols)
+        base = run_spmv(A, x, variant="serial")
+        np.testing.assert_array_equal(run_spmv(A, x, variant="optimized"), base)
+        np.testing.assert_array_equal(run_spmv(A, x, variant="serial_transpose"), base)
+
+    def test_spmv_unknown_variant_still_raises(self, small_triplets, rng):
         A = build_format("csr", small_triplets)
         with pytest.raises(KernelError):
-            run_spmv(A, rng.standard_normal(A.ncols), variant="optimized")
+            run_spmv(A, rng.standard_normal(A.ncols), variant="definitely_not_a_variant")
 
     def test_threads_ignored_by_serial(self, small_triplets, rng):
         A = build_format("csr", small_triplets)

@@ -104,6 +104,66 @@ def test_csr5_any_tile(t, tile):
         assert sizes.max() <= tile
 
 
+# -- edge geometries (the verify subsystem's adversarial zoo) ----------------
+#
+# Blocked/sliced formats fail differently when their tiling parameter is
+# larger than the matrix, does not divide it, or tiles nothing but padding.
+# The zoo builders are the fuzzer's generators, reused verbatim so the unit
+# suite and `spmm-bench fuzz` agree on what "degenerate" means.
+
+import pytest  # noqa: E402
+
+from repro.kernels.dispatch import run_spmm  # noqa: E402
+from repro.verify.adversarial import ADVERSARIAL_BUILDERS, build_adversarial  # noqa: E402
+from repro.verify.reference import dense_reference, result_tolerance  # noqa: E402
+
+ZOO_NAMES = sorted(ADVERSARIAL_BUILDERS)
+
+
+@pytest.mark.parametrize("case", ZOO_NAMES)
+@pytest.mark.parametrize("block", (1, 2, 5, 64))
+def test_bcsr_edge_geometries(case, block):
+    """Block sizes larger than n, not dividing n, and 1 all round-trip."""
+    from repro.formats.bcsr import BCSR
+
+    t = build_adversarial(case, 6)
+    A = BCSR.from_triplets(t, block_size=block)
+    assert np.allclose(A.to_dense(), t.to_dense())
+    B = np.random.default_rng(6).standard_normal((t.ncols, 3))
+    C = np.asarray(run_spmm(A, B, k=3), dtype=np.float64)
+    ref = dense_reference(t, B, 3)
+    assert np.abs(C - ref).max() <= result_tolerance(ref) if ref.size else True
+
+
+@pytest.mark.parametrize("case", ZOO_NAMES)
+@pytest.mark.parametrize("chunk,sigma", ((1, 1), (3, 6), (64, 64), (4, 128)))
+def test_sell_edge_geometries(case, chunk, sigma):
+    """Chunks larger than n, not dividing n, and sigma beyond n all work."""
+    from repro.formats.sell import SELL
+
+    t = build_adversarial(case, 6)
+    A = SELL.from_triplets(t, chunk=chunk, sigma=sigma)
+    assert np.allclose(A.to_dense(), t.to_dense())
+    B = np.random.default_rng(7).standard_normal((t.ncols, 2))
+    C = np.asarray(run_spmm(A, B, k=2), dtype=np.float64)
+    ref = dense_reference(t, B, 2)
+    assert np.abs(C - ref).max() <= result_tolerance(ref) if ref.size else True
+
+
+@pytest.mark.parametrize("fmt", ("bcsr", "bell", "sell"))
+def test_all_empty_slices(fmt):
+    """nnz=0: every slice/block row is pure padding, kernels return zeros."""
+    from tests.conftest import build_format
+
+    t = build_adversarial("empty", 0)
+    A = build_format(fmt, t)
+    assert A.nnz == 0
+    B = np.random.default_rng(8).standard_normal((t.ncols, 4))
+    C = run_spmm(A, B, k=4)
+    assert C.shape == (t.nrows, 4)
+    assert not C.any()
+
+
 @settings(max_examples=40, deadline=None)
 @given(t=sparse_matrices())
 def test_properties_consistency(t):

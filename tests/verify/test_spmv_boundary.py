@@ -1,0 +1,86 @@
+"""Regression pin for the k=1 SpMV/SpMM dispatch boundary.
+
+A ``(n,)`` vector and its ``(n, 1)`` reshape are the same operand; every
+format and every variant must produce consistently-shaped, numerically
+identical results for both — through ``run_spmv``/``run_spmm`` and through
+``api.multiply``.  Before the fix, SpMM-only variant names (``optimized``,
+``grouped``, ``*_transpose``, ``auto``) raised KernelError on the 1-D path.
+"""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.kernels.dispatch import SPMV_BASE, run_spmm, run_spmv
+from repro.tune.store import TuneStore
+from repro.verify import dense_reference, result_tolerance
+from repro.verify.adversarial import build_adversarial
+from tests.conftest import ALL_FORMATS, build_format, make_random_triplets
+
+NON_GPU_VARIANTS = sorted(v for v in SPMV_BASE if not v.startswith("gpu"))
+
+
+@pytest.fixture
+def matrix():
+    return make_random_triplets(13, 11, density=0.35, seed=17)
+
+
+@pytest.fixture
+def vector(rng_factory, matrix):
+    return rng_factory(17).standard_normal(matrix.ncols)
+
+
+class TestVectorMatrixConsistency:
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_1d_matches_n_by_1_on_every_format(self, fmt, matrix, vector):
+        y = api.multiply(matrix, vector, fmt=fmt)
+        C = api.multiply(matrix, vector[:, None], fmt=fmt, k=1)
+        assert y.shape == (matrix.nrows,)
+        assert C.shape == (matrix.nrows, 1)
+        np.testing.assert_allclose(
+            y.astype(np.float64), C[:, 0].astype(np.float64), rtol=1e-5, atol=1e-6
+        )
+
+    @pytest.mark.parametrize("variant", NON_GPU_VARIANTS)
+    def test_every_variant_serves_1d_operands(self, variant, matrix, vector):
+        y = api.multiply(matrix, vector, fmt="csr", variant=variant)
+        C = api.multiply(matrix, vector[:, None], fmt="csr", variant=variant, k=1)
+        np.testing.assert_allclose(
+            y.astype(np.float64), C[:, 0].astype(np.float64), rtol=1e-5, atol=1e-6
+        )
+
+    def test_auto_variant_serves_1d_operands(self, matrix, vector):
+        y = api.multiply(matrix, vector, fmt="csr", variant="auto",
+                         tune_store=TuneStore())
+        assert y.shape == (matrix.nrows,)
+        y2 = run_spmv(build_format("csr", matrix), vector, variant="auto",
+                      tune_store=TuneStore())
+        np.testing.assert_array_equal(y, y2)
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_oracle_identical_to_dense_reference(self, fmt, matrix, vector):
+        y = api.multiply(matrix, vector, fmt=fmt)
+        ref = dense_reference(matrix, vector[:, None], 1)[:, 0]
+        assert np.abs(y.astype(np.float64) - ref).max() <= result_tolerance(ref)
+
+
+class TestDegenerateShapes:
+    @pytest.mark.parametrize("case", ("one_by_n", "n_by_one", "one_by_one", "empty"))
+    @pytest.mark.parametrize("fmt", ("coo", "csr", "ell", "bcsr"))
+    def test_boundary_matrices_at_k1(self, case, fmt, rng_factory):
+        t = build_adversarial(case, 5)
+        x = rng_factory(5).standard_normal(t.ncols)
+        A = build_format(fmt, t)
+        y = run_spmv(A, x)
+        C = run_spmm(A, np.ascontiguousarray(x[:, None]), k=1)
+        assert y.shape == (t.nrows,)
+        assert C.shape == (t.nrows, 1)
+        np.testing.assert_allclose(
+            y.astype(np.float64), C[:, 0].astype(np.float64), rtol=1e-5, atol=1e-6
+        )
+
+    def test_spmv_base_covers_every_spmm_variant(self):
+        from repro.kernels.dispatch import SPMM_VARIANTS, SPMV_VARIANTS
+
+        assert set(SPMV_BASE) == set(SPMM_VARIANTS)
+        assert set(SPMV_BASE.values()) <= set(SPMV_VARIANTS)

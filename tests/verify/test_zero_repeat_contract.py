@@ -1,0 +1,82 @@
+"""Regression pin for the PR 3 empty-run contract, across every entry point.
+
+``n_runs=0`` / ``repeats=0`` means: the kernel executes exactly once,
+untimed — ``timing`` is ``None``, measured MFLOPS are 0.0, no
+``timer_clamped`` warning is emitted, and the computed output is the same
+as a normal run's.  Negative counts are rejected on every path.
+"""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.bench.observe import Tracer
+from repro.bench.params import BenchParams
+from repro.engine import Engine, SpmmRequest
+from repro.errors import BenchConfigError, EngineError
+from repro.kernels.plan import PlanCache
+from tests.conftest import make_random_triplets
+
+
+@pytest.fixture
+def matrix():
+    return make_random_triplets(18, 15, density=0.3, seed=21)
+
+
+class TestBenchmarkZeroRuns:
+    def test_empty_run_contract(self, matrix):
+        tracer = Tracer()
+        result = api.benchmark(matrix, fmt="csr", variant="serial", k=4,
+                               n_runs=0, tracer=tracer)
+        assert result.timing is None
+        assert result.mflops == 0.0
+        assert "timer_clamped" not in tracer.warnings
+
+    def test_negative_runs_rejected(self, matrix):
+        with pytest.raises(BenchConfigError):
+            api.benchmark(matrix, fmt="csr", n_runs=-1)
+        with pytest.raises(BenchConfigError):
+            BenchParams(n_runs=-2)
+
+    def test_plan_cache_sees_same_traffic(self, matrix):
+        # The zero-repeat path must go through the same plan machinery as a
+        # timed run: a warm cache serves both, a cold one builds exactly once.
+        cold = PlanCache(maxsize=8)
+        api.benchmark(matrix, fmt="csr", variant="serial", k=4, n_runs=0,
+                      plan_cache=cold)
+        stats_after_empty = dict(cold.stats)
+        warm = PlanCache(maxsize=8)
+        api.benchmark(matrix, fmt="csr", variant="serial", k=4, n_runs=2,
+                      plan_cache=warm)
+        stats_after_timed = dict(warm.stats)
+        assert stats_after_empty["plan_misses"] == stats_after_timed["plan_misses"] == 1
+        assert stats_after_empty["plan_hits"] == stats_after_timed["plan_hits"]
+
+
+class TestEngineZeroRepeats:
+    def test_empty_run_contract(self, matrix, rng_factory):
+        B = np.ascontiguousarray(rng_factory(21).standard_normal((15, 4)))
+        req = SpmmRequest(matrix=matrix, k=4, fmt="csr", variant="serial",
+                          repeats=0, dense=B)
+        with Engine(workers=1) as engine:
+            result = engine.run(req)
+        assert result.timing is None
+        assert result.mflops == 0.0
+        expected = api.multiply(matrix, B, fmt="csr", variant="serial", k=4)
+        np.testing.assert_array_equal(result.output, expected)
+
+    def test_negative_repeats_rejected(self, matrix):
+        with pytest.raises(EngineError):
+            SpmmRequest(matrix=matrix, repeats=-1)
+
+    def test_zero_and_timed_runs_agree_bitwise(self, matrix, rng_factory):
+        B = np.ascontiguousarray(rng_factory(22).standard_normal((15, 4)))
+        with Engine(workers=1) as engine:
+            untimed = engine.run(
+                SpmmRequest(matrix=matrix, k=4, fmt="csr", repeats=0, dense=B)
+            )
+            timed = engine.run(
+                SpmmRequest(matrix=matrix, k=4, fmt="csr", repeats=2, dense=B)
+            )
+        np.testing.assert_array_equal(untimed.output, timed.output)
+        assert timed.timing is not None and timed.timing.n == 2
