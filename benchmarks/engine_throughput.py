@@ -15,10 +15,22 @@ Outputs are checked bit-for-bit against the serial path before any timing
 is reported.  ``run_comparison`` is imported by
 ``tests/engine/test_throughput.py``, which gates the speedup at >= 1.3x
 (best of three attempts, tolerant of wall-clock noise).
+
+A second leg, ``run_backend_comparison``, pits the engine's two execution
+backends against each other on a heavier workload (larger matrices, timed
+repeats) — the thread backend shares one interpreter; the process backend
+ships operands over shared memory to subprocess workers.  On a multi-core
+host the process backend should win once per-task work dominates the shm
+round-trip; ``--json`` dumps both legs for the CI bench-smoke artifact::
+
+    PYTHONPATH=src python benchmarks/engine_throughput.py --json bench.json
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
 import time
 
 import numpy as np
@@ -73,7 +85,9 @@ def run_batched(
 ) -> tuple[float, list[np.ndarray], dict]:
     """One engine batch: plans built once per group, shared by the rest."""
     start = time.perf_counter()
-    with Engine(workers=workers, plan_cache=PlanCache()) as engine:
+    # Pinned to the thread backend: this leg measures in-process plan
+    # sharing; the backend comparison below covers thread vs process.
+    with Engine(workers=workers, plan_cache=PlanCache(), backend="thread") as engine:
         results = engine.map_batch(requests)
         stats = engine.stats
     return time.perf_counter() - start, [r.output for r in results], stats
@@ -104,7 +118,97 @@ def run_comparison(
     }
 
 
-def main() -> int:
+#: The backend-comparison workload: fewer, heavier requests (bigger
+#: matrices, timed repeats) so per-task kernel work dominates scheduling.
+BACKEND_MATRICES = ("cant", "torso1")
+BACKEND_FORMATS = ("csr", "bcsr")
+BACKEND_REQUESTS = 8
+BACKEND_K = 32
+BACKEND_SCALE = 8
+BACKEND_REPEATS = 3
+
+
+def build_backend_workload(
+    matrices=BACKEND_MATRICES,
+    formats=BACKEND_FORMATS,
+    n_requests=BACKEND_REQUESTS,
+    k=BACKEND_K,
+    scale=BACKEND_SCALE,
+    repeats=BACKEND_REPEATS,
+) -> list[SpmmRequest]:
+    """A heavier mix where the process backend's parallelism can pay off."""
+    pairs = [(m, f) for m in matrices for f in formats]
+    return [
+        SpmmRequest(
+            matrix=pairs[i % len(pairs)][0],
+            fmt=pairs[i % len(pairs)][1],
+            k=k,
+            scale=scale,
+            repeats=repeats,
+        )
+        for i in range(n_requests)
+    ]
+
+
+def run_backend(
+    requests: list[SpmmRequest], backend: str, workers: int = 4
+) -> tuple[float, list[np.ndarray], dict]:
+    """One engine batch on the named execution backend."""
+    start = time.perf_counter()
+    with Engine(workers=workers, plan_cache=PlanCache(), backend=backend) as engine:
+        results = engine.map_batch(requests)
+        stats = engine.stats
+    return time.perf_counter() - start, [r.output for r in results], stats
+
+
+def run_backend_comparison(
+    requests: list[SpmmRequest] | None = None, workers: int = 4
+) -> dict:
+    """Thread vs process backend on the same workload, outputs bit-checked."""
+    requests = requests if requests is not None else build_backend_workload()
+    for req in requests:
+        load_matrix(req.matrix, scale=req.scale)
+
+    thread_s, thread_out, _ = run_backend(requests, "thread", workers=workers)
+    process_s, process_out, process_stats = run_backend(
+        requests, "process", workers=workers
+    )
+
+    for a, b in zip(thread_out, process_out):
+        np.testing.assert_array_equal(a, b)
+
+    return {
+        "n_requests": len(requests),
+        "k": requests[0].k,
+        "workers": workers,
+        "cpus": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count(),
+        "thread_s": thread_s,
+        "process_s": process_s,
+        "process_speedup": thread_s / process_s if process_s > 0 else float("inf"),
+        "remote_tasks": int(process_stats.get("engine_backend_remote_tasks", 0)),
+        "shm_bytes_shipped": int(process_stats.get("shm_bytes_shipped", 0)),
+        "worker_respawns": int(process_stats.get("engine_backend_worker_respawns", 0)),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write both comparison reports as JSON (for CI artifacts)",
+    )
+    parser.add_argument(
+        "--skip-backends", action="store_true",
+        help="only run the batched-vs-serial leg",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shrink the backend workload for smoke runs (CI bench-smoke)",
+    )
+    args = parser.parse_args(argv)
+
     report = run_comparison()
     print(f"workload        : {report['n_requests']} requests, "
           f"{'x'.join(MATRICES)} / {'x'.join(FORMATS)}, k={K}, scale 1/{SCALE}")
@@ -114,6 +218,32 @@ def main() -> int:
           f"({report['plans_built']} plans built, "
           f"{report['plans_shared']} shared)")
     print(f"speedup         : {report['speedup']:.2f}x  (outputs bit-identical)")
+
+    backends = None
+    if not args.skip_backends:
+        workload = (
+            build_backend_workload(n_requests=6, k=8, scale=SCALE, repeats=1)
+            if args.quick
+            else None
+        )
+        backends = run_backend_comparison(workload)
+        print()
+        print(f"backend workload: {backends['n_requests']} requests, "
+              f"{'x'.join(BACKEND_MATRICES)} / {'x'.join(BACKEND_FORMATS)}, "
+              f"k={backends['k']}, {backends['cpus']} cpu(s), "
+              f"{backends['workers']} workers")
+        print(f"thread backend  : {backends['thread_s'] * 1e3:10.1f} ms")
+        print(f"process backend : {backends['process_s'] * 1e3:10.1f} ms "
+              f"({backends['remote_tasks']} remote tasks, "
+              f"{backends['shm_bytes_shipped'] / 1e6:.1f} MB over shm)")
+        print(f"process speedup : {backends['process_speedup']:.2f}x "
+              f"(outputs bit-identical)")
+
+    if args.json:
+        payload = {"batched_vs_serial": report, "thread_vs_process": backends}
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"\nwrote {args.json}")
     return 0
 
 

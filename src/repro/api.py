@@ -34,7 +34,7 @@ from .bench.params import BenchParams
 from .bench.runner import GridRunner, GridSpec, RunRecord
 from .bench.suite import BenchResult, SpmmBenchmark
 from .bench.timing import TimingStats
-from .engine import Engine, SpmmRequest, SpmmResult
+from .engine import BACKEND_NAMES, Engine, SpmmRequest, SpmmResult
 from .errors import BenchConfigError
 from .formats.base import SparseFormat
 from .formats.convert import convert
@@ -55,6 +55,7 @@ from .tune.autotune import (
 from .tune.store import TuneDecision, TuneStore, set_active_store
 
 __all__ = [
+    "BACKEND_NAMES",
     "BenchParams",
     "BenchResult",
     "Engine",

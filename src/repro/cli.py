@@ -124,7 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="JSON job file: a list of request objects, or "
                               '{"defaults": {...}, "jobs": [...]}')
     serve_p.add_argument("--workers", type=int, default=None,
-                         help="engine worker threads (default: host-sized)")
+                         help="engine workers (default: host-sized)")
+    serve_p.add_argument("--backend", default=None, choices=["thread", "process"],
+                         help="execution backend: worker threads (default) or "
+                              "worker subprocesses with shared-memory operands")
     serve_p.add_argument("--max-in-flight", type=int, default=64,
                          help="submission-window backpressure bound (default 64)")
     serve_p.add_argument("--out", default=None, metavar="FILE",
@@ -408,6 +411,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_in_flight=args.max_in_flight,
         plan_cache=plan_cache,
         tracer=tracer,
+        backend=args.backend,
     ) as engine:
         results = engine.map_batch(requests)
         stats = engine.stats
@@ -416,6 +420,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         n_jobs=len(requests),
         workers=engine.workers,
+        backend=engine.backend,
         max_in_flight=args.max_in_flight,
         plan_cache=not args.no_plan_cache,
     )
@@ -426,8 +431,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     built = int(stats.get("engine_plan_built", 0))
     shared = int(stats.get("engine_plan_shared", 0)) + int(
         stats.get("engine_plan_memory", 0)
-    )
-    print(f"wrote {out} ({len(results)} jobs, {engine.workers} workers)")
+    ) + int(stats.get("engine_plan_disk", 0))
+    print(f"wrote {out} ({len(results)} jobs, {engine.workers} "
+          f"{engine.backend} workers)")
     print(f"  plans built {built}, reused {shared} "
           f"(hit ratio {shared / max(1, built + shared):.2f})")
     print(f"  queue wait  {stats.get('engine_queue_wait_s', 0.0) * 1e3:10.3f} ms total")

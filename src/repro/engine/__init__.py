@@ -8,15 +8,20 @@
 ...     )
 """
 
+from .backends import BACKEND_NAMES, Backend, ProcessBackend, ThreadBackend
 from .core import DEFAULT_WORKERS, Engine, batch_requests
 from .jobs import load_jobs, results_to_trajectory
 from .request import SpmmRequest, SpmmResult
 from .scheduler import WorkerPool
 
 __all__ = [
+    "BACKEND_NAMES",
+    "Backend",
     "Engine",
+    "ProcessBackend",
     "SpmmRequest",
     "SpmmResult",
+    "ThreadBackend",
     "WorkerPool",
     "DEFAULT_WORKERS",
     "batch_requests",

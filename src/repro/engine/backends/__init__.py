@@ -1,0 +1,66 @@
+"""Pluggable execution backends for the batched SpMM engine.
+
+Two implementations of the :class:`~repro.engine.backends.base.Backend`
+contract:
+
+* ``"thread"`` (:class:`ThreadBackend`) — bounded worker threads in the
+  parent interpreter; zero serialization, GIL-shared scheduling.
+* ``"process"`` (:class:`ProcessBackend`) — long-lived worker subprocesses
+  fed over pipes, operands in shared memory, plans rebuilt per worker from
+  the on-disk PlanCache tier; real multi-core scaling for GIL-bound stages.
+
+Select by name through ``Engine(backend=...)`` or
+``spmm-bench serve --backend``; the ``SPMM_ENGINE_BACKEND`` environment
+variable overrides the default for a whole process tree (how CI runs the
+engine test suite against both backends).
+"""
+
+from __future__ import annotations
+
+from ...errors import EngineError
+from .base import Backend
+from .process import ProcessBackend, default_start_method
+from .shm import SharedArray, ShmArraySpec, live_segments, read_copy, with_view, write_into
+from .thread import ThreadBackend
+
+__all__ = [
+    "BACKEND_NAMES",
+    "Backend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "SharedArray",
+    "ShmArraySpec",
+    "live_segments",
+    "read_copy",
+    "with_view",
+    "write_into",
+    "default_start_method",
+    "make_backend",
+]
+
+#: Names accepted by ``Engine(backend=...)`` and ``serve --backend``.
+BACKEND_NAMES = ("thread", "process")
+
+_BACKENDS = {"thread": ThreadBackend, "process": ProcessBackend}
+
+
+def make_backend(
+    name: str,
+    *,
+    workers: int,
+    max_in_flight: int,
+    cache_dir=None,
+    tracer=None,
+    **options,
+) -> Backend:
+    """Construct a backend by registry name."""
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown engine backend {name!r}; choose from {BACKEND_NAMES}"
+        ) from None
+    if cls is ProcessBackend:
+        options.setdefault("cache_dir", cache_dir)
+        options.setdefault("tracer", tracer)
+    return cls(workers, max_in_flight, **options)

@@ -1,0 +1,83 @@
+"""The execution-backend contract the engine schedules against.
+
+A backend owns the worker capacity behind :class:`repro.engine.Engine`:
+it accepts parent-side callables through :meth:`Backend.submit` (futures,
+bounded in-flight window, cancellation of queued work — the
+:class:`~repro.engine.scheduler.WorkerPool` semantics) and, for *remote*
+backends, carries declarative task specs across a process boundary via
+:meth:`Backend.run_task`.
+
+The split matters: the engine's per-request pipeline (matrix resolution,
+``variant="auto"`` pinning, operand generation) always runs in parent
+threads where the engine's memos live; only the plan-build + kernel-execute
+tail crosses to a worker process, as a picklable spec whose arrays travel
+by shared-memory descriptor (see :mod:`repro.engine.backends.shm`).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from concurrent.futures import Future
+from typing import Any, Callable
+
+from ...errors import EngineError
+
+__all__ = ["Backend"]
+
+
+class Backend(abc.ABC):
+    """Worker capacity behind the engine: futures in, results out."""
+
+    #: Registry name (``"thread"``, ``"process"``).
+    name: str = "?"
+    #: Remote backends execute plan-supported tasks in worker processes
+    #: via :meth:`run_task`; local backends run everything in-thread.
+    remote: bool = False
+
+    @abc.abstractmethod
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        block: bool = True,
+        timeout: float | None = None,
+        **kwargs: Any,
+    ) -> Future:
+        """Enqueue ``fn(*args, **kwargs)`` on a parent worker thread."""
+
+    @abc.abstractmethod
+    def in_flight(self) -> int:
+        """Exact count of requests queued or executing."""
+
+    @abc.abstractmethod
+    def cancel_pending(self) -> int:
+        """Cancel every still-queued request; returns how many."""
+
+    @abc.abstractmethod
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop the backend; queued requests finish unless cancelled."""
+
+    def quiesce(self, timeout: float | None = None, poll_s: float = 0.005) -> bool:
+        """Block until nothing is in flight (the graceful-drain primitive).
+
+        Returns ``False`` if ``timeout`` expired first.  The backend stays
+        open — quiesce is for barriers (config swaps, checkpointing), not
+        teardown; use :meth:`shutdown` to stop accepting work.
+        """
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        while self.in_flight() > 0:
+            if deadline is not None and time.perf_counter() >= deadline:
+                return False
+            time.sleep(poll_s)
+        return True
+
+    def run_task(self, spec: dict) -> dict:
+        """Execute one declarative task on a remote worker (remote only)."""
+        raise EngineError(f"backend {self.name!r} does not execute remote tasks")
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown(wait=True)

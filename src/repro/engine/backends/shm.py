@@ -1,0 +1,244 @@
+"""Shared-memory operand shipping for the process execution backend.
+
+The process backend never pickles arrays: operands cross the process
+boundary as ``(buffer name, dtype, shape)`` descriptors
+(:class:`ShmArraySpec`) over the control pipe while the bytes live in
+``multiprocessing.shared_memory`` segments.  This module owns the whole
+segment lifecycle:
+
+* the **parent** creates every segment (:class:`SharedArray`) — matrix
+  triplets, the dense ``B`` operand, and the pre-sized output ``C`` — so
+  there is exactly one owner responsible for ``unlink`` and the resource
+  tracker never sees a segment twice;
+* **workers** attach through the frame-scoped helpers :func:`read_copy`,
+  :func:`write_into`, and :func:`with_view`, which unregister the
+  attachment from their resource tracker (attaching is not owning; without
+  the unregister, CPython's tracker double-counts the segment and warns
+  about "leaked" shared memory at interpreter exit) and guarantee no numpy
+  view outlives the mapping it exports;
+* a module-level registry of live parent-owned segments is drained at
+  interpreter exit as a last-resort guard, so even an engine that was
+  never ``close()``d cannot leak segments or trip tracker warnings.
+
+Traffic is observable: segment creation, reuse, and teardown land on the
+engine tracer as ``shm_*`` counters that flow into ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import os
+import threading
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "ShmArraySpec",
+    "SharedArray",
+    "read_copy",
+    "write_into",
+    "with_view",
+    "live_segments",
+]
+
+#: Parent-owned segments still holding OS resources (torn down at exit).
+_LIVE: "weakref.WeakSet[SharedArray]" = weakref.WeakSet()
+_LIVE_LOCK = threading.Lock()
+
+
+@dataclass(frozen=True)
+class ShmArraySpec:
+    """What a worker needs to re-open one array: name, dtype, shape."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+
+    @property
+    def count(self) -> int:
+        n = 1
+        for dim in self.shape:
+            n *= int(dim)
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * np.dtype(self.dtype).itemsize
+
+
+def _as_view(shm: shared_memory.SharedMemory, spec: ShmArraySpec) -> np.ndarray:
+    return np.frombuffer(shm.buf, dtype=np.dtype(spec.dtype), count=spec.count).reshape(
+        spec.shape
+    )
+
+
+class SharedArray:
+    """One parent-owned shared-memory segment holding one ndarray.
+
+    Create with :meth:`from_array` (copies the source in) or :meth:`empty`
+    (pre-sized output buffer a worker fills).  ``destroy()`` drops the
+    view, closes the mapping, and unlinks the segment; it is idempotent
+    and also runs from the module's exit hook for anything left behind.
+    """
+
+    def __init__(self, spec: ShmArraySpec, shm: shared_memory.SharedMemory):
+        self.spec = spec
+        self._shm = shm
+        self._view: np.ndarray | None = _as_view(shm, spec)
+        with _LIVE_LOCK:
+            _LIVE.add(self)
+
+    @classmethod
+    def from_array(cls, array: np.ndarray, *, tracer=None) -> "SharedArray":
+        array = np.ascontiguousarray(array)
+        seg = cls._create(array.dtype, array.shape, tracer=tracer)
+        if array.size:
+            seg.view[...] = array
+        if tracer is not None:
+            tracer.count("shm_bytes_shipped", int(array.nbytes))
+        return seg
+
+    @classmethod
+    def empty(cls, shape: tuple[int, ...], dtype, *, tracer=None) -> "SharedArray":
+        return cls._create(np.dtype(dtype), tuple(int(s) for s in shape), tracer=tracer)
+
+    @classmethod
+    def _create(cls, dtype: np.dtype, shape: tuple[int, ...], *, tracer=None) -> "SharedArray":
+        spec_nbytes = int(np.dtype(dtype).itemsize * int(np.prod(shape, dtype=np.int64)))
+        # shared_memory refuses zero-sized segments; degenerate (empty)
+        # operands still need a name to ship, so round up to one byte.
+        shm = shared_memory.SharedMemory(create=True, size=max(1, spec_nbytes))
+        spec = ShmArraySpec(name=shm.name, dtype=np.dtype(dtype).str, shape=shape)
+        if tracer is not None:
+            tracer.count("shm_segments_created")
+        return cls(spec, shm)
+
+    @property
+    def view(self) -> np.ndarray:
+        if self._view is None:
+            raise ValueError(f"shared segment {self.spec.name} is already destroyed")
+        return self._view
+
+    def copy_out(self) -> np.ndarray:
+        """An independent copy of the contents (safe to keep after destroy)."""
+        return np.array(self.view, copy=True)
+
+    def destroy(self, *, tracer=None) -> None:
+        """Drop the view, close the mapping, unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        shm, self._shm, self._view = self._shm, None, None
+        _close_quietly(shm)
+        with contextlib.suppress(FileNotFoundError, OSError):
+            shm.unlink()
+        if tracer is not None:
+            tracer.count("shm_segments_unlinked")
+        with _LIVE_LOCK, contextlib.suppress(KeyError):
+            _LIVE.discard(self)
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without claiming ownership of it.
+
+    Python < 3.13 registers *every* ``SharedMemory`` with the resource
+    tracker, owner or not; an attached-only handle must be unregistered or
+    the worker's tracker "cleans up" (and warns about) segments the parent
+    still owns.  Python >= 3.13 exposes the same contract as ``track=False``.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        pass
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+    except Exception:  # pragma: no cover - best effort on exotic platforms
+        pass
+    return shm
+
+
+def _close_quietly(shm: shared_memory.SharedMemory) -> None:
+    """Close a mapping without ever letting ``BufferError`` escape — not even
+    later, from ``SharedMemory.__del__`` at garbage collection.
+
+    If a numpy view still exports the buffer (only possible on exception
+    paths — the helpers below scope views so they die before close), a plain
+    ``close()`` raises ``BufferError`` now and *again* as "Exception ignored
+    in __del__" at GC.  In that case we close the file descriptor ourselves
+    and detach the handle so ``__del__`` is a no-op; the stale mapping pages
+    are reclaimed when the process exits, and the segment itself is unlinked
+    by its owning parent regardless.
+    """
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - exception-path hygiene
+        with contextlib.suppress(Exception):
+            if getattr(shm, "_fd", -1) >= 0:
+                os.close(shm._fd)  # noqa: SLF001
+                shm._fd = -1  # noqa: SLF001
+        shm._buf = None  # noqa: SLF001
+        shm._mmap = None  # noqa: SLF001
+    except OSError:  # pragma: no cover
+        pass
+
+
+def read_copy(spec: ShmArraySpec) -> np.ndarray:
+    """Attach, copy the contents out, and close the mapping.
+
+    The transient view lives only for the copy expression, so the close
+    can never race a live buffer export.
+    """
+    shm = _attach(spec.name)
+    try:
+        return _as_view(shm, spec).copy()
+    finally:
+        _close_quietly(shm)
+
+
+def write_into(spec: ShmArraySpec, data: np.ndarray) -> None:
+    """Attach, write ``data`` into the segment, and close the mapping."""
+    shm = _attach(spec.name)
+    try:
+        _as_view(shm, spec)[...] = data
+    finally:
+        _close_quietly(shm)
+
+
+def with_view(spec: ShmArraySpec, fn):
+    """Run ``fn(view)`` against a zero-copy read-only view, then close.
+
+    The view is created inside the call expression and bound only to
+    ``fn``'s parameter frame, so every reference is gone by the time the
+    mapping closes — ``fn`` must not smuggle the view (or a slice of it)
+    into its return value; copy anything that outlives the call.
+    """
+    shm = _attach(spec.name)
+    try:
+        return fn(_read_only(_as_view(shm, spec)))
+    finally:
+        _close_quietly(shm)
+
+
+def _read_only(view: np.ndarray) -> np.ndarray:
+    view.setflags(write=False)
+    return view
+
+
+def live_segments() -> tuple[str, ...]:
+    """Names of parent-owned segments not yet destroyed (for tests)."""
+    with _LIVE_LOCK:
+        return tuple(seg.spec.name for seg in _LIVE if seg._shm is not None)
+
+
+@atexit.register
+def _drain_live_segments() -> None:  # pragma: no cover - exit-order dependent
+    with _LIVE_LOCK:
+        leftovers = list(_LIVE)
+    for seg in leftovers:
+        seg.destroy()

@@ -1,0 +1,52 @@
+"""The bounded-thread backend: the engine's original execution substrate.
+
+A thin :class:`~repro.engine.backends.base.Backend` veneer over
+:class:`~repro.engine.scheduler.WorkerPool` — worker threads sharing the
+parent interpreter, so the engine's plan cache, memos, and tracer are
+reached directly and nothing is serialized.  NumPy releases the GIL inside
+kernels, so threads overlap on the arithmetic; scheduling, conversion, and
+plan building still contend on one interpreter, which is exactly the gap
+the process backend exists to close (see
+:mod:`repro.engine.backends.process`).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Any, Callable
+
+from ..scheduler import WorkerPool
+from .base import Backend
+
+__all__ = ["ThreadBackend"]
+
+
+class ThreadBackend(Backend):
+    """In-process worker threads behind the :class:`Backend` contract."""
+
+    name = "thread"
+    remote = False
+
+    def __init__(self, workers: int = 4, max_in_flight: int = 64, **_opts: Any):
+        self._pool = WorkerPool(workers, max_in_flight, name="engine")
+        self.workers = self._pool.workers
+        self.max_in_flight = self._pool.max_in_flight
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        block: bool = True,
+        timeout: float | None = None,
+        **kwargs: Any,
+    ) -> Future:
+        return self._pool.submit(fn, *args, block=block, timeout=timeout, **kwargs)
+
+    def in_flight(self) -> int:
+        return self._pool.in_flight()
+
+    def cancel_pending(self) -> int:
+        return self._pool.cancel_pending()
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        self._pool.shutdown(wait=wait, cancel_pending=cancel_pending)

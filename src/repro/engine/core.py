@@ -37,7 +37,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..bench.observe import Tracer
-from ..bench.timing import measure
+from ..bench.timing import TimingStats, measure
 from ..bench.verify import verify_result
 from ..dtypes import DEFAULT_POLICY, DTypePolicy
 from ..errors import EngineClosedError, EngineError
@@ -48,10 +48,11 @@ from ..kernels.plan import PlanCache, fingerprint_triplets, matrix_fingerprint, 
 from ..matrices.coo_builder import Triplets
 from ..matrices.suite import load_matrix
 from ..tune.store import TuneStore, resolve_auto_variant
+from .backends import BACKEND_NAMES, Backend, make_backend
+from .backends.shm import SharedArray
 from .request import SpmmRequest, SpmmResult
-from .scheduler import WorkerPool
 
-__all__ = ["Engine", "DEFAULT_WORKERS"]
+__all__ = ["Engine", "DEFAULT_WORKERS", "BACKEND_NAMES"]
 
 #: Worker default: enough to overlap NumPy kernels (they release the GIL)
 #: without oversubscribing small CI hosts.
@@ -80,6 +81,16 @@ class Engine:
         ``variant="auto"`` requests (default: the process-wide store).
     policy:
         Dtype policy for loading/formatting/operand generation.
+    backend:
+        Execution backend: ``"thread"`` (bounded worker threads, the
+        default), ``"process"`` (worker subprocesses with shared-memory
+        operands — see :mod:`repro.engine.backends`), or a pre-built
+        :class:`~repro.engine.backends.Backend` instance.  ``None`` reads
+        ``SPMM_ENGINE_BACKEND`` from the environment, defaulting to
+        ``"thread"``.
+    backend_options:
+        Extra keyword arguments for the backend constructor (e.g.
+        ``start_method="spawn"`` for the process backend).
     """
 
     def __init__(
@@ -91,15 +102,32 @@ class Engine:
         tracer: Tracer | None = None,
         tune_store: TuneStore | None = None,
         policy: DTypePolicy = DEFAULT_POLICY,
+        backend: str | Backend | None = None,
+        backend_options: dict | None = None,
     ):
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.tracer = tracer if tracer is not None else Tracer()
         self.tune_store = tune_store
         self.policy = policy
         self.workers = workers or DEFAULT_WORKERS
-        self._pool = WorkerPool(self.workers, max_in_flight)
+        if isinstance(backend, Backend):
+            self._backend = backend
+        else:
+            name = backend or os.environ.get("SPMM_ENGINE_BACKEND", "thread")
+            self._backend = make_backend(
+                name,
+                workers=self.workers,
+                max_in_flight=max_in_flight,
+                cache_dir=self.plan_cache.directory,
+                tracer=self.tracer,
+                **(backend_options or {}),
+            )
+        self.backend = self._backend.name
         self._lock = threading.Lock()
         self._closed = False
+        #: fingerprint -> (descriptor dict, [SharedArray segments]) for
+        #: matrices already published to shared memory (process backend).
+        self._shm_matrices: dict[str, tuple[dict, list[SharedArray]]] = {}
         #: Memos shared across requests: suite-name -> triplets, fingerprint
         #: -> triplets (for SparseFormat inputs), (fingerprint, k) -> auto
         #: resolution, and the per-plan-key build locks.
@@ -116,14 +144,33 @@ class Engine:
     # -- lifecycle ------------------------------------------------------------
 
     def close(self, wait: bool = True, cancel_pending: bool = False) -> None:
-        """Shut the pool down; queued requests finish unless cancelled."""
+        """Shut the backend down; queued requests finish unless cancelled.
+
+        Shared-memory segments published for worker processes are unlinked
+        once the backend has drained — after ``close`` returns, no engine
+        segment remains in the OS namespace.
+        """
         with self._lock:
             self._closed = True
-        self._pool.shutdown(wait=wait, cancel_pending=cancel_pending)
+        self._backend.shutdown(wait=wait, cancel_pending=cancel_pending)
+        with self._lock:
+            published = list(self._shm_matrices.values())
+            self._shm_matrices.clear()
+        for _descriptor, segments in published:
+            for segment in segments:
+                segment.destroy(tracer=self.tracer)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait until no request is queued or executing (engine stays open)."""
+        return self._backend.quiesce(timeout=timeout)
+
+    def in_flight(self) -> int:
+        """Exact count of requests queued or executing right now."""
+        return self._backend.in_flight()
 
     def cancel_pending(self) -> int:
         """Cancel every request still waiting in the queue."""
-        cancelled = self._pool.cancel_pending()
+        cancelled = self._backend.cancel_pending()
         if cancelled:
             self.tracer.count("engine_cancelled", cancelled)
         return cancelled
@@ -136,8 +183,13 @@ class Engine:
 
     @property
     def stats(self) -> dict:
-        """Engine counters plus the shared plan cache's hit/miss stats."""
-        out = {k: v for k, v in self.tracer.counters.items() if k.startswith("engine_")}
+        """Engine/backend/shm counters plus the plan cache's hit/miss stats."""
+        out = {
+            k: v
+            for k, v in self.tracer.counters.items()
+            if k.startswith(("engine_", "shm_"))
+        }
+        out["backend"] = self.backend
         out["plan_cache"] = dict(self.plan_cache.stats)
         return out
 
@@ -162,7 +214,7 @@ class Engine:
             raise EngineError(f"submit() takes an SpmmRequest, got {type(request).__name__}")
         self.tracer.count("engine_submitted")
         submitted_at = time.perf_counter()
-        return self._pool.submit(
+        return self._backend.submit(
             self._execute, request, submitted_at, block=block, timeout=timeout
         )
 
@@ -200,23 +252,15 @@ class Engine:
             triplets, name = self._resolve_matrix(request)
             variant, tuned_opts = self._resolve_variant(request, triplets)
             B = self._dense_operand(request, triplets)
-            t_plan = time.perf_counter()
-            kernel, provenance = self._acquire_kernel(
-                request, triplets, name, variant, tuned_opts, B
-            )
-            plan_time = time.perf_counter() - t_plan
-            self.tracer.count("engine_plan_s", plan_time)
-
-            t_exec = time.perf_counter()
-            output, timing = measure(kernel, n_runs=request.repeats, warmup=0)
-            execute_s = time.perf_counter() - t_exec
-            self.tracer.count("engine_execute_s", execute_s)
-            self.tracer.record_worker(execute_s)
-            self.tracer.count("engine_repeats", request.repeats)
-
-            verified: bool | None = None
-            if request.verify:
-                verified = verify_result(triplets, B, output, k=request.k)
+            if self._backend.remote and plan_supported(variant):
+                body = self._run_remote(request, triplets, variant, tuned_opts, B)
+            else:
+                if self._backend.remote:
+                    # Unplannable variants (GPU simulation) cannot rebuild
+                    # from the PlanCache tier in a worker; keep them local.
+                    self.tracer.count("engine_backend_local_fallback")
+                body = self._run_local(request, triplets, name, variant, tuned_opts, B)
+            output, timing, provenance, plan_time, execute_s, verified = body
         except BaseException:
             self.tracer.count("engine_failed")
             raise
@@ -234,6 +278,134 @@ class Engine:
             execute_s=execute_s,
             verified=verified,
         )
+
+    def _run_local(
+        self,
+        request: SpmmRequest,
+        triplets: Triplets,
+        name: str,
+        variant: str,
+        tuned_opts: dict,
+        B: np.ndarray,
+    ) -> tuple:
+        """Plan-acquire + execute + verify in this thread (thread backend)."""
+        t_plan = time.perf_counter()
+        kernel, provenance = self._acquire_kernel(
+            request, triplets, name, variant, tuned_opts, B
+        )
+        plan_time = time.perf_counter() - t_plan
+        self.tracer.count("engine_plan_s", plan_time)
+
+        t_exec = time.perf_counter()
+        output, timing = measure(kernel, n_runs=request.repeats, warmup=0)
+        execute_s = time.perf_counter() - t_exec
+        self.tracer.count("engine_execute_s", execute_s)
+        self.tracer.record_worker(execute_s)
+        self.tracer.count("engine_repeats", request.repeats)
+
+        verified: bool | None = None
+        if request.verify:
+            verified = verify_result(triplets, B, output, k=request.k)
+        return output, timing, provenance, plan_time, execute_s, verified
+
+    def _run_remote(
+        self,
+        request: SpmmRequest,
+        triplets: Triplets,
+        variant: str,
+        tuned_opts: dict,
+        B: np.ndarray,
+    ) -> tuple:
+        """Ship one task to a backend worker process over shared memory.
+
+        The matrix triplets are published to shared memory once per
+        fingerprint and reused for every later request of the group; the
+        dense operand and the pre-sized output travel per request and are
+        unlinked as soon as the reply lands — a failed or dead worker
+        cannot leak a per-request segment.
+        """
+        threads = int(tuned_opts.get("threads", request.threads))
+        fingerprint = self._fingerprint(triplets)
+        descriptor = self._shared_matrix(fingerprint, triplets)
+        B_seg = SharedArray.from_array(B, tracer=self.tracer)
+        C_seg = SharedArray.empty(
+            (triplets.nrows, B.shape[1]), self.policy.value, tracer=self.tracer
+        )
+        spec = {
+            "fingerprint": fingerprint,
+            "matrix": descriptor,
+            "fmt": request.fmt.lower(),
+            "variant": variant,
+            "k": request.k,
+            "threads": threads,
+            "repeats": request.repeats,
+            "policy": self.policy,
+            "B": B_seg.spec,
+            "C": C_seg.spec,
+            "verify": request.verify,
+        }
+        self.tracer.count("engine_backend_remote_tasks")
+        t_remote = time.perf_counter()
+        try:
+            reply = self._backend.run_task(spec)
+            output = C_seg.copy_out()
+        except EngineError:
+            self.tracer.count("engine_backend_worker_errors")
+            raise
+        finally:
+            B_seg.destroy(tracer=self.tracer)
+            C_seg.destroy(tracer=self.tracer)
+        self.tracer.count("engine_backend_remote_s", time.perf_counter() - t_remote)
+
+        # Fold the worker-side trace (plan-cache traffic, thread clamps)
+        # into the parent tracer so trajectories see the whole story.
+        for counter, value in reply.get("counters", {}).items():
+            self.tracer.count(counter, value)
+        for warning, times in reply.get("warnings", {}).items():
+            for _ in range(int(times)):
+                self.tracer.warn(warning)
+
+        times = reply["times"]
+        timing = TimingStats(tuple(times)) if times else None
+        provenance = reply["provenance"]
+        plan_time = reply["plan_time_s"]
+        execute_s = reply["execute_s"]
+        self.tracer.count("engine_plan_s", plan_time)
+        self.tracer.count(f"engine_plan_{provenance}")
+        self.tracer.count("engine_execute_s", execute_s)
+        self.tracer.record_worker(execute_s, worker=("proc", reply.get("pid")))
+        self.tracer.count("engine_repeats", request.repeats)
+        return output, timing, provenance, plan_time, execute_s, reply["verified"]
+
+    def _shared_matrix(self, fingerprint: str, triplets: Triplets) -> dict:
+        """Publish a matrix's triplet arrays to shm, once per fingerprint."""
+        with self._lock:
+            hit = self._shm_matrices.get(fingerprint)
+        if hit is not None:
+            self.tracer.count("shm_matrix_reused")
+            return hit[0]
+        segments = [
+            SharedArray.from_array(triplets.rows, tracer=self.tracer),
+            SharedArray.from_array(triplets.cols, tracer=self.tracer),
+            SharedArray.from_array(triplets.values, tracer=self.tracer),
+        ]
+        descriptor = {
+            "nrows": triplets.nrows,
+            "ncols": triplets.ncols,
+            "rows": segments[0].spec,
+            "cols": segments[1].spec,
+            "values": segments[2].spec,
+        }
+        with self._lock:
+            race = self._shm_matrices.get(fingerprint)
+            if race is None:
+                self._shm_matrices[fingerprint] = (descriptor, segments)
+        if race is not None:
+            # Another thread published first; keep theirs, free ours.
+            for segment in segments:
+                segment.destroy(tracer=self.tracer)
+            return race[0]
+        return descriptor
 
     # -- matrix / variant resolution ------------------------------------------
 

@@ -49,6 +49,11 @@ class WorkerPool:
         self._queue: queue.Queue = queue.Queue()
         self._window = threading.Semaphore(max_in_flight)
         self._lock = threading.Lock()
+        # Explicit in-flight counter: incremented per admitted submit,
+        # decremented in the future's done callback (completion, failure,
+        # or cancellation alike).  Counting through the backpressure
+        # semaphore's private ``_value`` worked only on CPython.
+        self._in_flight = 0
         self._closed = False
         self._threads = [
             threading.Thread(target=self._worker, name=f"{name}-{i}", daemon=True)
@@ -84,17 +89,21 @@ class WorkerPool:
             self._window.release()
             raise EngineClosedError("worker pool is shut down")
         future: Future = Future()
-        future.add_done_callback(lambda _f: self._window.release())
+        with self._lock:
+            self._in_flight += 1
+        future.add_done_callback(self._on_done)
         self._queue.put((future, fn, args, kwargs))
         return future
 
+    def _on_done(self, _future: Future) -> None:
+        with self._lock:
+            self._in_flight -= 1
+        self._window.release()
+
     def in_flight(self) -> int:
-        """Jobs currently queued or executing (approximate, race-tolerant)."""
-        # Semaphore internals are CPython-stable; fall back to queue size.
-        free = getattr(self._window, "_value", None)
-        if free is None:  # pragma: no cover - non-CPython
-            return self._queue.qsize()
-        return self.max_in_flight - free
+        """Exact count of jobs currently queued or executing."""
+        with self._lock:
+            return self._in_flight
 
     # -- teardown -------------------------------------------------------------
 

@@ -93,3 +93,18 @@ class EngineBusyError(EngineError):
     be queued or executing at once.  Blocking submits wait for a slot;
     non-blocking submits raise this instead.
     """
+
+
+class RemoteWorkerError(EngineError):
+    """A process-backend worker failed to execute a task.
+
+    Carries the worker-side exception type and traceback as text (the
+    original object never crosses the pipe).  A worker that died mid-task
+    raises this too; the backend respawns a replacement, so later requests
+    are unaffected.
+    """
+
+    def __init__(self, message: str, *, remote_type: str = "", remote_traceback: str = ""):
+        super().__init__(message)
+        self.remote_type = remote_type
+        self.remote_traceback = remote_traceback

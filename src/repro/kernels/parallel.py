@@ -77,20 +77,60 @@ def shutdown_shared_pools() -> None:
 atexit.register(shutdown_shared_pools)
 
 
+def _reset_pools_after_fork() -> None:
+    """Re-arm the shared-pool registry in a forked child.
+
+    A fork clones the registry dict but not the executors' worker threads:
+    the child inherits pool objects whose queues nobody drains, so the
+    first ``shared_pool()`` user hangs forever (the process execution
+    backend trips this directly under the ``fork`` start method).  Clearing
+    the registry — and replacing the lock, which a parent thread may have
+    held mid-fork — makes children lazily recreate live pools instead.
+    """
+    global _POOLS_LOCK
+    _POOLS_LOCK = threading.Lock()
+    _SHARED_POOLS.clear()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only; Windows never forks
+    os.register_at_fork(after_in_child=_reset_pools_after_fork)
+
+
+def _thread_cap() -> tuple[int, str]:
+    """The usable-CPU cap and where it came from (``affinity``/``cpu_count``).
+
+    ``os.cpu_count()`` reports installed cores and ignores CPU affinity
+    masks and cgroup quotas — inside containers and CI runners it
+    oversubscribes, and oversubscribed wall-clock numbers are noise.
+    ``sched_getaffinity`` sees the actual mask where the platform has one.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            usable = len(getaffinity(0))
+        except OSError:  # pragma: no cover - platform quirk
+            usable = 0
+        if usable:
+            return usable, "affinity"
+    return os.cpu_count() or 1, "cpu_count"
+
+
 def effective_threads(requested: int, tracer=None) -> int:
-    """Clamp a wall-clock thread count to the host's core count.
+    """Clamp a wall-clock thread count to the CPUs this process may use.
 
     The paper's default of 32 threads oversubscribes smaller hosts and
     makes wall-clock numbers meaningless; model-mode runs never reach this
     code and keep the paper's counts.  A clamp is recorded on the tracer
     (``thread_clamp`` warning, ``threads_requested``/``threads_used``
-    counters) so traced runs show it happened.
+    counters, and a ``threads_cap_affinity``/``threads_cap_cpu_count``
+    marker naming the cap's source) so traced runs show it happened.
     """
-    cap = os.cpu_count() or 1
+    cap, source = _thread_cap()
     used = min(requested, cap)
     if tracer is not None:
         tracer.count("threads_requested", requested)
         tracer.count("threads_used", used)
+        tracer.count(f"threads_cap_{source}")
         if used < requested:
             tracer.warn("thread_clamp")
     return used

@@ -154,6 +154,10 @@ class DifferentialOracle:
     tracer:
         Optional :class:`~repro.bench.observe.Tracer`; receives
         ``fuzz_oracle_checks`` / ``fuzz_oracle_discrepancies`` counters.
+    backend:
+        Execution backend for the engine paths (``"thread"`` default,
+        ``"process"`` runs them through worker subprocesses) — the lever
+        for differential-checking the backends against each other.
     """
 
     def __init__(
@@ -166,6 +170,7 @@ class DifferentialOracle:
         rtol: float = 1e-6,
         format_params: dict[str, dict] | None = None,
         tracer=None,
+        backend: str = "thread",
     ):
         self.formats = tuple(formats) if formats is not None else tuple(format_names())
         self.variants = tuple(variants)
@@ -177,6 +182,7 @@ class DifferentialOracle:
         self.rtol = float(rtol)
         self.format_params = dict(DEFAULT_FORMAT_PARAMS if format_params is None else format_params)
         self.tracer = tracer
+        self.backend = backend
         self._engine = None
 
     # -- lifecycle ------------------------------------------------------------
@@ -197,7 +203,7 @@ class DifferentialOracle:
         if self._engine is None:
             from ..engine import Engine  # lazy: engine imports bench.verify
 
-            self._engine = Engine(workers=2, max_in_flight=16)
+            self._engine = Engine(workers=2, max_in_flight=16, backend=self.backend)
         return self._engine
 
     # -- the check ------------------------------------------------------------

@@ -1,0 +1,212 @@
+"""Execution-backend tests: shm lifecycle, pipe protocol, bit-identity."""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.observe import Tracer
+from repro.engine import Engine, SpmmRequest
+from repro.engine.backends import BACKEND_NAMES, make_backend
+from repro.engine.backends.process import ProcessBackend
+from repro.engine.backends.shm import (
+    SharedArray,
+    live_segments,
+    read_copy,
+    with_view,
+    write_into,
+)
+from repro.engine.backends.thread import ThreadBackend
+from repro.errors import EngineError, RemoteWorkerError
+from repro.verify.oracle import DifferentialOracle
+
+from ..conftest import make_random_triplets
+
+_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not _FORK, reason="requires the fork start method")
+
+
+def _requests(n=6, k=4):
+    matrices = [make_random_triplets(40, 32, density=0.25, seed=s) for s in range(2)]
+    fmts = ("csr", "ell", "bcsr")
+    return [
+        SpmmRequest(
+            matrix=matrices[i % 2], fmt=fmts[i % 3], k=k, verify=True, repeats=1
+        )
+        for i in range(n)
+    ]
+
+
+# -- shared-memory primitives -------------------------------------------------
+
+
+class TestSharedArray:
+    def test_roundtrip_and_teardown(self):
+        data = np.arange(24, dtype=np.float64).reshape(4, 6)
+        seg = SharedArray.from_array(data)
+        assert seg.spec.name in live_segments()
+        np.testing.assert_array_equal(read_copy(seg.spec), data)
+        seg.destroy()
+        assert seg.spec.name not in live_segments()
+        seg.destroy()  # idempotent
+
+    def test_write_into_fills_parent_segment(self):
+        seg = SharedArray.empty((3, 5), np.float64)
+        try:
+            payload = np.full((3, 5), 2.5)
+            write_into(seg.spec, payload)
+            np.testing.assert_array_equal(seg.copy_out(), payload)
+        finally:
+            seg.destroy()
+
+    def test_with_view_is_read_only_and_closes_clean(self):
+        seg = SharedArray.from_array(np.ones(8))
+        try:
+            total = with_view(seg.spec, lambda v: float(v.sum()))
+            assert total == 8.0
+            with pytest.raises((ValueError, RuntimeError)):
+                with_view(seg.spec, lambda v: v.__setitem__(0, 9.0))
+        finally:
+            seg.destroy()
+
+    def test_zero_size_array_ships(self):
+        seg = SharedArray.from_array(np.empty((0, 4)))
+        try:
+            out = read_copy(seg.spec)
+            assert out.shape == (0, 4)
+        finally:
+            seg.destroy()
+
+    def test_view_after_destroy_raises(self):
+        seg = SharedArray.from_array(np.ones(4))
+        seg.destroy()
+        with pytest.raises(ValueError):
+            seg.view
+
+    def test_counters(self):
+        tracer = Tracer()
+        seg = SharedArray.from_array(np.ones(16), tracer=tracer)
+        seg.destroy(tracer=tracer)
+        assert tracer.counters["shm_segments_created"] == 1
+        assert tracer.counters["shm_segments_unlinked"] == 1
+        assert tracer.counters["shm_bytes_shipped"] == 16 * 8
+
+
+# -- the backend registry -----------------------------------------------------
+
+
+class TestRegistry:
+    def test_names(self):
+        assert BACKEND_NAMES == ("thread", "process")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(EngineError):
+            make_backend("gpu", workers=1, max_in_flight=2)
+
+    def test_thread_backend_contract(self):
+        with make_backend("thread", workers=2, max_in_flight=4) as backend:
+            assert isinstance(backend, ThreadBackend)
+            assert backend.name == "thread" and backend.remote is False
+            assert backend.submit(lambda: 41 + 1).result(timeout=10) == 42
+            assert backend.quiesce(timeout=10)
+
+
+# -- the process backend ------------------------------------------------------
+
+
+@needs_fork
+class TestProcessBackend:
+    def test_worker_error_carries_remote_traceback(self):
+        with ProcessBackend(workers=1, max_in_flight=2) as backend:
+            with pytest.raises(RemoteWorkerError) as excinfo:
+                backend.run_task({})  # malformed spec -> KeyError in worker
+            assert excinfo.value.remote_type == "KeyError"
+            assert "KeyError" in (excinfo.value.remote_traceback or "")
+
+    def test_dead_worker_is_respawned(self):
+        tracer = Tracer()
+        backend = ProcessBackend(workers=1, max_in_flight=2, tracer=tracer)
+        try:
+            channel = backend._channels.get()
+            pid = channel.process.pid
+            backend._channels.put(channel)
+            os.kill(pid, signal.SIGKILL)
+            deadline = time.time() + 10
+            while channel.process.is_alive() and time.time() < deadline:
+                time.sleep(0.01)
+            with pytest.raises(RemoteWorkerError, match="died mid-task"):
+                backend.run_task({})
+            assert tracer.counters.get("engine_backend_worker_respawns") == 1
+            # The replacement worker answers the protocol (KeyError, not EOF).
+            with pytest.raises(RemoteWorkerError) as excinfo:
+                backend.run_task({})
+            assert excinfo.value.remote_type == "KeyError"
+        finally:
+            backend.shutdown()
+
+    def test_shutdown_is_idempotent(self):
+        backend = ProcessBackend(workers=1, max_in_flight=2)
+        backend.shutdown()
+        backend.shutdown()
+
+
+# -- engine-level differential checks -----------------------------------------
+
+
+@needs_fork
+class TestEngineBackends:
+    def test_thread_and_process_bit_identical(self):
+        requests = _requests()
+        outputs = {}
+        for name in BACKEND_NAMES:
+            with Engine(workers=2, backend=name) as engine:
+                results = engine.map_batch(requests)
+                assert all(r.verified for r in results)
+                outputs[name] = [r.output for r in results]
+                stats = engine.stats
+                if name == "process":
+                    assert stats["engine_backend_remote_tasks"] == len(requests)
+                    assert stats["shm_bytes_shipped"] > 0
+                    assert stats["backend"] == "process"
+        assert live_segments() == ()
+        for a, b in zip(outputs["thread"], outputs["process"]):
+            np.testing.assert_array_equal(a, b)
+
+    def test_oracle_engine_paths_on_process_backend(self):
+        triplets = make_random_triplets(30, 24, density=0.3, seed=11)
+        with DifferentialOracle(
+            formats=("csr", "ell"),
+            variants=("serial",),
+            paths=("engine_direct", "engine_batched"),
+            backend="process",
+        ) as oracle:
+            report = oracle.check(triplets, k=4)
+        assert report.checks > 0
+        assert report.ok, [d.describe() for d in report.discrepancies]
+
+    def test_unplannable_variant_falls_back_locally(self, monkeypatch):
+        import repro.engine.core as core
+
+        monkeypatch.setattr(core, "plan_supported", lambda variant: False)
+        triplets = make_random_triplets(20, 16, density=0.3, seed=5)
+        with Engine(workers=1, backend="process") as engine:
+            result = engine.run(SpmmRequest(matrix=triplets, fmt="csr", k=4, verify=True))
+            stats = engine.stats
+        assert result.verified
+        assert stats["engine_backend_local_fallback"] >= 1
+        assert "engine_backend_remote_tasks" not in stats
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("SPMM_ENGINE_BACKEND", "process")
+        with Engine(workers=1) as engine:
+            assert engine.backend == "process"
+
+    def test_drain_and_in_flight(self):
+        with Engine(workers=2, backend="thread") as engine:
+            for req in _requests(n=4):
+                engine.submit(req)
+            assert engine.drain(timeout=60)
+            assert engine.in_flight() == 0

@@ -55,7 +55,11 @@ class TestPlanSharing:
             for i in range(64)
         ]
         cache = PlanCache()
-        with Engine(workers=4, plan_cache=cache, max_in_flight=64) as engine:
+        # Plan-sharing counters are a thread-backend contract (process
+        # workers build plans in their own caches), so pin the backend.
+        with Engine(
+            workers=4, plan_cache=cache, max_in_flight=64, backend="thread"
+        ) as engine:
             results = engine.map_batch(requests)
             stats = engine.stats
 
@@ -77,7 +81,8 @@ class TestPlanSharing:
 
     def test_repeated_suite_matrix_loads_once(self):
         tracer = Tracer()
-        with Engine(workers=2, tracer=tracer) as engine:
+        # "shared" provenance is thread-backend in-process plan sharing.
+        with Engine(workers=2, tracer=tracer, backend="thread") as engine:
             reqs = [
                 SpmmRequest(matrix="dw4096", k=4, scale=64, repeats=1)
                 for _ in range(6)
@@ -170,7 +175,8 @@ class TestEmptyRunContract:
 
         def cache_counters(repeats):
             cache = PlanCache()
-            with Engine(workers=1, plan_cache=cache) as engine:
+            # The parent plan cache only sees traffic on the thread backend.
+            with Engine(workers=1, plan_cache=cache, backend="thread") as engine:
                 engine.run(SpmmRequest(matrix=t, k=4, repeats=repeats))
             return {
                 k: cache.stats[k]
@@ -222,7 +228,7 @@ class TestLifecycle:
 
     def test_stats_expose_engine_counters(self):
         t = make_random_triplets(16, 12, density=0.3, seed=2)
-        with Engine(workers=1) as engine:
+        with Engine(workers=1, backend="thread") as engine:
             engine.run(SpmmRequest(matrix=t, k=4, repeats=2))
             stats = engine.stats
         for key in (

@@ -108,6 +108,77 @@ class TestCancellation:
             pool.shutdown()
 
 
+class TestInFlight:
+    """in_flight() is an exact lock-guarded count, not a semaphore peek."""
+
+    @staticmethod
+    def _settle(pool, expected, timeout=10.0):
+        # Done-callbacks fire just after result() unblocks; poll briefly.
+        deadline = time.time() + timeout
+        while pool.in_flight() != expected and time.time() < deadline:
+            time.sleep(0.002)
+        return pool.in_flight()
+
+    def test_counts_queued_and_running(self):
+        release = threading.Event()
+        started = threading.Event()
+        pool = WorkerPool(workers=1, max_in_flight=8)
+        try:
+            assert pool.in_flight() == 0
+            futures = [pool.submit(lambda: (started.set(), release.wait()))]
+            assert started.wait(timeout=10)
+            futures += [pool.submit(lambda: None) for _ in range(3)]
+            assert pool.in_flight() == 4
+            release.set()
+            for f in futures:
+                f.result(timeout=10)
+            assert self._settle(pool, 0) == 0
+        finally:
+            release.set()
+            pool.shutdown()
+
+    def test_cancel_decrements_count(self):
+        release = threading.Event()
+        started = threading.Event()
+        pool = WorkerPool(workers=1, max_in_flight=8)
+        try:
+            blocker = pool.submit(lambda: (started.set(), release.wait()))
+            assert started.wait(timeout=10)
+            for _ in range(3):
+                pool.submit(lambda: None)
+            assert pool.in_flight() == 4
+            assert pool.cancel_pending() == 3
+            assert self._settle(pool, 1) == 1
+            release.set()
+            blocker.result(timeout=10)
+            assert self._settle(pool, 0) == 0
+        finally:
+            release.set()
+            pool.shutdown()
+
+    def test_exact_under_concurrent_submitters(self):
+        pool = WorkerPool(workers=2, max_in_flight=16)
+        errors = []
+
+        def submitter():
+            try:
+                for _ in range(25):
+                    pool.submit(lambda: None).result(timeout=10)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submitter) for _ in range(4)]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert not errors
+            assert self._settle(pool, 0) == 0
+        finally:
+            pool.shutdown()
+
+
 class TestShutdown:
     def test_submit_after_shutdown_raises(self):
         pool = WorkerPool(workers=1, max_in_flight=2)

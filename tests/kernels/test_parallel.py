@@ -1,5 +1,7 @@
 """Correctness tests for the CPU-parallel SpMM kernels."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -105,32 +107,76 @@ class TestCsr5DirtyRows:
 
 
 class TestThreadClamp:
-    def test_clamped_to_cpu_count(self, monkeypatch):
+    """effective_threads clamps to the CPUs the process may actually use:
+    the scheduler affinity mask when the platform exposes one (containers,
+    cgroup quotas), os.cpu_count() otherwise — and records which."""
+
+    @staticmethod
+    def _no_affinity(monkeypatch):
+        from repro.kernels import parallel
+
+        monkeypatch.delattr(parallel.os, "sched_getaffinity", raising=False)
+
+    def test_affinity_mask_wins_over_cpu_count(self, monkeypatch):
         from repro.bench.observe import Tracer
         from repro.kernels import parallel
         from repro.kernels.parallel import effective_threads
 
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 64)
+        monkeypatch.setattr(
+            parallel.os, "sched_getaffinity", lambda pid: {0, 1, 2}, raising=False
+        )
+        tracer = Tracer()
+        assert effective_threads(32, tracer) == 3
+        assert tracer.warnings["thread_clamp"] == 1
+        assert tracer.counters["threads_requested"] == 32
+        assert tracer.counters["threads_used"] == 3
+        assert tracer.counters["threads_cap_affinity"] == 1
+        assert "threads_cap_cpu_count" not in tracer.counters
+
+    def test_clamped_to_cpu_count_without_affinity(self, monkeypatch):
+        from repro.bench.observe import Tracer
+        from repro.kernels import parallel
+        from repro.kernels.parallel import effective_threads
+
+        self._no_affinity(monkeypatch)
         monkeypatch.setattr(parallel.os, "cpu_count", lambda: 2)
         tracer = Tracer()
         assert effective_threads(32, tracer) == 2
         assert tracer.warnings["thread_clamp"] == 1
         assert tracer.counters["threads_requested"] == 32
         assert tracer.counters["threads_used"] == 2
+        assert tracer.counters["threads_cap_cpu_count"] == 1
 
     def test_no_clamp_within_cores(self, monkeypatch):
         from repro.bench.observe import Tracer
         from repro.kernels import parallel
         from repro.kernels.parallel import effective_threads
 
+        self._no_affinity(monkeypatch)
         monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
         tracer = Tracer()
         assert effective_threads(4, tracer) == 4
         assert "thread_clamp" not in tracer.warnings
 
+    def test_empty_affinity_falls_back_to_cpu_count(self, monkeypatch):
+        from repro.bench.observe import Tracer
+        from repro.kernels import parallel
+        from repro.kernels.parallel import effective_threads
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 4)
+        monkeypatch.setattr(
+            parallel.os, "sched_getaffinity", lambda pid: set(), raising=False
+        )
+        tracer = Tracer()
+        assert effective_threads(8, tracer) == 4
+        assert tracer.counters["threads_cap_cpu_count"] == 1
+
     def test_cpu_count_none_falls_back_to_one(self, monkeypatch):
         from repro.kernels import parallel
         from repro.kernels.parallel import effective_threads
 
+        self._no_affinity(monkeypatch)
         monkeypatch.setattr(parallel.os, "cpu_count", lambda: None)
         assert effective_threads(16) == 1
 
@@ -138,7 +184,43 @@ class TestThreadClamp:
         from repro.kernels import parallel
 
         monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(
+            parallel.os, "sched_getaffinity", lambda pid: {0}, raising=False
+        )
         A = build_format("csr", small_triplets)
         B = rng.standard_normal((A.ncols, 4))
         C = parallel_spmm(A, B, threads=32)
         assert np.allclose(C, dense_ref(small_triplets, B))
+
+
+class TestForkSafety:
+    """The shared-pool registry must re-arm in forked children: a fork
+    clones the pool dict but not its worker threads, so an inherited
+    executor accepts work nobody will ever run."""
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="requires os.fork")
+    def test_shared_pool_usable_after_fork(self):
+        from repro.kernels import parallel
+        from repro.kernels.parallel import shared_pool
+
+        # Prime a pool in the parent so the child inherits a dead entry.
+        assert shared_pool(2).submit(lambda: 7).result(timeout=10) == 7
+        assert 2 in parallel._SHARED_POOLS
+        pid = os.fork()
+        if pid == 0:
+            # Child: report via exit code; os._exit skips pytest teardown.
+            try:
+                if parallel._SHARED_POOLS:
+                    os._exit(3)  # registry not cleared by the at-fork hook
+                ok = shared_pool(2).submit(lambda: 11).result(timeout=10) == 11
+                os._exit(0 if ok else 1)
+            except BaseException:
+                os._exit(2)
+        _, status = os.waitpid(pid, 0)
+        assert os.WIFEXITED(status)
+        code = os.WEXITSTATUS(status)
+        assert code == 0, {
+            1: "child pool returned a wrong result",
+            2: "child pool hung or raised (inherited dead executor?)",
+            3: "fork hook did not clear the shared-pool registry",
+        }.get(code, f"child exited with {code}")
