@@ -12,7 +12,11 @@ variant, including ``"auto"``):
   ``GridRunner``);
 * :func:`tune` — the autotuner, recording ``variant="auto"`` decisions;
 * :class:`Engine` / :class:`SpmmRequest` — the batched execution engine
-  for concurrent, plan-sharing workloads.
+  for concurrent, plan-sharing workloads;
+* :func:`serve` / :class:`Server` / :class:`Client` — the persistent
+  serving front-end: a long-lived engine behind a newline-delimited-JSON
+  socket with admission control, tenant quotas, and graceful drain
+  (:class:`ServeConfig` and :class:`LoadGenSpec` carry its knobs).
 
 The exported surface (``__all__``) is gated by CI against
 ``docs/api_surface.txt``; additions require updating that file, removals
@@ -44,6 +48,7 @@ from .kernels.plan import PlanCache
 from .machine.machines import Machine, get_machine
 from .matrices.coo_builder import Triplets
 from .matrices.suite import load_matrix
+from .serve import Client, LoadGenSpec, ServeConfig, Server
 from .tune.autotune import (
     DEFAULT_TUNE_CHUNKS,
     DEFAULT_TUNE_FORMATS,
@@ -58,10 +63,14 @@ __all__ = [
     "BACKEND_NAMES",
     "BenchParams",
     "BenchResult",
+    "Client",
     "Engine",
     "GridSpec",
+    "LoadGenSpec",
     "PlanCache",
     "RunRecord",
+    "ServeConfig",
+    "Server",
     "SpmmRequest",
     "SpmmResult",
     "TimingStats",
@@ -73,6 +82,7 @@ __all__ = [
     "benchmark_grid",
     "load_matrix",
     "multiply",
+    "serve",
     "tune",
 ]
 
@@ -331,3 +341,33 @@ def _decision_store(report: TuneReport) -> TuneStore:
     store = TuneStore()
     store.record(report.decision, persist=False)
     return store
+
+
+# -- the serving front-end ----------------------------------------------------
+
+
+def serve(
+    config: ServeConfig | None = None,
+    *,
+    tracer: Tracer | None = None,
+    **kwargs: Any,
+) -> Server:
+    """Start a persistent serving front-end; returns the running server.
+
+    Keyword arguments build a :class:`ServeConfig` — ``backend=``
+    (``"thread"``/``"process"``), ``max_queue=`` (admission bound),
+    ``tenants=`` (name → quota mapping), ``port=0`` for an ephemeral port.
+    The server is already listening when this returns; use it as a context
+    manager (drains gracefully on exit) or call
+    :meth:`~repro.serve.Server.stop` to drain and collect the
+    ``BENCH_serve.json`` trajectory.
+
+    >>> from repro.api import serve, Client
+    >>> with serve(backend="thread", max_queue=128,
+    ...            tenants={"acme": 8}) as server:
+    ...     with Client(port=server.port, tenant="acme") as client:
+    ...         C = client.multiply("dw4096", fmt="csr", k=8, scale=64).output
+    """
+    server = Server(config, tracer=tracer, **kwargs)
+    server.start()
+    return server

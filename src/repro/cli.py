@@ -12,6 +12,12 @@ configuration" (§6.3.3).  This CLI is that replacement:
 * ``spmm-bench serve --jobs FILE`` — run a batch of SpMM jobs through the
   plan-sharing execution engine (:mod:`repro.engine`) and persist an
   engine trajectory;
+* ``spmm-bench serve --listen [HOST:]PORT`` — keep the engine alive behind
+  the NDJSON socket protocol (:mod:`repro.serve`): admission control,
+  tenant quotas, graceful drain on SIGTERM;
+* ``spmm-bench loadgen`` — drive a fixed-RPS hot/cold request mix against
+  a running (or ``--spawn``-ed) server and gate the ``BENCH_serve.json``
+  trajectory;
 * ``spmm-bench study`` — regenerate any table/figure of the evaluation;
 * ``spmm-bench sweep`` — the Study 3.1 thread-list feature;
 * ``spmm-bench table`` — Table 5.1;
@@ -118,11 +124,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve_p = sub.add_parser(
         "serve",
-        help="run a batch of SpMM jobs through the plan-sharing engine",
+        help="run a batch of SpMM jobs through the plan-sharing engine, or "
+             "keep it alive as a socket server (--listen)",
     )
-    serve_p.add_argument("--jobs", required=True, metavar="FILE",
-                         help="JSON job file: a list of request objects, or "
-                              '{"defaults": {...}, "jobs": [...]}')
+    serve_mode = serve_p.add_mutually_exclusive_group(required=True)
+    serve_mode.add_argument("--jobs", default=None, metavar="FILE",
+                            help="JSON job file: a list of request objects, or "
+                                 '{"defaults": {...}, "jobs": [...]}')
+    serve_mode.add_argument("--listen", default=None, metavar="[HOST:]PORT",
+                            help="serve the NDJSON protocol persistently on this "
+                                 "address (port 0 = ephemeral); SIGTERM drains "
+                                 "gracefully and flushes the trajectory")
     serve_p.add_argument("--workers", type=int, default=None,
                          help="engine workers (default: host-sized)")
     serve_p.add_argument("--backend", default=None, choices=["thread", "process"],
@@ -130,13 +142,67 @@ def build_parser() -> argparse.ArgumentParser:
                               "worker subprocesses with shared-memory operands")
     serve_p.add_argument("--max-in-flight", type=int, default=64,
                          help="submission-window backpressure bound (default 64)")
+    serve_p.add_argument("--max-queue", type=int, default=256,
+                         help="admission-queue bound before 'overload' rejects "
+                              "(--listen mode, default 256)")
+    serve_p.add_argument("--tenants", default=None, metavar="NAME=QUOTA,...",
+                         help="per-tenant in-flight quotas, e.g. acme=8,beta=4 "
+                              "(--listen mode; unknown tenants get the default)")
+    serve_p.add_argument("--drain-grace", type=float, default=30.0, metavar="S",
+                         help="seconds in-flight work may finish during drain "
+                              "before queued requests are cancelled (default 30)")
     serve_p.add_argument("--out", default=None, metavar="FILE",
                          help="engine trajectory path (default: BENCH_serve.json)")
     serve_p.add_argument("--no-plan-cache", action="store_true",
                          help="shrink the plan cache to one entry "
-                              "(approximates the cold path)")
+                              "(approximates the cold path; --jobs mode only)")
     serve_p.add_argument("--cache-dir", default=None, metavar="DIR",
-                         help="persist plans to an on-disk cache directory")
+                         help="persist plans to an on-disk cache directory "
+                              "(per-tenant namespaces in --listen mode)")
+
+    loadgen_p = sub.add_parser(
+        "loadgen",
+        help="fixed-RPS hot/cold load against a serve --listen server, with "
+             "the p99 + sustained-RPS regression gate",
+    )
+    loadgen_p.add_argument("--host", default="127.0.0.1")
+    loadgen_p.add_argument("--port", type=int, default=None,
+                           help="port of a running server (omit with --spawn)")
+    loadgen_p.add_argument("--spawn", action="store_true",
+                           help="spawn a serve --listen subprocess for the run, "
+                                "SIGTERM it afterwards, and require a clean "
+                                "drain (exit 0)")
+    loadgen_p.add_argument("--backend", default=None, choices=["thread", "process"],
+                           help="backend for the --spawn server")
+    loadgen_p.add_argument("--workers", type=int, default=None,
+                           help="workers for the --spawn server")
+    loadgen_p.add_argument("--rps", type=float, default=20.0,
+                           help="offered requests per second (default 20)")
+    loadgen_p.add_argument("--duration", type=float, default=5.0, metavar="S",
+                           help="seconds of offered load (default 5)")
+    loadgen_p.add_argument("--mix", type=float, default=0.8,
+                           help="hot fraction: share of requests re-using suite "
+                                "matrices vs cold one-shots (default 0.8)")
+    loadgen_p.add_argument("--matrices", default="dw4096",
+                           help="comma-separated suite matrices for hot requests")
+    loadgen_p.add_argument("--connections", type=int, default=4,
+                           help="concurrent client connections (default 4)")
+    loadgen_p.add_argument("--tenant", default="default")
+    loadgen_p.add_argument("--priorities", default="normal",
+                           help="comma-separated admission classes cycled across "
+                                "requests (interactive,normal,batch)")
+    loadgen_p.add_argument("--seed", type=int, default=0)
+    loadgen_p.add_argument("--quick", action="store_true",
+                           help="CI smoke preset: ~2s of low-rate load")
+    loadgen_p.add_argument("--out", default=None, metavar="FILE",
+                           help="trajectory path (default: BENCH_serve.json)")
+    loadgen_p.add_argument("--baseline", default=None, metavar="JSON",
+                           help="gate p99/RPS against this serve baseline")
+    loadgen_p.add_argument("--tolerance", type=float, default=1.0,
+                           help="allowed p99 growth over baseline (default 1.0 "
+                                "= may double; serving latency is noisy)")
+    loadgen_p.add_argument("--rps-tolerance", type=float, default=0.25,
+                           help="allowed achieved-RPS shortfall (default 0.25)")
 
     tune_p = sub.add_parser(
         "tune",
@@ -395,7 +461,177 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_listen(listen: str) -> tuple[str, int]:
+    host, _, port_text = listen.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise BenchConfigError(f"bad --listen address {listen!r}; use [HOST:]PORT")
+    return host or "127.0.0.1", port
+
+
+def _parse_tenants(text: str | None) -> dict[str, int]:
+    tenants: dict[str, int] = {}
+    for token in (text or "").split(","):
+        token = token.strip()
+        if not token:
+            continue
+        name, sep, quota = token.partition("=")
+        if not sep:
+            raise BenchConfigError(f"bad --tenants entry {token!r}; use NAME=QUOTA")
+        try:
+            tenants[name.strip()] = int(quota)
+        except ValueError:
+            raise BenchConfigError(f"bad --tenants quota in {token!r}")
+    return tenants
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.listen is not None:
+        return _cmd_serve_listen(args)
+    return _cmd_serve_jobs(args)
+
+
+def _cmd_serve_listen(args: argparse.Namespace) -> int:
+    """Persistent socket mode: serve until SIGTERM/SIGINT, drain, flush."""
+    import signal
+
+    from .serve import Server, ServeConfig
+
+    host, port = _parse_listen(args.listen)
+    config = ServeConfig(
+        host=host,
+        port=port,
+        backend=args.backend,
+        workers=args.workers,
+        max_in_flight=args.max_in_flight,
+        max_queue=args.max_queue,
+        tenants=_parse_tenants(args.tenants),
+        cache_dir=args.cache_dir,
+        drain_grace_s=args.drain_grace,
+        out=args.out or "BENCH_serve.json",
+    )
+    server = Server(config)
+    server.start()
+
+    def _drain_handler(_signum, _frame):
+        print("drain requested; finishing in-flight work...", flush=True)
+        server.request_drain()
+
+    signal.signal(signal.SIGTERM, _drain_handler)
+    signal.signal(signal.SIGINT, _drain_handler)
+
+    print(f"serving on {host}:{server.port} "
+          f"({server.config.backend or 'thread'} backend, "
+          f"max_queue={config.max_queue})", flush=True)
+    server.wait()
+    trajectory = server._trajectory
+    path = server.write_trajectory()
+    accounting = trajectory["accounting"]
+    lat = trajectory["latency_s"]
+    print(f"wrote {path}")
+    print(f"  admitted {accounting['admitted']}: completed "
+          f"{accounting['completed']}, failed {accounting['failed']}, "
+          f"cancelled {accounting['cancelled']}")
+    print(f"  latency p50 {lat['p50_s'] * 1e3:.2f} ms  "
+          f"p99 {lat['p99_s'] * 1e3:.2f} ms")
+    if not accounting["balanced"]:
+        print("  ACCOUNTING IMBALANCE: requests were lost", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    import subprocess
+
+    from .bench.observe import write_trajectory
+    from .serve.loadgen import LoadGenSpec, loadgen_trajectory, run_loadgen
+    from .serve.trajectory import gate_serve_trajectory, load_serve_baseline
+
+    if not args.spawn and args.port is None:
+        raise BenchConfigError("loadgen needs --port (or --spawn)")
+    baseline = load_serve_baseline(args.baseline) if args.baseline else None
+
+    rps, duration, connections = args.rps, args.duration, args.connections
+    if args.quick:
+        rps, duration, connections = min(rps, 15.0), min(duration, 2.0), 2
+    spec = LoadGenSpec(
+        rps=rps,
+        duration_s=duration,
+        mix=args.mix,
+        matrices=tuple(tok.strip() for tok in args.matrices.split(",") if tok.strip()),
+        connections=connections,
+        tenant=args.tenant,
+        priorities=tuple(tok.strip() for tok in args.priorities.split(",") if tok.strip()),
+        seed=args.seed,
+    )
+
+    child = None
+    host, port = args.host, args.port
+    try:
+        if args.spawn:
+            cmd = [sys.executable, "-m", "repro", "serve", "--listen", "127.0.0.1:0"]
+            if args.backend:
+                cmd += ["--backend", args.backend]
+            if args.workers:
+                cmd += ["--workers", str(args.workers)]
+            cmd += ["--out", os.devnull]
+            child = subprocess.Popen(
+                cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+            )
+            # The server prints "serving on HOST:PORT ..." once it is live.
+            banner = child.stdout.readline()
+            if "serving on" not in banner:
+                child.kill()
+                rest = child.stdout.read()
+                raise BenchConfigError(
+                    f"spawned server failed to start: {banner!r} {rest!r}"
+                )
+            host, port = _parse_listen(banner.split()[2])
+            print(f"spawned server pid {child.pid} on {host}:{port}")
+
+        report = run_loadgen(host, port, spec)
+    finally:
+        if child is not None:
+            child.send_signal(signal.SIGTERM)
+            try:
+                child.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                child.kill()
+                child.wait()
+
+    for line in report.summary_lines():
+        print(line)
+    if child is not None:
+        print(f"spawned server drained with exit code {child.returncode}")
+
+    trajectory = loadgen_trajectory(report)
+    out = args.out or "BENCH_serve.json"
+    write_trajectory(trajectory, out)
+    print(f"wrote {out}")
+
+    failed = False
+    if child is not None and child.returncode != 0:
+        print("spawned server did not drain cleanly", file=sys.stderr)
+        failed = True
+    if baseline is not None:
+        regressed, messages = gate_serve_trajectory(
+            trajectory, baseline,
+            tolerance=args.tolerance, rps_tolerance=args.rps_tolerance,
+        )
+        for message in messages:
+            print(f"  gate: {message}")
+        if regressed:
+            return EXIT_REGRESSION
+    elif not trajectory["accounting"]["balanced"]:
+        print("  gate: accounting imbalance (requests lost)", file=sys.stderr)
+        return EXIT_REGRESSION
+    return 1 if failed else 0
+
+
+def _cmd_serve_jobs(args: argparse.Namespace) -> int:
     from .bench.observe import Tracer, write_trajectory
     from .engine import Engine, load_jobs, results_to_trajectory
     from .kernels.plan import PlanCache
@@ -743,6 +979,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "bench": _cmd_bench,
         "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "tune": _cmd_tune,
         "fuzz": _cmd_fuzz,
         "study": _cmd_study,

@@ -12,6 +12,32 @@ The split matters: the engine's per-request pipeline (matrix resolution,
 threads where the engine's memos live; only the plan-build + kernel-execute
 tail crosses to a worker process, as a picklable spec whose arrays travel
 by shared-memory descriptor (see :mod:`repro.engine.backends.shm`).
+
+Drain lifecycle contract
+------------------------
+
+Every backend implements the same three-verb lifecycle, and thread and
+process backends must behave identically under it (the serving front-end's
+graceful drain depends on this parity):
+
+* :meth:`Backend.quiesce` — a *barrier*: block until ``in_flight() == 0``,
+  leaving the backend open.  New submits are still accepted during and
+  after a quiesce; callers wanting a drain that stays drained must stop
+  submitting first (the server's admission gate does exactly that).
+* :meth:`Backend.cancel_pending` — best-effort cancellation of *queued*
+  work only; an executing request always runs to completion.  The return
+  value is exact: each counted future transitioned to cancelled by this
+  call (already-done and already-cancelled futures are not counted), so
+  ``completed + failed + cancelled`` ledgers balance.  Safe to call
+  concurrently with submits, other cancellers, and shutdown.
+* :meth:`Backend.shutdown` — terminal and idempotent.  Once any caller
+  has entered shutdown, a concurrent ``submit`` either enqueues *before*
+  the stop sentinels (and its future resolves) or raises
+  :class:`~repro.errors.EngineClosedError` — it must never strand an
+  enqueued job behind the sentinels with a forever-pending future.
+  Concurrent shutdown calls with ``wait=True`` all return only after the
+  drain completes; none may start tearing down worker channels while
+  another caller's in-flight work is still executing.
 """
 
 from __future__ import annotations

@@ -281,6 +281,7 @@ class ProcessBackend(Backend):
         self._ctx = mp.get_context(self.start_method)
         self._lock = threading.Lock()
         self._closed = False
+        self._shutdown_started = False
         self._spawned = 0
         # Spawn the subprocesses *before* any parent worker thread exists:
         # fork must not capture a half-running thread pool.
@@ -348,9 +349,21 @@ class ProcessBackend(Backend):
                 self._channels.put(channel)
 
     def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        # Claim the shutdown under the lock *before* draining: checking
+        # ``_closed`` alone let a second concurrent caller slip past (it is
+        # set only after the pool drains) and start closing idle channels
+        # while the first caller's feeder threads were still mid-task.
+        # ``_closed`` itself cannot be set this early — ``run_task``'s
+        # cleanup path closes channels instead of pooling them once it is
+        # true, which would deadlock the drain.
         with self._lock:
-            if self._closed:
-                return
+            already = self._shutdown_started
+            self._shutdown_started = True
+        if already:
+            # Late caller: just wait for the first caller's drain (the pool's
+            # own shutdown is idempotent and join-only on repeat calls).
+            self._pool.shutdown(wait=wait, cancel_pending=False)
+            return
         # Drain the parent pool first: feeder threads finish (or cancel)
         # their tasks, returning every channel to the idle pool.
         self._pool.shutdown(wait=wait, cancel_pending=cancel_pending)

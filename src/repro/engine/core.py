@@ -91,7 +91,18 @@ class Engine:
     backend_options:
         Extra keyword arguments for the backend constructor (e.g.
         ``start_method="spawn"`` for the process backend).
+    close_backend:
+        Whether :meth:`close` shuts the backend down.  Pass ``False`` when
+        several engines share one pre-built backend (the serving front-end
+        runs one engine per tenant over a single worker pool); the owner
+        of the backend calls ``backend.shutdown()`` itself after every
+        sharing engine has closed.
     """
+
+    #: Cap on the id()-keyed fingerprint memo.  Batch workloads reuse a few
+    #: matrix objects; a serving workload streams one-shot matrices through,
+    #: and without a cap the memo would pin every one of them in memory.
+    FP_MEMO_CAPACITY = 1024
 
     def __init__(
         self,
@@ -104,6 +115,7 @@ class Engine:
         policy: DTypePolicy = DEFAULT_POLICY,
         backend: str | Backend | None = None,
         backend_options: dict | None = None,
+        close_backend: bool = True,
     ):
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.tracer = tracer if tracer is not None else Tracer()
@@ -123,6 +135,7 @@ class Engine:
                 **(backend_options or {}),
             )
         self.backend = self._backend.name
+        self._close_backend = close_backend
         self._lock = threading.Lock()
         self._closed = False
         #: fingerprint -> (descriptor dict, [SharedArray segments]) for
@@ -148,11 +161,19 @@ class Engine:
 
         Shared-memory segments published for worker processes are unlinked
         once the backend has drained — after ``close`` returns, no engine
-        segment remains in the OS namespace.
+        segment remains in the OS namespace.  An engine built with
+        ``close_backend=False`` quiesces its own work instead of shutting
+        the shared backend down (that is the backend owner's job).
         """
         with self._lock:
             self._closed = True
-        self._backend.shutdown(wait=wait, cancel_pending=cancel_pending)
+        if self._close_backend:
+            self._backend.shutdown(wait=wait, cancel_pending=cancel_pending)
+        else:
+            if cancel_pending:
+                self.cancel_pending()
+            if wait:
+                self._backend.quiesce()
         with self._lock:
             published = list(self._shm_matrices.values())
             self._shm_matrices.clear()
@@ -163,6 +184,10 @@ class Engine:
     def drain(self, timeout: float | None = None) -> bool:
         """Wait until no request is queued or executing (engine stays open)."""
         return self._backend.quiesce(timeout=timeout)
+
+    def quiesce(self, timeout: float | None = None) -> bool:
+        """Alias for :meth:`drain`, matching the backend-contract verb."""
+        return self.drain(timeout=timeout)
 
     def in_flight(self) -> int:
         """Exact count of requests queued or executing right now."""
@@ -414,11 +439,16 @@ class Engine:
         key = id(triplets)
         with self._lock:
             hit = self._fp_memo.get(key)
-        if hit is not None:
-            return hit[1]
+            if hit is not None:
+                # Refresh recency so long-lived hot matrices survive the cap.
+                self._fp_memo.pop(key)
+                self._fp_memo[key] = hit
+                return hit[1]
         fp = fingerprint_triplets(triplets)
         with self._lock:
             self._fp_memo[key] = (triplets, fp)
+            while len(self._fp_memo) > self.FP_MEMO_CAPACITY:
+                self._fp_memo.pop(next(iter(self._fp_memo)))
         return fp
 
     def _resolve_matrix(self, request: SpmmRequest) -> tuple[Triplets, str]:

@@ -85,14 +85,18 @@ class WorkerPool:
             raise EngineBusyError(
                 f"engine backpressure: {self.max_in_flight} requests already in flight"
             )
-        if self._closed:  # closed while we waited for a slot
-            self._window.release()
-            raise EngineClosedError("worker pool is shut down")
         future: Future = Future()
+        # Re-check and enqueue under the same lock ``shutdown`` takes to set
+        # ``_closed``: an enqueue outside it could land *after* the shutdown
+        # sentinels, leaving a job no worker will ever run and a future that
+        # never resolves (``in_flight`` stuck above zero).
         with self._lock:
+            if self._closed:  # closed while we waited for a slot
+                self._window.release()
+                raise EngineClosedError("worker pool is shut down")
             self._in_flight += 1
-        future.add_done_callback(self._on_done)
-        self._queue.put((future, fn, args, kwargs))
+            future.add_done_callback(self._on_done)
+            self._queue.put((future, fn, args, kwargs))
         return future
 
     def _on_done(self, _future: Future) -> None:
@@ -120,19 +124,27 @@ class WorkerPool:
                 self._queue.put(_SENTINEL)
                 return cancelled
             future = item[0]
-            if future.cancel():
+            # ``Future.cancel()`` returns True for an *already*-cancelled
+            # future, so a bare cancel() double-counts jobs that a concurrent
+            # caller (or the job's owner) cancelled first.
+            if not future.done() and future.cancel():
                 cancelled += 1
 
     def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
-        """Stop the pool.  Idempotent; workers finish their current job."""
+        """Stop the pool.  Idempotent; workers finish their current job.
+
+        A repeat call with ``wait=True`` still joins the workers, so a
+        second concurrent shutdown does not return while the first is
+        mid-drain.
+        """
         with self._lock:
-            if self._closed:
-                return
+            already = self._closed
             self._closed = True
-        if cancel_pending:
-            self.cancel_pending()
-        for _ in self._threads:
-            self._queue.put(_SENTINEL)
+        if not already:
+            if cancel_pending:
+                self.cancel_pending()
+            for _ in self._threads:
+                self._queue.put(_SENTINEL)
         if wait:
             for t in self._threads:
                 t.join()

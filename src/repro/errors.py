@@ -22,6 +22,10 @@ __all__ = [
     "EngineError",
     "EngineClosedError",
     "EngineBusyError",
+    "ServeError",
+    "ServeProtocolError",
+    "ServeRejectedError",
+    "ServeRemoteError",
 ]
 
 
@@ -93,6 +97,39 @@ class EngineBusyError(EngineError):
     be queued or executing at once.  Blocking submits wait for a slot;
     non-blocking submits raise this instead.
     """
+
+
+class ServeError(SpmmBenchError):
+    """The serving front-end (server, client, or load generator) failed."""
+
+
+class ServeProtocolError(ServeError):
+    """A wire message violated the NDJSON serving protocol."""
+
+
+class ServeRejectedError(ServeError):
+    """The server refused to admit a request.
+
+    ``code`` is the admission verdict: ``"overload"`` (bounded queue full),
+    ``"quota"`` (per-tenant in-flight window full), ``"draining"`` (server
+    is shutting down and no longer admits), or ``"protocol"``.
+    """
+
+    def __init__(self, message: str, *, code: str = "overload"):
+        super().__init__(message)
+        self.code = code
+
+
+class ServeRemoteError(ServeError):
+    """An admitted request failed while executing on the server.
+
+    Carries the server-side exception type as text; the original object
+    never crosses the socket.
+    """
+
+    def __init__(self, message: str, *, remote_type: str = ""):
+        super().__init__(message)
+        self.remote_type = remote_type
 
 
 class RemoteWorkerError(EngineError):

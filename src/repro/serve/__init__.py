@@ -1,0 +1,36 @@
+"""Persistent serving front-end for the batched execution engine.
+
+``spmm-bench serve --jobs`` runs one batch and exits; this package keeps
+the :class:`~repro.engine.Engine` alive behind a newline-delimited-JSON
+socket protocol so the PlanCache/TuneStore amortization the engine exists
+for is actually exercised by sustained, concurrent traffic:
+
+* :class:`~repro.serve.server.Server` — an asyncio front-end with request
+  admission (bounded queue, priority classes), per-tenant quotas and
+  per-tenant PlanCache/TuneStore namespaces, and graceful drain;
+* :class:`~repro.serve.client.Client` — the blocking wire-protocol client;
+* :mod:`~repro.serve.loadgen` — a fixed-RPS load generator replaying
+  hot-reuse vs cold-one-shot request mixes (``spmm-bench loadgen``);
+* :mod:`~repro.serve.trajectory` — ``BENCH_serve.json`` with p50/p95/p99
+  latency + queue-depth metrics and the sustained-RPS/p99 regression gate.
+"""
+
+from .client import Client, ServeReply
+from .config import PRIORITIES, ServeConfig, TenantQuota
+from .loadgen import LoadGenReport, LoadGenSpec, run_loadgen
+from .server import Server
+from .trajectory import build_serve_trajectory, gate_serve_trajectory
+
+__all__ = [
+    "PRIORITIES",
+    "Client",
+    "LoadGenReport",
+    "LoadGenSpec",
+    "ServeConfig",
+    "ServeReply",
+    "Server",
+    "TenantQuota",
+    "build_serve_trajectory",
+    "gate_serve_trajectory",
+    "run_loadgen",
+]

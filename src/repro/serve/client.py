@@ -1,0 +1,194 @@
+"""The blocking wire-protocol client of the serving front-end.
+
+One :class:`Client` is one TCP connection speaking the NDJSON protocol
+(:mod:`repro.serve.wire`), one request at a time — concurrency comes from
+holding several clients (the load generator runs one per connection
+thread).  Admission rejects surface as
+:class:`~repro.errors.ServeRejectedError` with the server's code
+(``overload``/``quota``/``draining``); server-side execution failures as
+:class:`~repro.errors.ServeRemoteError`.
+"""
+
+from __future__ import annotations
+
+import socket
+import uuid
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..errors import ServeError, ServeProtocolError, ServeRejectedError, ServeRemoteError
+from ..matrices.coo_builder import Triplets
+from .config import DEFAULT_PRIORITY
+from .wire import (
+    PROTOCOL_VERSION,
+    decode_array,
+    decode_message,
+    encode_array,
+    encode_matrix,
+    encode_message,
+)
+
+__all__ = ["Client", "ServeReply"]
+
+
+@dataclass
+class ServeReply:
+    """One served multiplication: the output plus where its time went."""
+
+    output: np.ndarray
+    fingerprint: str
+    variant: str
+    plan_provenance: str
+    queue_wait_s: float
+    latency_s: float
+    mean_time_s: float | None
+    verified: bool | None
+    tenant: str
+    priority: str
+
+
+class Client:
+    """Blocking NDJSON client for :class:`repro.serve.Server`.
+
+    >>> from repro.api import Client
+    >>> with Client(port=server.port, tenant="acme") as client:
+    ...     reply = client.multiply("dw4096", fmt="csr", k=8, scale=64)
+    ...     C = reply.output
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        tenant: str = "default",
+        timeout: float = 60.0,
+    ):
+        if port <= 0:
+            raise ServeError(f"client needs the server's port, got {port}")
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServeError(f"cannot connect to {host}:{port}: {exc}")
+        self._file = self._sock.makefile("rwb")
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- protocol ops ---------------------------------------------------------
+
+    def multiply(
+        self,
+        matrix: str | Triplets,
+        dense: np.ndarray | None = None,
+        *,
+        fmt: str = "csr",
+        variant: str = "serial",
+        k: int = 32,
+        threads: int = 1,
+        repeats: int = 1,
+        scale: int = 1,
+        seed: int = 0,
+        verify: bool = False,
+        tag: str = "",
+        priority: str = DEFAULT_PRIORITY,
+        tenant: str | None = None,
+    ) -> ServeReply:
+        """One served ``C = A @ B`` using the facade keyword vocabulary.
+
+        ``matrix`` is a suite name (resolved server-side at ``scale``) or
+        :class:`Triplets` shipped inline; ``dense`` overrides the
+        server-generated operand (seeded exactly like the engine's).
+        """
+        req: dict[str, Any] = {
+            "matrix": encode_matrix(matrix),
+            "fmt": fmt,
+            "variant": variant,
+            "k": int(k),
+            "threads": int(threads),
+            "repeats": int(repeats),
+            "scale": int(scale),
+            "seed": int(seed),
+            "verify": bool(verify),
+        }
+        if tag:
+            req["tag"] = tag
+        if dense is not None:
+            req["dense"] = encode_array(np.asarray(dense))
+        result = self._call({
+            "v": PROTOCOL_VERSION,
+            "op": "multiply",
+            "id": uuid.uuid4().hex[:12],
+            "tenant": tenant if tenant is not None else self.tenant,
+            "priority": priority,
+            "req": req,
+        })
+        return ServeReply(
+            output=decode_array(result["output"]),
+            fingerprint=result["fingerprint"],
+            variant=result["variant"],
+            plan_provenance=result["plan_provenance"],
+            queue_wait_s=result["queue_wait_s"],
+            latency_s=result["latency_s"],
+            mean_time_s=result["mean_time_s"],
+            verified=result["verified"],
+            tenant=result["tenant"],
+            priority=result["priority"],
+        )
+
+    def ping(self) -> dict:
+        """Liveness probe; reports whether the server is draining."""
+        return self._call({"v": PROTOCOL_VERSION, "op": "ping",
+                           "id": uuid.uuid4().hex[:12]})
+
+    def stats(self) -> dict:
+        """Server-side counters, latency summary, and queue depth."""
+        return self._call({"v": PROTOCOL_VERSION, "op": "stats",
+                           "id": uuid.uuid4().hex[:12]})
+
+    # -- wire plumbing --------------------------------------------------------
+
+    def _call(self, message: dict) -> dict:
+        try:
+            self._file.write(encode_message(message))
+            self._file.flush()
+            line = self._file.readline()
+        except (OSError, ValueError) as exc:
+            raise ServeError(f"connection to {self.host}:{self.port} failed: {exc}")
+        if not line:
+            raise ServeError(
+                f"server {self.host}:{self.port} closed the connection"
+            )
+        reply = decode_message(line)
+        if reply.get("id") != message["id"]:
+            raise ServeProtocolError(
+                f"response id {reply.get('id')!r} does not match request "
+                f"{message['id']!r}"
+            )
+        if reply.get("ok"):
+            return reply.get("result", {})
+        error = reply.get("error") or {}
+        code = error.get("code", "protocol")
+        text = error.get("message", "server rejected the request")
+        if code in ("overload", "quota", "draining", "cancelled"):
+            raise ServeRejectedError(text, code=code)
+        if code == "execute":
+            raise ServeRemoteError(text, remote_type=text.split(":", 1)[0])
+        raise ServeProtocolError(text)

@@ -1,0 +1,117 @@
+"""Latency-percentile and queue-depth accounting for the serving layer.
+
+The Tracer's counters are monotone sums — right for byte/plan/flop totals,
+wrong for tail latency.  :class:`LatencyRecorder` keeps the individual
+samples (bounded by reservoir replacement so a long soak cannot grow
+without bound) and reduces them to p50/p95/p99 at flush time;
+:class:`DepthTracker` samples an integer gauge (queue depth, in-flight)
+the same way.  Summaries land in ``BENCH_serve.json`` next to the
+``serve_*`` counters.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+__all__ = ["DepthTracker", "LatencyRecorder", "percentile"]
+
+#: Reservoir capacity: at 1k RPS this holds >3 minutes of exact samples
+#: before degrading gracefully to uniform sampling.
+DEFAULT_CAPACITY = 200_000
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of unsorted samples."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if q <= 0:
+        return ordered[0]
+    if q >= 100:
+        return ordered[-1]
+    rank = max(1, int(round(q / 100.0 * len(ordered) + 0.5)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class LatencyRecorder:
+    """Thread-safe reservoir of float samples with percentile reduction."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, seed: int = 0):
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._samples: list[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._total += seconds
+            if seconds > self._max:
+                self._max = seconds
+            if len(self._samples) < self.capacity:
+                self._samples.append(seconds)
+            else:
+                # Vitter's algorithm R: every sample keeps probability
+                # capacity/count of being retained.
+                slot = self._rng.randrange(self._count)
+                if slot < self.capacity:
+                    self._samples[slot] = seconds
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def summary(self) -> dict:
+        """``{count, mean, p50, p95, p99, max}`` over everything recorded."""
+        with self._lock:
+            samples = list(self._samples)
+            count, total, peak = self._count, self._total, self._max
+        return {
+            "count": count,
+            "mean_s": total / count if count else 0.0,
+            "p50_s": percentile(samples, 50),
+            "p95_s": percentile(samples, 95),
+            "p99_s": percentile(samples, 99),
+            "max_s": peak,
+        }
+
+
+class DepthTracker:
+    """An integer gauge (queue depth) sampled into a reservoir."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, seed: int = 1):
+        self._recorder = LatencyRecorder(capacity, seed=seed)
+        self._lock = threading.Lock()
+        self._depth = 0
+        self._max = 0
+
+    def adjust(self, delta: int) -> int:
+        """Move the gauge and sample the new value; returns the new depth."""
+        with self._lock:
+            self._depth += delta
+            if self._depth > self._max:
+                self._max = self._depth
+            depth = self._depth
+        self._recorder.record(float(depth))
+        return depth
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    def summary(self) -> dict:
+        base = self._recorder.summary()
+        with self._lock:
+            peak = self._max
+        return {
+            "samples": base["count"],
+            "mean": base["mean_s"],
+            "p95": base["p95_s"],
+            "max": peak,
+        }

@@ -1,0 +1,573 @@
+"""The persistent asyncio serving front-end over the batched engine.
+
+``spmm-bench serve --jobs`` amortizes plans across one batch and exits;
+:class:`Server` keeps the engine alive so amortization spans *traffic*:
+
+* **admission control** — every ``multiply`` is admitted into a bounded
+  priority queue (``interactive`` > ``normal`` > ``batch``, FIFO within a
+  class) or rejected immediately with a typed code (``overload``,
+  ``quota``, ``draining``) instead of buffering unboundedly;
+* **tenant isolation** — per-tenant in-flight quotas, and a per-tenant
+  :class:`~repro.kernels.plan.PlanCache` + :class:`~repro.tune.store.TuneStore`
+  namespace wrapped around one *shared* execution backend, so tenants
+  share worker capacity but never evict each other's plans or inherit
+  each other's tuning decisions;
+* **observability** — ``serve_*`` counters on the engine's Tracer plus
+  latency (p50/p95/p99) and queue-depth reservoirs, flushed into a
+  ``BENCH_serve.json`` trajectory on drain;
+* **graceful drain** — ``request_drain()`` (the SIGTERM hook) stops
+  admitting, lets in-flight work finish inside ``drain_grace_s``, cancels
+  whatever is left, and guarantees the accounting invariant
+  ``admitted == completed + failed + cancelled`` with zero leaked
+  shared-memory segments.
+
+The asyncio loop runs on a dedicated thread; :meth:`Server.start` /
+:meth:`Server.stop` are the blocking facade the CLI, tests, and
+:func:`repro.api.serve` use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..bench.observe import Tracer
+from ..engine import DEFAULT_WORKERS, Engine, SpmmRequest, SpmmResult
+from ..engine.backends import make_backend
+from ..errors import EngineError, ServeError, ServeProtocolError, SpmmBenchError
+from ..kernels.plan import PlanCache
+from ..tune.store import TuneStore
+from .config import DEFAULT_PRIORITY, ServeConfig, priority_rank
+from .metrics import DepthTracker, LatencyRecorder
+from .trajectory import build_serve_trajectory
+from .wire import (
+    PROTOCOL_VERSION,
+    decode_array,
+    decode_matrix,
+    decode_message,
+    encode_array,
+    encode_message,
+)
+
+__all__ = ["Server"]
+
+#: Request keys accepted inside a ``multiply`` message's ``req`` object.
+_REQ_KEYS = (
+    "matrix",
+    "k",
+    "fmt",
+    "variant",
+    "threads",
+    "repeats",
+    "seed",
+    "scale",
+    "verify",
+    "tag",
+    "dense",
+)
+
+
+@dataclass
+class _Pending:
+    """One admitted request in flight through the serving pipeline."""
+
+    seq: int
+    tenant: str
+    priority: str
+    request: SpmmRequest
+    admitted_at: float
+    #: Resolves to the asyncio-wrapped engine future (or the dispatch
+    #: error); cancelled when the request is dropped before dispatch.
+    dispatched: "asyncio.Future" = field(repr=False, default=None)
+
+
+class _TenantState:
+    """Quota gauge + namespaced engine for one tenant."""
+
+    def __init__(self, name: str, engine: Engine, max_in_flight: int):
+        self.name = name
+        self.engine = engine
+        self.max_in_flight = max_in_flight
+        self.in_flight = 0
+
+
+class Server:
+    """Persistent NDJSON serving front-end (see module docstring).
+
+    >>> from repro.api import Server, Client
+    >>> server = Server(port=0, backend="thread").start()
+    >>> with Client(port=server.port) as client:
+    ...     reply = client.multiply("dw4096", fmt="csr", k=8, scale=64)
+    >>> trajectory = server.stop()
+    """
+
+    def __init__(self, config: ServeConfig | None = None, *, tracer: Tracer | None = None, **kwargs: Any):
+        if config is not None and kwargs:
+            raise ServeError("pass either a ServeConfig or keyword overrides, not both")
+        self.config = config if config is not None else ServeConfig(**kwargs)
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.latency = LatencyRecorder()
+        self.latency_by_priority: dict[str, LatencyRecorder] = {}
+        self.queue_depth = DepthTracker()
+        self.port: int | None = None
+        self._backend = None
+        self._tenants: dict[str, _TenantState] = {}
+        self._tenants_lock = threading.Lock()
+        self._seq = 0
+        self._open = 0
+        self._draining = False
+        self._started_at: float | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._queue: "asyncio.PriorityQueue" = None
+        self._idle: asyncio.Event | None = None
+        self._stop_requested: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._stopped = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread: threading.Thread | None = None
+        self._trajectory: dict | None = None
+
+    # -- lifecycle (caller thread) --------------------------------------------
+
+    def start(self) -> "Server":
+        """Bind, start serving on a background loop thread, return self."""
+        if self._thread is not None:
+            raise ServeError("server already started")
+        # The shared backend is built on the caller thread, before the
+        # loop/dispatcher threads exist — the process backend forks here,
+        # and fork must not capture half-running threads.
+        self._backend = make_backend(
+            self.config.backend or "thread",
+            workers=self.config.workers or DEFAULT_WORKERS,
+            max_in_flight=self.config.max_in_flight,
+            cache_dir=self.config.cache_dir,
+            tracer=self.tracer,
+        )
+        self._thread = threading.Thread(
+            target=self._thread_main, name="spmm-serve", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise ServeError(f"server failed to start: {self._startup_error}")
+        return self
+
+    def request_drain(self) -> None:
+        """Begin graceful drain; safe to call from a signal handler.
+
+        Idempotent at every point of the lifecycle: before the loop is up,
+        mid-drain, and after the loop has already drained and closed (a
+        second SIGTERM, or ``stop()`` after ``request_drain()``).
+        """
+        loop = self._loop
+        if loop is None or self._stop_requested is None or self._stopped.is_set():
+            return
+        try:
+            loop.call_soon_threadsafe(self._stop_requested.set)
+        except RuntimeError:
+            # The loop finished draining between the check and the call.
+            pass
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the server has fully stopped (post-drain)."""
+        return self._stopped.wait(timeout)
+
+    def stop(self, timeout: float | None = None) -> dict:
+        """Drain, shut everything down, and return the flushed trajectory."""
+        if self._thread is None:
+            raise ServeError("server was never started")
+        self.request_drain()
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - drain hang
+            raise ServeError("server did not stop within the timeout")
+        return self._trajectory
+
+    def __enter__(self) -> "Server":
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._thread is not None and not self._stopped.is_set():
+            self.stop()
+
+    # -- trajectory -----------------------------------------------------------
+
+    def trajectory(self) -> dict:
+        """The ``BENCH_serve.json``-shaped snapshot of this server's run."""
+        elapsed = time.perf_counter() - self._started_at if self._started_at else 0.0
+        return build_serve_trajectory(
+            config={"role": "server", **self.config.describe(),
+                    "backend": self._backend.name if self._backend else self.config.backend},
+            tracer=self.tracer,
+            latency=self.latency,
+            queue_depth=self.queue_depth,
+            latency_by_priority=self.latency_by_priority,
+            elapsed_s=elapsed,
+        )
+
+    def write_trajectory(self, path: str | Path | None = None) -> Path:
+        from ..bench.observe import write_trajectory
+
+        trajectory = self._trajectory if self._trajectory is not None else self.trajectory()
+        return write_trajectory(trajectory, path or self.config.out)
+
+    # -- loop thread ----------------------------------------------------------
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # pragma: no cover - startup failures
+            self._startup_error = exc
+            self._ready.set()
+        finally:
+            self._teardown_engines()
+            self._trajectory = self.trajectory()
+            self._stopped.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.PriorityQueue()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stop_requested = asyncio.Event()
+        try:
+            listener = await asyncio.start_server(
+                self._handle_conn, self.config.host, self.config.port,
+                limit=64 * 1024 * 1024,
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.port = listener.sockets[0].getsockname()[1]
+        self._started_at = time.perf_counter()
+        dispatcher = asyncio.create_task(self._dispatch_loop())
+        self._ready.set()
+
+        await self._stop_requested.wait()
+
+        # Graceful drain: stop admitting, close the listener, let in-flight
+        # work finish inside the grace budget, then cancel what is left.
+        self._draining = True
+        listener.close()
+        await listener.wait_closed()
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=self.config.drain_grace_s)
+        except asyncio.TimeoutError:
+            await self._force_cancel()
+            await self._idle.wait()
+        dispatcher.cancel()
+        await asyncio.gather(dispatcher, return_exceptions=True)
+        # Give response writers scheduled by the last completions a tick.
+        await asyncio.sleep(0)
+
+    def _teardown_engines(self) -> None:
+        """Close tenant engines then the shared backend (loop has exited)."""
+        with self._tenants_lock:
+            tenants = list(self._tenants.values())
+        for state in tenants:
+            state.engine.close(wait=True)
+        if self._backend is not None:
+            self._backend.shutdown(wait=True)
+
+    # -- tenant engines -------------------------------------------------------
+
+    def _tenant_state(self, tenant: str) -> _TenantState:
+        """The tenant's quota gauge + engine, created on first sight.
+
+        Each tenant gets a private PlanCache (on-disk tier under
+        ``<cache_dir>/tenants/<name>/`` when configured) and a private
+        TuneStore, all wrapped around the one shared backend.  On the
+        process backend, worker-side disk plan tiers stay content-addressed
+        and shared — isolation is a parent-side cache/tuning property, not
+        a worker-capacity partition.
+        """
+        with self._tenants_lock:
+            state = self._tenants.get(tenant)
+            if state is not None:
+                return state
+            cache_dir = tune_path = None
+            if self.config.cache_dir is not None:
+                tenant_dir = Path(self.config.cache_dir) / "tenants" / tenant
+                cache_dir = tenant_dir
+                tune_path = tenant_dir / "tuned.json"
+            engine = Engine(
+                workers=self.config.workers,
+                plan_cache=PlanCache(directory=cache_dir),
+                tracer=self.tracer,
+                tune_store=TuneStore(tune_path) if tune_path else TuneStore(),
+                backend=self._backend,
+                close_backend=False,
+            )
+            state = _TenantState(tenant, engine, self.config.quota_for(tenant).max_in_flight)
+            self._tenants[tenant] = state
+            self.tracer.count("serve_tenants_created")
+            return state
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.tracer.count("serve_connections")
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._write(writer, write_lock, self._error_msg(
+                        None, "protocol", "message exceeds the line limit"))
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = decode_message(line)
+                except ServeProtocolError as exc:
+                    self.tracer.count("serve_rejected_protocol")
+                    await self._write(writer, write_lock,
+                                      self._error_msg(None, "protocol", str(exc)))
+                    continue
+                op = message.get("op")
+                msg_id = message.get("id")
+                if op == "ping":
+                    await self._write(writer, write_lock, {
+                        "v": PROTOCOL_VERSION, "id": msg_id, "ok": True,
+                        "result": {"pong": True, "draining": self._draining},
+                    })
+                elif op == "stats":
+                    await self._write(writer, write_lock, {
+                        "v": PROTOCOL_VERSION, "id": msg_id, "ok": True,
+                        "result": self._stats(),
+                    })
+                elif op == "multiply":
+                    task = self._admit(message, writer, write_lock)
+                    if task is not None:
+                        tasks.add(task)
+                        task.add_done_callback(tasks.discard)
+                else:
+                    self.tracer.count("serve_rejected_protocol")
+                    await self._write(writer, write_lock, self._error_msg(
+                        msg_id, "protocol", f"unknown op {op!r}"))
+        finally:
+            if tasks:
+                # The client went away; responses have nowhere to go but
+                # admitted work still runs to completion for accounting.
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    def _admit(self, message: dict, writer, write_lock) -> "asyncio.Task | None":
+        """Admission control: quota/queue checks, then enqueue + responder."""
+        msg_id = message.get("id")
+        tenant = str(message.get("tenant") or "default")
+        priority = str(message.get("priority") or DEFAULT_PRIORITY)
+        try:
+            rank = priority_rank(priority)
+            request = self._parse_request(message.get("req"))
+        except SpmmBenchError as exc:
+            self.tracer.count("serve_rejected_protocol")
+            return asyncio.create_task(
+                self._write(writer, write_lock, self._error_msg(msg_id, "protocol", str(exc)))
+            )
+        if self._draining:
+            self.tracer.count("serve_rejected_draining")
+            return asyncio.create_task(
+                self._write(writer, write_lock,
+                            self._error_msg(msg_id, "draining", "server is draining"))
+            )
+        if self.queue_depth.depth >= self.config.max_queue:
+            self.tracer.count("serve_rejected_overload")
+            return asyncio.create_task(
+                self._write(writer, write_lock, self._error_msg(
+                    msg_id, "overload",
+                    f"admission queue full ({self.config.max_queue})"))
+            )
+        state = self._tenant_state(tenant)
+        if state.in_flight >= state.max_in_flight:
+            self.tracer.count("serve_rejected_quota")
+            return asyncio.create_task(
+                self._write(writer, write_lock, self._error_msg(
+                    msg_id, "quota",
+                    f"tenant {tenant!r} quota exceeded ({state.max_in_flight} in flight)"))
+            )
+
+        self._seq += 1
+        pending = _Pending(
+            seq=self._seq,
+            tenant=tenant,
+            priority=priority,
+            request=request,
+            admitted_at=time.perf_counter(),
+        )
+        pending.dispatched = self._loop.create_future()
+        state.in_flight += 1
+        self._open += 1
+        self._idle.clear()
+        self.tracer.count("serve_admitted")
+        self.tracer.count(f"serve_admitted_{priority}")
+        self.queue_depth.adjust(+1)
+        self._queue.put_nowait((rank, pending.seq, pending))
+        return asyncio.create_task(
+            self._respond(pending, msg_id, state, writer, write_lock)
+        )
+
+    def _parse_request(self, req: Any) -> SpmmRequest:
+        if not isinstance(req, dict):
+            raise ServeProtocolError("multiply message needs a 'req' object")
+        unknown = sorted(set(req) - set(_REQ_KEYS))
+        if unknown:
+            raise ServeProtocolError(f"unknown request keys: {', '.join(unknown)}")
+        if "matrix" not in req:
+            raise ServeProtocolError("request is missing 'matrix'")
+        fields = dict(req)
+        fields["matrix"] = decode_matrix(fields["matrix"])
+        dense = fields.pop("dense", None)
+        if dense is not None:
+            fields["dense"] = decode_array(dense)
+        try:
+            return SpmmRequest(**fields)
+        except (TypeError, ValueError, EngineError) as exc:
+            raise ServeProtocolError(f"invalid request: {exc}")
+
+    # -- dispatch + response --------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        """Pop admitted requests by priority and hand them to the engine.
+
+        ``Engine.submit`` blocks on the engine's own backpressure window —
+        run in a worker thread so one saturated engine never stalls the
+        event loop, and so the admission queue (not the engine queue)
+        holds the priority-ordered backlog.
+        """
+        while True:
+            _rank, _seq, pending = await self._queue.get()
+            self.queue_depth.adjust(-1)
+            if pending.dispatched.done():  # cancelled while queued
+                continue
+            state = self._tenant_state(pending.tenant)
+            try:
+                engine_future = await asyncio.to_thread(
+                    state.engine.submit, pending.request
+                )
+            except asyncio.CancelledError:
+                if not pending.dispatched.done():
+                    pending.dispatched.cancel()
+                raise
+            except BaseException as exc:  # noqa: BLE001 - delivered to responder
+                if not pending.dispatched.done():
+                    pending.dispatched.set_exception(exc)
+                continue
+            wrapped = asyncio.wrap_future(engine_future)
+            if pending.dispatched.done():  # force-cancelled during submit
+                wrapped.cancel()
+                continue
+            pending.dispatched.set_result(wrapped)
+
+    async def _respond(self, pending: _Pending, msg_id, state: _TenantState,
+                       writer, write_lock) -> None:
+        """Await one request's completion and write its wire response."""
+        payload: dict
+        try:
+            wrapped = await pending.dispatched
+            result: SpmmResult = await wrapped
+        except asyncio.CancelledError:
+            self.tracer.count("serve_cancelled")
+            payload = self._error_msg(msg_id, "cancelled", "request cancelled during drain")
+        except BaseException as exc:  # noqa: BLE001 - reported on the wire
+            self.tracer.count("serve_failed")
+            payload = self._error_msg(msg_id, "execute", f"{type(exc).__name__}: {exc}")
+        else:
+            latency = time.perf_counter() - pending.admitted_at
+            self.latency.record(latency)
+            self.latency_by_priority.setdefault(
+                pending.priority, LatencyRecorder()
+            ).record(latency)
+            self.tracer.count("serve_completed")
+            self.tracer.count("serve_latency_s", latency)
+            payload = {
+                "v": PROTOCOL_VERSION,
+                "id": msg_id,
+                "ok": True,
+                "result": {
+                    "output": encode_array(result.output),
+                    "fingerprint": result.fingerprint,
+                    "variant": result.variant,
+                    "plan_provenance": result.plan_provenance,
+                    "queue_wait_s": result.queue_wait_s,
+                    "mean_time_s": result.timing.mean if result.timing else None,
+                    "latency_s": latency,
+                    "verified": result.verified,
+                    "tenant": pending.tenant,
+                    "priority": pending.priority,
+                },
+            }
+        finally:
+            state.in_flight -= 1
+            self._open -= 1
+            if self._open == 0:
+                self._idle.set()
+        await self._write(writer, write_lock, payload)
+
+    async def _force_cancel(self) -> None:
+        """Drain-grace expiry: cancel queued work, wait out the executing."""
+        cancelled = 0
+        while True:
+            try:
+                _rank, _seq, pending = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            self.queue_depth.adjust(-1)
+            if not pending.dispatched.done():
+                pending.dispatched.cancel()
+                cancelled += 1
+        for state in list(self._tenants.values()):
+            cancelled += await asyncio.to_thread(state.engine.cancel_pending)
+        if cancelled:
+            self.tracer.count("serve_drain_forced")
+
+    # -- small helpers --------------------------------------------------------
+
+    async def _write(self, writer, write_lock, payload: dict) -> None:
+        data = encode_message(payload)
+        try:
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionError, OSError, RuntimeError):
+            # Client disconnected before its response; the request already
+            # counted toward completed/failed/cancelled.
+            self.tracer.warn("serve_client_gone")
+
+    def _error_msg(self, msg_id, code: str, message: str) -> dict:
+        return {
+            "v": PROTOCOL_VERSION,
+            "id": msg_id,
+            "ok": False,
+            "error": {"code": code, "message": message},
+        }
+
+    def _stats(self) -> dict:
+        with self._tenants_lock:
+            tenants = {name: s.in_flight for name, s in self._tenants.items()}
+        return {
+            "backend": self._backend.name if self._backend else None,
+            "draining": self._draining,
+            "open": self._open,
+            "queue_depth": self.queue_depth.depth,
+            "tenants": tenants,
+            "counters": dict(self.tracer.counters),
+            "latency_s": self.latency.summary(),
+            "queue_depth_summary": self.queue_depth.summary(),
+            "uptime_s": time.perf_counter() - self._started_at if self._started_at else 0.0,
+        }

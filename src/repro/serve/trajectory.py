@@ -1,0 +1,151 @@
+"""``BENCH_serve.json`` — the serving trajectory and its regression gate.
+
+The batch trajectory (:func:`repro.engine.jobs.results_to_trajectory`)
+measures one drained batch; a serving trajectory measures *sustained*
+behavior: offered vs achieved RPS, p50/p95/p99 latency, queue depth, and
+the drain-accounting invariant.  The schema keeps the envelope fields the
+``BENCH_*.json`` consumers already read (``schema_version``, ``run_id``,
+``git_sha``, ``config``, ``counters``, ``warnings``) and adds the serving
+block; :func:`gate_serve_trajectory` is the p99 + sustained-RPS regression
+gate the CI serve-smoke job runs against a committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+from pathlib import Path
+
+from ..bench.observe import TRAJECTORY_SCHEMA_VERSION, Tracer, git_sha
+from ..errors import BenchConfigError
+from .metrics import DepthTracker, LatencyRecorder
+
+__all__ = ["build_serve_trajectory", "gate_serve_trajectory", "load_serve_baseline"]
+
+
+def accounting_from_counters(counters: dict) -> dict:
+    """The admission ledger: every admitted request must be accounted for."""
+    admitted = int(counters.get("serve_admitted", 0))
+    completed = int(counters.get("serve_completed", 0))
+    failed = int(counters.get("serve_failed", 0))
+    cancelled = int(counters.get("serve_cancelled", 0))
+    rejected = {
+        code: int(counters.get(f"serve_rejected_{code}", 0))
+        for code in ("overload", "quota", "draining", "protocol")
+    }
+    return {
+        "admitted": admitted,
+        "completed": completed,
+        "failed": failed,
+        "cancelled": cancelled,
+        "rejected": rejected,
+        "balanced": admitted == completed + failed + cancelled,
+    }
+
+
+def build_serve_trajectory(
+    *,
+    config: dict,
+    tracer: Tracer,
+    latency: LatencyRecorder,
+    queue_depth: DepthTracker,
+    latency_by_priority: dict[str, LatencyRecorder] | None = None,
+    elapsed_s: float = 0.0,
+    rps: dict | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Fold serving metrics + tracer state into one trajectory dict."""
+    counters = dict(tracer.counters)
+    completed = int(counters.get("serve_completed", 0))
+    achieved = completed / elapsed_s if elapsed_s > 0 else 0.0
+    trajectory = {
+        "schema_version": TRAJECTORY_SCHEMA_VERSION,
+        "run_id": uuid.uuid4().hex[:12],
+        "git_sha": git_sha(),
+        "config": config,
+        "counters": counters,
+        "warnings": dict(tracer.warnings),
+        "latency_s": latency.summary(),
+        "latency_by_priority_s": {
+            name: rec.summary() for name, rec in (latency_by_priority or {}).items()
+        },
+        "queue_depth": queue_depth.summary(),
+        "rps": rps if rps is not None else {"achieved": achieved},
+        "elapsed_s": elapsed_s,
+        "accounting": accounting_from_counters(counters),
+    }
+    if extra:
+        trajectory.update(extra)
+    return trajectory
+
+
+def load_serve_baseline(path: str | Path) -> dict:
+    """A committed serve baseline: ``{p99_s, rps, ...tolerances}``."""
+    path = Path(path)
+    try:
+        baseline = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise BenchConfigError(f"serve baseline not found: {path}")
+    except json.JSONDecodeError as exc:
+        raise BenchConfigError(f"serve baseline {path} is not valid JSON: {exc}")
+    if not isinstance(baseline, dict) or "p99_s" not in baseline:
+        raise BenchConfigError(f"serve baseline {path} needs at least a 'p99_s' key")
+    return baseline
+
+
+def gate_serve_trajectory(
+    trajectory: dict,
+    baseline: dict,
+    *,
+    tolerance: float = 1.0,
+    rps_tolerance: float = 0.25,
+) -> tuple[bool, list[str]]:
+    """The sustained-RPS + p99 regression gate.
+
+    Returns ``(regressed, messages)``.  ``tolerance`` is the allowed p99
+    growth over the baseline (``1.0`` = may double — wall-clock latency on
+    shared CI hosts is noisy, so the default is deliberately generous and
+    the baseline should carry headroom of its own).  ``rps_tolerance`` is
+    the allowed shortfall of achieved vs baseline RPS.  The accounting
+    invariant is gated unconditionally: a trajectory that lost requests
+    regresses no matter how fast it was.
+    """
+    if tolerance < 0 or rps_tolerance < 0:
+        raise BenchConfigError("gate tolerances must be >= 0")
+    messages: list[str] = []
+    regressed = False
+
+    accounting = trajectory.get("accounting", {})
+    if not accounting.get("balanced", False):
+        regressed = True
+        messages.append(
+            "accounting imbalance: admitted "
+            f"{accounting.get('admitted')} != completed {accounting.get('completed')} "
+            f"+ failed {accounting.get('failed')} + cancelled {accounting.get('cancelled')}"
+        )
+
+    p99 = float(trajectory.get("latency_s", {}).get("p99_s", 0.0))
+    limit = float(baseline["p99_s"]) * (1.0 + tolerance)
+    if p99 > limit:
+        regressed = True
+        messages.append(
+            f"p99 latency {p99 * 1e3:.1f} ms exceeds gate "
+            f"{limit * 1e3:.1f} ms (baseline {float(baseline['p99_s']) * 1e3:.1f} ms "
+            f"+{tolerance:.0%})"
+        )
+    else:
+        messages.append(f"p99 latency {p99 * 1e3:.1f} ms within gate {limit * 1e3:.1f} ms")
+
+    base_rps = float(baseline.get("rps", 0.0))
+    if base_rps > 0:
+        achieved = float(trajectory.get("rps", {}).get("achieved", 0.0))
+        floor = base_rps * (1.0 - rps_tolerance)
+        if achieved < floor:
+            regressed = True
+            messages.append(
+                f"achieved {achieved:.1f} RPS below sustained floor {floor:.1f} "
+                f"(baseline {base_rps:.1f} -{rps_tolerance:.0%})"
+            )
+        else:
+            messages.append(f"achieved {achieved:.1f} RPS >= floor {floor:.1f}")
+    return regressed, messages

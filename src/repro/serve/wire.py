@@ -1,0 +1,142 @@
+"""The newline-delimited-JSON wire protocol of the serving front-end.
+
+One request or response per line, UTF-8 JSON, no length prefix — the
+framing a human can drive with ``nc`` and a test can assert on.  Arrays
+cross as base64 of their raw little-endian bytes plus dtype/shape, so a
+served result is **bit-identical** to the ndarray the engine produced
+(the differential oracle's ``server`` path depends on this).
+
+Request envelope::
+
+    {"v": 1, "op": "multiply", "id": "r1", "tenant": "acme",
+     "priority": "normal", "req": {"matrix": "dw4096" | {triplets...},
+     "fmt": "csr", "variant": "serial", "k": 8, ...}}
+
+``op`` is ``multiply``, ``ping``, or ``stats``.  Responses echo ``id`` and
+carry ``ok`` plus either ``result`` or ``error: {code, message}``; the
+admission-control reject codes are ``overload`` (queue full), ``quota``
+(tenant window full), ``draining`` (server shutting down), and
+``protocol`` (malformed message).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any
+
+import numpy as np
+
+from ..errors import ServeProtocolError
+from ..matrices.coo_builder import Triplets
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "REJECT_CODES",
+    "decode_array",
+    "decode_matrix",
+    "decode_message",
+    "encode_array",
+    "encode_matrix",
+    "encode_message",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Admission-control / protocol error codes a client can receive.
+REJECT_CODES = ("overload", "quota", "draining", "protocol")
+
+#: Hard cap on one wire message (guards the server against a runaway or
+#: hostile line; a scale-1 suite matrix plus operand stays well under it).
+MAX_LINE_BYTES = 256 * 1024 * 1024
+
+
+def encode_array(array: np.ndarray) -> dict:
+    """An ndarray as ``{dtype, shape, b64}`` — bit-exact round trip."""
+    arr = np.ascontiguousarray(array)
+    return {
+        "dtype": arr.dtype.str,
+        "shape": list(arr.shape),
+        "b64": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(payload: dict) -> np.ndarray:
+    """Inverse of :func:`encode_array`; validates size against the shape."""
+    try:
+        dtype = np.dtype(payload["dtype"])
+        shape = tuple(int(s) for s in payload["shape"])
+        raw = base64.b64decode(payload["b64"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServeProtocolError(f"malformed array payload: {exc}")
+    expected = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+    if len(raw) != expected:
+        raise ServeProtocolError(
+            f"array payload size {len(raw)} does not match "
+            f"dtype {dtype.str} shape {shape} ({expected} bytes)"
+        )
+    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+
+def encode_matrix(matrix: str | Triplets) -> Any:
+    """A request matrix: a suite name as-is, triplets inline."""
+    if isinstance(matrix, str):
+        return matrix
+    if isinstance(matrix, Triplets):
+        return {
+            "nrows": int(matrix.nrows),
+            "ncols": int(matrix.ncols),
+            "rows": encode_array(matrix.rows),
+            "cols": encode_array(matrix.cols),
+            "values": encode_array(matrix.values),
+        }
+    raise ServeProtocolError(
+        f"matrix must be a suite name or Triplets, got {type(matrix).__name__}"
+    )
+
+
+def decode_matrix(payload: Any) -> str | Triplets:
+    if isinstance(payload, str):
+        return payload
+    if isinstance(payload, dict):
+        try:
+            return Triplets(
+                nrows=int(payload["nrows"]),
+                ncols=int(payload["ncols"]),
+                rows=decode_array(payload["rows"]),
+                cols=decode_array(payload["cols"]),
+                values=decode_array(payload["values"]),
+            )
+        except KeyError as exc:
+            raise ServeProtocolError(f"inline matrix is missing key {exc}")
+    raise ServeProtocolError(
+        f"matrix must be a suite name or an inline triplets object, "
+        f"got {type(payload).__name__}"
+    )
+
+
+def encode_message(message: dict) -> bytes:
+    """One protocol message as a single ``\\n``-terminated JSON line."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes | str) -> dict:
+    """Parse one wire line; raises :class:`ServeProtocolError` on junk."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ServeProtocolError(f"message exceeds {MAX_LINE_BYTES} bytes")
+        line = line.decode("utf-8", errors="replace")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServeProtocolError(f"message is not valid JSON: {exc}")
+    if not isinstance(message, dict):
+        raise ServeProtocolError(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
+    version = message.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ServeProtocolError(
+            f"protocol version {version} not supported (this is v{PROTOCOL_VERSION})"
+        )
+    return message

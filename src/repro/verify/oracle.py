@@ -12,6 +12,11 @@ every way the repository can compute the product —
 * ``engine_direct`` / ``engine_batched`` — one request through the batched
   :class:`~repro.engine.Engine`, and a fingerprint-grouped batch whose
   members must agree bit-identically;
+* ``server`` — the full serving stack (:class:`repro.serve.Client` →
+  NDJSON socket → :class:`repro.serve.Server` → engine), which must agree
+  **bit-identically** with the direct :func:`repro.api.multiply` result —
+  the wire codec ships raw array bytes precisely so serialization cannot
+  perturb a single ulp;
 * ``auto`` — ``variant="auto"`` dispatch through an empty tune store (the
   heuristic fallback) resolved against the explicit variant's result;
 
@@ -59,6 +64,7 @@ PATH_NAMES = (
     "plan_cached",
     "engine_direct",
     "engine_batched",
+    "server",
     "auto",
 )
 
@@ -184,11 +190,19 @@ class DifferentialOracle:
         self.tracer = tracer
         self.backend = backend
         self._engine = None
+        self._server = None
+        self._client = None
 
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the shared engine, if one was created."""
+        """Shut down the shared engine and server, if they were created."""
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
         if self._engine is not None:
             self._engine.close(wait=True)
             self._engine = None
@@ -205,6 +219,15 @@ class DifferentialOracle:
 
             self._engine = Engine(workers=2, max_in_flight=16, backend=self.backend)
         return self._engine
+
+    def _get_client(self):
+        """One lazily-started server + client pair for the whole oracle run."""
+        if self._client is None:
+            from ..serve import Client, Server  # lazy: serve imports the engine
+
+            self._server = Server(backend=self.backend, workers=2).start()
+            self._client = Client(port=self._server.port)
+        return self._client
 
     # -- the check ------------------------------------------------------------
 
@@ -307,6 +330,8 @@ class DifferentialOracle:
                 return self._run_plan_path(path, triplets, fmt, variant, B, k)
             if path in ("engine_direct", "engine_batched"):
                 return self._run_engine_path(path, triplets, fmt, variant, B, k)
+            if path == "server":
+                return self._run_server_path(triplets, fmt, variant, B, k)
             if path == "auto":
                 return self._run_auto_path(A, variant, B, k)
             raise AssertionError(f"unreachable path {path!r}")
@@ -370,6 +395,29 @@ class DifferentialOracle:
             if not np.array_equal(outputs[0], other):
                 return [_BitViolation("engine batch members disagree bit-wise")]
         return [outputs[0]]
+
+    def _run_server_path(self, triplets, fmt, variant, B, k):
+        """Client → socket → server → engine, bit-identical to api.multiply."""
+        if variant == "auto":
+            return None
+        from .. import api  # lazy: api imports bench.suite imports bench.verify
+
+        dense = np.ascontiguousarray(B[:, :k])
+        reply = self._get_client().multiply(
+            triplets,
+            dense=dense,
+            fmt=fmt,
+            variant=variant,
+            k=k,
+            threads=self.threads if "parallel" in variant else 1,
+        )
+        direct = api.multiply(
+            triplets, dense, fmt=fmt, variant=variant, k=k,
+            **self._kernel_options(variant),
+        )
+        if not np.array_equal(reply.output, direct):
+            return [_BitViolation("served result differs bit-wise from api.multiply")]
+        return [reply.output]
 
     def _run_auto_path(self, A, variant, B, k):
         # auto is one resolution per matrix, not per variant: run it once

@@ -1,0 +1,131 @@
+"""Drain-lifecycle tests: SIGTERM mid-burst, leak-freedom, accounting.
+
+The acceptance bar for the serving front-end: a SIGTERM arriving in the
+middle of a request burst must (a) exit 0 after a graceful drain, (b)
+leave no orphaned shared-memory segment and no orphaned worker
+subprocess, and (c) flush a ``BENCH_serve.json`` whose ledger accounts
+for every admitted request (``admitted == completed + failed +
+cancelled``).
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine.backends.shm import live_segments
+from repro.errors import ServeError, ServeRejectedError
+from repro.serve import Client, Server
+
+from ..conftest import make_random_triplets
+
+_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not _FORK, reason="requires the fork start method")
+
+_SHM_DIR = Path("/dev/shm")
+
+
+def _shm_snapshot() -> set:
+    if not _SHM_DIR.is_dir():  # pragma: no cover - non-Linux
+        return set()
+    return set(os.listdir(_SHM_DIR))
+
+
+def _spawn_server(tmp_path, backend: str, extra=()):
+    out = tmp_path / "BENCH_serve.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+    child = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--listen", "127.0.0.1:0",
+         "--backend", backend, "--workers", "2", "--drain-grace", "5",
+         "--out", str(out), *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    banner = child.stdout.readline()
+    assert "serving on" in banner, banner + child.stdout.read()
+    port = int(banner.split()[2].rpartition(":")[2])
+    return child, port, out
+
+
+@pytest.mark.parametrize("backend", ["thread", pytest.param("process", marks=needs_fork)])
+def test_sigterm_mid_burst_drains_cleanly(tmp_path, backend):
+    before = _shm_snapshot()
+    child, port, out = _spawn_server(tmp_path, backend)
+    t = make_random_triplets(200, 200, density=0.05, seed=11)
+    stop = threading.Event()
+    sent = []
+
+    def burst():
+        try:
+            with Client(port=port, timeout=30.0) as c:
+                while not stop.is_set():
+                    try:
+                        c.multiply(t, fmt="csr", k=8, repeats=2)
+                        sent.append("ok")
+                    except ServeRejectedError as exc:
+                        sent.append(exc.code)
+                        if exc.code == "draining":
+                            return
+        except ServeError:
+            sent.append("disconnected")
+
+    threads = [threading.Thread(target=burst) for _ in range(3)]
+    for th in threads:
+        th.start()
+    # Let the burst establish itself, then SIGTERM mid-flight.
+    deadline = time.time() + 10
+    while len(sent) < 4 and time.time() < deadline:
+        time.sleep(0.02)
+    child.send_signal(signal.SIGTERM)
+    stop.set()
+    for th in threads:
+        th.join(timeout=60)
+    assert child.wait(timeout=60) == 0, child.stdout.read()
+
+    trajectory = json.loads(out.read_text())
+    acc = trajectory["accounting"]
+    assert acc["balanced"], acc
+    assert acc["admitted"] == acc["completed"] + acc["failed"] + acc["cancelled"]
+    assert acc["admitted"] >= 1
+
+    # No orphaned worker subprocesses: the child exited, so any worker it
+    # forked would be reparented and show up as a new shm segment holder /
+    # leftover segment.  The shm namespace must be exactly as before.
+    leaked = _shm_snapshot() - before
+    assert not leaked, f"orphaned shm segments: {leaked}"
+
+
+@needs_fork
+def test_in_process_sigterm_leaves_no_segments():
+    """Same invariant without a subprocess: segments from live_segments()."""
+    srv = Server(backend="process", workers=2, drain_grace_s=5.0)
+    srv.start()
+    t = make_random_triplets(100, 80, density=0.1, seed=5)
+    with Client(port=srv.port) as c:
+        for _ in range(3):
+            c.multiply(t, fmt="csr", k=4)
+    trajectory = srv.stop()
+    assert trajectory["accounting"]["balanced"]
+    assert live_segments() == ()
+
+
+def test_flushed_trajectory_counts_every_admission(tmp_path):
+    child, port, out = _spawn_server(tmp_path, "thread")
+    with Client(port=port) as c:
+        for _ in range(4):
+            c.multiply("dw4096", fmt="csr", k=4, scale=64)
+    child.send_signal(signal.SIGTERM)
+    assert child.wait(timeout=60) == 0
+    trajectory = json.loads(out.read_text())
+    acc = trajectory["accounting"]
+    assert acc["admitted"] == 4
+    assert acc["completed"] == 4
+    assert acc["cancelled"] == 0
+    assert trajectory["latency_s"]["count"] == 4

@@ -1,0 +1,75 @@
+"""Wire-codec tests: bit-exact array transport and protocol validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeProtocolError
+from repro.serve.wire import (
+    decode_array,
+    decode_matrix,
+    decode_message,
+    encode_array,
+    encode_matrix,
+    encode_message,
+)
+
+from ..conftest import make_random_triplets
+
+
+class TestArrayCodec:
+    def test_roundtrip_is_bit_exact(self, rng_factory):
+        arr = rng_factory(0).standard_normal((7, 5))
+        out = decode_array(encode_array(arr))
+        assert out.dtype == arr.dtype
+        assert np.array_equal(out, arr)
+        # Byte-level equality, not just value equality.
+        assert out.tobytes() == arr.tobytes()
+
+    def test_roundtrip_preserves_special_values(self):
+        arr = np.array([0.0, -0.0, np.inf, -np.inf, np.nan, 1e-308])
+        out = decode_array(encode_array(arr))
+        assert out.tobytes() == arr.tobytes()
+
+    def test_integer_dtypes_roundtrip(self):
+        arr = np.arange(12, dtype=np.int64).reshape(3, 4)
+        out = decode_array(encode_array(arr))
+        assert out.dtype == np.int64
+        assert np.array_equal(out, arr)
+
+    def test_size_mismatch_rejected(self):
+        payload = encode_array(np.ones(4))
+        payload["shape"] = [8]
+        with pytest.raises(ServeProtocolError):
+            decode_array(payload)
+
+    def test_garbage_payload_rejected(self):
+        with pytest.raises(ServeProtocolError):
+            decode_array({"dtype": "<f8"})
+
+
+class TestMatrixCodec:
+    def test_suite_name_passes_through(self):
+        assert decode_matrix(encode_matrix("dw4096")) == "dw4096"
+
+    def test_triplets_roundtrip(self):
+        t = make_random_triplets(9, 7, density=0.3, seed=3)
+        out = decode_matrix(encode_matrix(t))
+        assert out.nrows == t.nrows and out.ncols == t.ncols
+        assert np.array_equal(out.rows, t.rows)
+        assert np.array_equal(out.cols, t.cols)
+        assert out.values.tobytes() == t.values.tobytes()
+
+
+class TestMessageFraming:
+    def test_roundtrip(self):
+        line = encode_message({"v": 1, "op": "ping", "id": "abc"})
+        assert line.endswith(b"\n")
+        assert decode_message(line)["op"] == "ping"
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ServeProtocolError):
+            decode_message(b"{nope\n")
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(ServeProtocolError):
+            decode_message(encode_message({"v": 999, "op": "ping", "id": "x"}))
