@@ -38,7 +38,7 @@ from .bench.params import BenchParams
 from .bench.runner import GridRunner, GridSpec, RunRecord
 from .bench.suite import BenchResult, SpmmBenchmark
 from .bench.timing import TimingStats
-from .engine import BACKEND_NAMES, Engine, SpmmRequest, SpmmResult
+from .engine import BACKEND_NAMES, Engine, MigrationPolicy, SpmmRequest, SpmmResult
 from .errors import BenchConfigError
 from .formats.base import SparseFormat
 from .formats.convert import convert
@@ -67,6 +67,7 @@ __all__ = [
     "Engine",
     "GridSpec",
     "LoadGenSpec",
+    "MigrationPolicy",
     "PlanCache",
     "RunRecord",
     "ServeConfig",

@@ -159,6 +159,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--cache-dir", default=None, metavar="DIR",
                          help="persist plans to an on-disk cache directory "
                               "(per-tenant namespaces in --listen mode)")
+    serve_p.add_argument("--migration", action=argparse.BooleanOptionalAction,
+                         default=None,
+                         help="adaptive online format migration: hot plan groups "
+                              "move to a faster bit-identical cell once the "
+                              "conversion cost amortizes (default: on for "
+                              "--listen, off for --jobs)")
+    serve_p.add_argument("--migration-formats", default=None, metavar="FMT[,FMT...]",
+                         help="also probe these formats as migration candidates; "
+                              "relaxes the bit-identity gate to an rtol check, "
+                              "since format changes reorder accumulation")
 
     loadgen_p = sub.add_parser(
         "loadgen",
@@ -185,6 +195,18 @@ def build_parser() -> argparse.ArgumentParser:
                                 "matrices vs cold one-shots (default 0.8)")
     loadgen_p.add_argument("--matrices", default="dw4096",
                            help="comma-separated suite matrices for hot requests")
+    loadgen_p.add_argument("--scale", type=int, default=64,
+                           help="hot-matrix downscale divisor (default 64; "
+                                "smaller = bigger matrices)")
+    loadgen_p.add_argument("--migration", action=argparse.BooleanOptionalAction,
+                           default=True,
+                           help="online format migration on the --spawn server "
+                                "(default on; --no-migration pins every plan "
+                                "group to its arrival format)")
+    loadgen_p.add_argument("--migration-formats", default=None,
+                           metavar="FMT[,FMT...]",
+                           help="forwarded to the --spawn server: cross-format "
+                                "migration candidates under the relaxed rtol gate")
     loadgen_p.add_argument("--connections", type=int, default=4,
                            help="concurrent client connections (default 4)")
     loadgen_p.add_argument("--tenant", default="default")
@@ -486,6 +508,28 @@ def _parse_tenants(text: str | None) -> dict[str, int]:
     return tenants
 
 
+def _migration_knob(args: argparse.Namespace, default: bool):
+    """--migration/--no-migration plus --migration-formats -> engine knob.
+
+    Returns ``False``, ``True``, or a :class:`MigrationPolicy` admitting
+    the requested cross-format candidates under the relaxed rtol gate.
+    """
+    enabled = args.migration if args.migration is not None else default
+    if not enabled:
+        return False
+    if args.migration_formats:
+        from .engine import MigrationPolicy
+
+        fmts = tuple(
+            tok.strip().lower()
+            for tok in args.migration_formats.split(",")
+            if tok.strip()
+        )
+        if fmts:
+            return MigrationPolicy(require_bit_identity=False, candidate_formats=fmts)
+    return True
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.listen is not None:
         return _cmd_serve_listen(args)
@@ -510,6 +554,7 @@ def _cmd_serve_listen(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         drain_grace_s=args.drain_grace,
         out=args.out or "BENCH_serve.json",
+        migration=_migration_knob(args, default=True),
     )
     server = Server(config)
     server.start()
@@ -523,7 +568,8 @@ def _cmd_serve_listen(args: argparse.Namespace) -> int:
 
     print(f"serving on {host}:{server.port} "
           f"({server.config.backend or 'thread'} backend, "
-          f"max_queue={config.max_queue})", flush=True)
+          f"max_queue={config.max_queue}, "
+          f"migration={'on' if config.migration else 'off'})", flush=True)
     server.wait()
     trajectory = server._trajectory
     path = server.write_trajectory()
@@ -566,6 +612,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         tenant=args.tenant,
         priorities=tuple(tok.strip() for tok in args.priorities.split(",") if tok.strip()),
         seed=args.seed,
+        scale=args.scale,
     )
 
     child = None
@@ -577,6 +624,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 cmd += ["--backend", args.backend]
             if args.workers:
                 cmd += ["--workers", str(args.workers)]
+            cmd += ["--migration" if args.migration else "--no-migration"]
+            if args.migration and args.migration_formats:
+                cmd += ["--migration-formats", args.migration_formats]
             cmd += ["--out", os.devnull]
             child = subprocess.Popen(
                 cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
@@ -611,6 +661,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     out = args.out or "BENCH_serve.json"
     write_trajectory(trajectory, out)
     print(f"wrote {out}")
+    counters = report.server_stats.get("counters", {})
+    completed = int(counters.get("migration_completed", 0))
+    if completed or args.migration:
+        print(f"  migration: completed {completed}, "
+              f"rejected {int(counters.get('migration_rejected', 0))}, "
+              f"served {int(counters.get('migration_served', 0))} "
+              f"({report.hot_migrated} observed client-side)")
 
     failed = False
     if child is not None and child.returncode != 0:
@@ -648,6 +705,7 @@ def _cmd_serve_jobs(args: argparse.Namespace) -> int:
         plan_cache=plan_cache,
         tracer=tracer,
         backend=args.backend,
+        migration=_migration_knob(args, default=False),
     ) as engine:
         results = engine.map_batch(requests)
         stats = engine.stats

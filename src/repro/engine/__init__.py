@@ -11,6 +11,7 @@
 from .backends import BACKEND_NAMES, Backend, ProcessBackend, ThreadBackend
 from .core import DEFAULT_WORKERS, Engine, batch_requests
 from .jobs import load_jobs, results_to_trajectory
+from .migration import MigrationManager, MigrationPolicy
 from .request import SpmmRequest, SpmmResult
 from .scheduler import WorkerPool
 
@@ -18,6 +19,8 @@ __all__ = [
     "BACKEND_NAMES",
     "Backend",
     "Engine",
+    "MigrationManager",
+    "MigrationPolicy",
     "ProcessBackend",
     "SpmmRequest",
     "SpmmResult",

@@ -116,6 +116,11 @@ class _WorkerState:
 
         tracer = Tracer()
         triplets = self.triplets_for(spec)
+        if spec.get("migrated"):
+            # The parent resolved a migration redirect before building the
+            # spec; this worker serves the target cell, rebuilding its plan
+            # from the shared disk tier the probe populated.
+            tracer.count("migration_worker_served")
         t_plan = time.perf_counter()
         plan, provenance = self.plan_cache.get_or_build_plan(
             triplets,

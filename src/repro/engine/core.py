@@ -47,9 +47,10 @@ from ..kernels.dispatch import run_spmm
 from ..kernels.plan import PlanCache, fingerprint_triplets, matrix_fingerprint, plan_supported
 from ..matrices.coo_builder import Triplets
 from ..matrices.suite import load_matrix
-from ..tune.store import TuneStore, resolve_auto_variant
+from ..tune.store import TuneStore, get_active_store, resolve_auto_variant
 from .backends import BACKEND_NAMES, Backend, make_backend
 from .backends.shm import SharedArray
+from .migration import MigrationManager, MigrationPolicy
 from .request import SpmmRequest, SpmmResult
 
 __all__ = ["Engine", "DEFAULT_WORKERS", "BACKEND_NAMES"]
@@ -97,6 +98,14 @@ class Engine:
         runs one engine per tenant over a single worker pool); the owner
         of the backend calls ``backend.shutdown()`` itself after every
         sharing engine has closed.
+    migration:
+        Adaptive online format migration
+        (:class:`~repro.engine.migration.MigrationPolicy`, a bool, or
+        ``None`` to read ``SPMM_MIGRATION`` from the environment,
+        defaulting to off).  When enabled, hot plan groups are re-pointed
+        at a faster bit-identical (format, variant, threads) cell by a
+        background worker once the measured conversion cost amortizes —
+        see :mod:`repro.engine.migration` and ``migration_*`` counters.
     """
 
     #: Cap on the id()-keyed fingerprint memo.  Batch workloads reuse a few
@@ -116,12 +125,31 @@ class Engine:
         backend: str | Backend | None = None,
         backend_options: dict | None = None,
         close_backend: bool = True,
+        migration: MigrationPolicy | bool | None = None,
     ):
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.tracer = tracer if tracer is not None else Tracer()
         self.tune_store = tune_store
         self.policy = policy
         self.workers = workers or DEFAULT_WORKERS
+        migration_policy = MigrationPolicy.coerce(migration)
+        #: Online format-migration manager (None when disabled): watches
+        #: per-group traffic and swaps cached plans on a background thread
+        #: once the Katagiri amortization rule pays — see
+        #: :mod:`repro.engine.migration`.  Default off for a bare engine
+        #: (``migration=True`` or ``SPMM_MIGRATION=1`` turns it on); the
+        #: serving front-end enables it per tenant.
+        self._migrations: MigrationManager | None = (
+            MigrationManager(
+                plan_cache=self.plan_cache,
+                tracer=self.tracer,
+                policy=migration_policy,
+                tune_store=tune_store,
+                dtype_policy=policy,
+            )
+            if migration_policy.enabled
+            else None
+        )
         if isinstance(backend, Backend):
             self._backend = backend
         else:
@@ -145,7 +173,7 @@ class Engine:
         #: -> triplets (for SparseFormat inputs), (fingerprint, k) -> auto
         #: resolution, and the per-plan-key build locks.
         self._matrix_memo: dict = {}
-        self._auto_memo: dict[tuple[str, int], tuple[str, dict]] = {}
+        self._auto_memo: dict[tuple[str, int], tuple[str, dict, int]] = {}
         self._plan_locks: dict[tuple, threading.Lock] = {}
         self._built_keys: set[tuple] = set()
         self._format_memo: dict[tuple, SparseFormat] = {}
@@ -167,6 +195,8 @@ class Engine:
         """
         with self._lock:
             self._closed = True
+        if self._migrations is not None:
+            self._migrations.close()
         if self._close_backend:
             self._backend.shutdown(wait=wait, cancel_pending=cancel_pending)
         else:
@@ -212,7 +242,7 @@ class Engine:
         out = {
             k: v
             for k, v in self.tracer.counters.items()
-            if k.startswith(("engine_", "shm_"))
+            if k.startswith(("engine_", "shm_", "migration_"))
         }
         out["backend"] = self.backend
         out["plan_cache"] = dict(self.plan_cache.stats)
@@ -276,16 +306,49 @@ class Engine:
         try:
             triplets, name = self._resolve_matrix(request)
             variant, tuned_opts = self._resolve_variant(request, triplets)
+            fmt = request.fmt.lower()
+            threads = int(tuned_opts.get("threads", request.threads))
+            fingerprint = self._fingerprint(triplets)
+            # Online migration: a group whose redirect landed executes on
+            # the migrated (format, variant, threads) cell from here on;
+            # requests that resolved before the swap keep their old plan.
+            migrated = False
+            if self._migrations is not None and plan_supported(variant):
+                target = self._migrations.resolve(fingerprint, fmt, variant, request.k, threads)
+                if target is not None:
+                    fmt, variant, threads = target.format_name, target.variant, target.threads
+                    migrated = True
+                    self.tracer.count("migration_served")
             B = self._dense_operand(request, triplets)
             if self._backend.remote and plan_supported(variant):
-                body = self._run_remote(request, triplets, variant, tuned_opts, B)
+                body = self._run_remote(
+                    request, triplets, fmt, variant, threads, B, migrated
+                )
             else:
                 if self._backend.remote:
                     # Unplannable variants (GPU simulation) cannot rebuild
                     # from the PlanCache tier in a worker; keep them local.
                     self.tracer.count("engine_backend_local_fallback")
-                body = self._run_local(request, triplets, name, variant, tuned_opts, B)
+                body = self._run_local(
+                    request, triplets, name, fmt, variant, threads, tuned_opts, B
+                )
             output, timing, provenance, plan_time, execute_s, verified = body
+            if self._migrations is not None and not migrated and plan_supported(variant):
+                per_call_s = (
+                    timing.mean
+                    if timing is not None
+                    else execute_s / max(request.repeats, 1)
+                )
+                self._migrations.observe(
+                    triplets,
+                    fingerprint,
+                    fmt,
+                    variant,
+                    request.k,
+                    threads,
+                    per_call_s,
+                    conversion_s=plan_time if provenance == "built" else 0.0,
+                )
         except BaseException:
             self.tracer.count("engine_failed")
             raise
@@ -293,7 +356,7 @@ class Engine:
         return SpmmResult(
             request=request,
             output=output,
-            fingerprint=self._fingerprint(triplets),
+            fingerprint=fingerprint,
             variant=variant,
             timing=timing,
             useful_flops=2 * triplets.nnz * request.k,
@@ -302,6 +365,7 @@ class Engine:
             plan_time_s=plan_time,
             execute_s=execute_s,
             verified=verified,
+            migrated=migrated,
         )
 
     def _run_local(
@@ -309,14 +373,16 @@ class Engine:
         request: SpmmRequest,
         triplets: Triplets,
         name: str,
+        fmt: str,
         variant: str,
+        threads: int,
         tuned_opts: dict,
         B: np.ndarray,
     ) -> tuple:
         """Plan-acquire + execute + verify in this thread (thread backend)."""
         t_plan = time.perf_counter()
         kernel, provenance = self._acquire_kernel(
-            request, triplets, name, variant, tuned_opts, B
+            request, triplets, name, fmt, variant, threads, tuned_opts, B
         )
         plan_time = time.perf_counter() - t_plan
         self.tracer.count("engine_plan_s", plan_time)
@@ -337,9 +403,11 @@ class Engine:
         self,
         request: SpmmRequest,
         triplets: Triplets,
+        fmt: str,
         variant: str,
-        tuned_opts: dict,
+        threads: int,
         B: np.ndarray,
+        migrated: bool = False,
     ) -> tuple:
         """Ship one task to a backend worker process over shared memory.
 
@@ -347,9 +415,12 @@ class Engine:
         fingerprint and reused for every later request of the group; the
         dense operand and the pre-sized output travel per request and are
         unlinked as soon as the reply lands — a failed or dead worker
-        cannot leak a per-request segment.
+        cannot leak a per-request segment.  Migrated groups arrive here
+        already redirected: the spec carries the *effective* cell, and the
+        worker rebuilds its plan from the shared on-disk tier (which the
+        migration probe populated), so the swap propagates across
+        processes without shipping plan objects.
         """
-        threads = int(tuned_opts.get("threads", request.threads))
         fingerprint = self._fingerprint(triplets)
         descriptor = self._shared_matrix(fingerprint, triplets)
         B_seg = SharedArray.from_array(B, tracer=self.tracer)
@@ -359,7 +430,7 @@ class Engine:
         spec = {
             "fingerprint": fingerprint,
             "matrix": descriptor,
-            "fmt": request.fmt.lower(),
+            "fmt": fmt,
             "variant": variant,
             "k": request.k,
             "threads": threads,
@@ -368,6 +439,7 @@ class Engine:
             "B": B_seg.spec,
             "C": C_seg.spec,
             "verify": request.verify,
+            "migrated": migrated,
         }
         self.tracer.count("engine_backend_remote_tasks")
         t_remote = time.perf_counter()
@@ -482,21 +554,63 @@ class Engine:
     def _resolve_variant(
         self, request: SpmmRequest, triplets: Triplets
     ) -> tuple[str, dict]:
-        """Pin ``variant="auto"`` via the tune store, once per (matrix, k)."""
+        """Pin ``variant="auto"`` via the tune store, once per (matrix, k).
+
+        The memo entry carries the tune-store version it was resolved
+        against and is re-validated on every hit: a decision recorded
+        after the memo landed (an online migration, a fresh ``repro
+        tune`` run) invalidates it, so a stale memo can never pin a
+        pre-migration plan for the rest of the engine's life.
+        """
         if request.variant != "auto":
             return request.variant, {}
+        store = self.tune_store if self.tune_store is not None else get_active_store()
+        version = store.version
         memo_key = (self._fingerprint(triplets), request.k)
         with self._lock:
             hit = self._auto_memo.get(memo_key)
         if hit is not None:
-            return hit
+            variant, opts, seen_version = hit
+            if seen_version == version:
+                return variant, opts
+            self.tracer.count("engine_auto_revalidated")
         variant, opts = resolve_auto_variant(
             triplets, request.k, store=self.tune_store, tracer=self.tracer
         )
         self.tracer.count("engine_auto_resolved")
         with self._lock:
-            self._auto_memo[memo_key] = (variant, opts)
+            self._auto_memo[memo_key] = (variant, opts, version)
         return variant, opts
+
+    # -- migration ------------------------------------------------------------
+
+    @property
+    def migration_enabled(self) -> bool:
+        return self._migrations is not None
+
+    def force_migration(self, request: SpmmRequest):
+        """Probe and (if a bit-identical candidate exists) swap, synchronously.
+
+        The testing/oracle hook: runs the full probe pipeline on the
+        calling thread, skipping only the amortization rule — the
+        bit-identity gate still applies.  Returns the
+        :class:`~repro.engine.migration.MigrationOutcome`.
+        """
+        if self._migrations is None:
+            raise EngineError("migration is disabled for this engine")
+        triplets, _name = self._resolve_matrix(request)
+        variant, tuned_opts = self._resolve_variant(request, triplets)
+        if not plan_supported(variant):
+            raise EngineError(f"variant {request.variant!r} is not migratable")
+        return self._migrations.migrate_now(
+            triplets,
+            self._fingerprint(triplets),
+            request.fmt.lower(),
+            variant,
+            request.k,
+            int(tuned_opts.get("threads", request.threads)),
+            force=True,
+        )
 
     # -- plan acquisition ------------------------------------------------------
 
@@ -505,7 +619,9 @@ class Engine:
         request: SpmmRequest,
         triplets: Triplets,
         name: str,
+        fmt: str,
         variant: str,
+        threads: int,
         tuned_opts: dict,
         B: np.ndarray,
     ):
@@ -513,15 +629,17 @@ class Engine:
 
         Plannable variants go through the shared :class:`PlanCache` behind
         a per-key lock, so one engine request builds and the rest of the
-        fingerprint group shares.  Unplannable variants (GPU) at least
-        share the conversion artifact through an engine-local memo.
+        fingerprint group shares.  ``fmt``/``variant``/``threads`` are the
+        *effective* cell — post migration-redirect — so a swapped group
+        locks and builds under its target key while stragglers on the old
+        key keep their plan.  Unplannable variants (GPU) at least share
+        the conversion artifact through an engine-local memo.
         """
-        threads = int(tuned_opts.get("threads", request.threads))
         fingerprint = self._fingerprint(triplets)
         if plan_supported(variant):
             key = (
                 fingerprint,
-                request.fmt.lower(),
+                fmt,
                 variant,
                 request.k,
                 threads,
@@ -532,7 +650,7 @@ class Engine:
             with lock:
                 plan, provenance = self.plan_cache.get_or_build_plan(
                     triplets,
-                    request.fmt,
+                    fmt,
                     variant=variant,
                     k=request.k,
                     threads=threads,
@@ -557,11 +675,11 @@ class Engine:
             return kernel, provenance
 
         # Unplannable variant: memoize only the conversion artifact.
-        fkey = (fingerprint, request.fmt.lower(), self.policy.name)
+        fkey = (fingerprint, fmt, self.policy.name)
         with self._lock:
             A = self._format_memo.get(fkey)
         if A is None:
-            A = get_format(request.fmt).from_triplets(triplets, policy=self.policy)
+            A = get_format(fmt).from_triplets(triplets, policy=self.policy)
             A._suite_name = name
             with self._lock:
                 self._format_memo[fkey] = A

@@ -117,6 +117,7 @@ def results_to_trajectory(
             "plan_provenance": res.plan_provenance,
             "queue_wait_s": res.queue_wait_s,
             "verified": res.verified,
+            "migrated": res.migrated,
         }
         cells.append(cell)
         mflops_values.append(res.mflops)

@@ -74,6 +74,11 @@ class SpmmResult:
     ``"shared"`` (another request in the batch built it first),
     ``"memory"``/``"disk"`` (a pre-existing plan-cache tier served it), or
     ``"unplanned"`` (the variant cannot be plan-specialized).
+
+    ``migrated`` marks a request served through an online-migration
+    redirect: ``variant`` (and the executing format/threads) then reflect
+    the migrated cell, not what the request asked for — outputs stay
+    bit-identical to the pre-migration plan by the swap gate's contract.
     """
 
     request: SpmmRequest
@@ -87,6 +92,7 @@ class SpmmResult:
     plan_time_s: float
     execute_s: float
     verified: bool | None = None
+    migrated: bool = False
 
     @property
     def mflops(self) -> float:

@@ -30,6 +30,7 @@ Cache traffic is observable: every lookup records ``plan_cache_hit`` /
 from __future__ import annotations
 
 import hashlib
+import json
 import pickle
 import threading
 from collections import OrderedDict
@@ -56,6 +57,7 @@ __all__ = [
     "PlanKey",
     "ExecutionPlan",
     "PlanCache",
+    "MigrationTarget",
     "plan_supported",
 ]
 
@@ -157,6 +159,21 @@ class PlanKey:
         return hashlib.sha256(raw).hexdigest()[:24]
 
 
+@dataclass(frozen=True)
+class MigrationTarget:
+    """Where a migrated plan group now executes (see :mod:`repro.engine.migration`).
+
+    ``version`` increases monotonically per cache: a request that resolved
+    an older redirect (or none) keeps its plan — swaps never invalidate
+    in-flight work, they only steer later resolutions.
+    """
+
+    format_name: str
+    variant: str
+    threads: int
+    version: int
+
+
 @dataclass
 class ExecutionPlan:
     """Everything call-invariant for one cell, ready to execute.
@@ -234,6 +251,11 @@ class PlanCache:
         self._plans: OrderedDict[PlanKey, ExecutionPlan] = OrderedDict()
         self._formats: OrderedDict[tuple, tuple[SparseFormat, float]] = OrderedDict()
         self._lock = threading.Lock()
+        #: Versioned plan-group redirects installed by online migration
+        #: (:mod:`repro.engine.migration`): source key -> MigrationTarget.
+        self._migrations: dict[tuple, MigrationTarget] = {}
+        self._migration_version = 0
+        self._migrations_mtime: int | None = None
         self.stats: dict[str, int] = {
             "plan_hits": 0,
             "plan_misses": 0,
@@ -242,6 +264,7 @@ class PlanCache:
             "disk_hits": 0,
             "disk_writes": 0,
             "evictions": 0,
+            "migrations": 0,
         }
 
     def __len__(self) -> int:
@@ -380,6 +403,155 @@ class PlanCache:
                 self._formats.popitem(last=False)
                 self.stats["evictions"] += 1
         return matrix, format_time, provenance
+
+    # -- migration redirects ---------------------------------------------------
+
+    @staticmethod
+    def migration_key(
+        fingerprint: str,
+        format_name: str,
+        variant: str,
+        k: int,
+        threads: int,
+        policy_name: str = DEFAULT_POLICY.name,
+    ) -> tuple:
+        """Identity of one migratable plan group (the redirect's source)."""
+        return (fingerprint, format_name.lower(), variant, int(k), int(threads), policy_name)
+
+    @property
+    def migration_version(self) -> int:
+        """Monotone swap counter; bumps on every installed redirect."""
+        with self._lock:
+            return self._migration_version
+
+    def install_migration(
+        self,
+        source_key: tuple,
+        *,
+        format_name: str,
+        variant: str,
+        threads: int,
+    ) -> MigrationTarget:
+        """Atomically point a plan group at a new (format, variant, threads).
+
+        The swap is a dict entry replaced under the cache lock: requests
+        that already resolved keep their plan object untouched (no torn
+        reads), later resolutions see the new target.  With a disk tier
+        configured the redirect also persists to ``migrations.json`` so
+        sibling caches over the same directory (process-backend workers,
+        restarted servers) inherit it.
+        """
+        # Fold persisted redirects in first so this install's version is
+        # strictly above every sibling's — the merge rule is
+        # higher-version-wins and independent caches must not tie.
+        self._refresh_migrations()
+        with self._lock:
+            self._migration_version += 1
+            target = MigrationTarget(
+                format_name=format_name.lower(),
+                variant=variant,
+                threads=int(threads),
+                version=self._migration_version,
+            )
+            self._migrations[source_key] = target
+            self.stats["migrations"] += 1
+        self._save_migrations()
+        return target
+
+    def resolve_migration(self, source_key: tuple) -> MigrationTarget | None:
+        """The current redirect for a plan group, if any (lock-consistent)."""
+        self._refresh_migrations()
+        with self._lock:
+            return self._migrations.get(source_key)
+
+    def _migrations_path(self) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / "migrations.json"
+
+    def _save_migrations(self) -> None:
+        path = self._migrations_path()
+        if path is None:
+            return
+        # Merge-over-read so concurrent writers (several engines over one
+        # cache dir) lose at most their own latest entry, never the table.
+        rows = self._read_migration_rows(path)
+        with self._lock:
+            for key, target in self._migrations.items():
+                rows[self._migration_token(key)] = {
+                    "key": list(key),
+                    "target": {
+                        "format_name": target.format_name,
+                        "variant": target.variant,
+                        "threads": target.threads,
+                        "version": target.version,
+                    },
+                }
+        payload = {"version": PLAN_CACHE_VERSION, "migrations": rows}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            tmp.replace(path)
+        except OSError:
+            return  # a read-only cache dir must not break the run
+        try:
+            mtime = path.stat().st_mtime_ns
+        except OSError:
+            return
+        with self._lock:
+            self._migrations_mtime = mtime
+
+    def _refresh_migrations(self) -> None:
+        """Fold redirects persisted by sibling caches into this one."""
+        path = self._migrations_path()
+        if path is None:
+            return
+        try:
+            mtime = path.stat().st_mtime_ns
+        except OSError:
+            return
+        with self._lock:
+            if mtime == self._migrations_mtime:
+                return
+            self._migrations_mtime = mtime
+        rows = self._read_migration_rows(path)
+        with self._lock:
+            for row in rows.values():
+                key_list = row.get("key")
+                target_row = row.get("target")
+                if not isinstance(key_list, list) or not isinstance(target_row, dict):
+                    continue
+                key = tuple(key_list)
+                try:
+                    target = MigrationTarget(
+                        format_name=str(target_row["format_name"]),
+                        variant=str(target_row["variant"]),
+                        threads=int(target_row["threads"]),
+                        version=int(target_row["version"]),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    continue
+                current = self._migrations.get(key)
+                if current is None or target.version > current.version:
+                    self._migrations[key] = target
+                if target.version > self._migration_version:
+                    self._migration_version = target.version
+
+    @staticmethod
+    def _migration_token(key: tuple) -> str:
+        return hashlib.sha256(repr(key).encode()).hexdigest()[:24]
+
+    @staticmethod
+    def _read_migration_rows(path: Path) -> dict:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if not isinstance(payload, dict) or payload.get("version") != PLAN_CACHE_VERSION:
+            return {}
+        rows = payload.get("migrations")
+        return rows if isinstance(rows, dict) else {}
 
     # -- disk tier ------------------------------------------------------------
 

@@ -47,6 +47,9 @@ class ServeReply:
     verified: bool | None
     tenant: str
     priority: str
+    #: Whether the server executed this request through an online-migration
+    #: redirect (the output is bit-identical to the pre-migration plan's).
+    migrated: bool = False
 
 
 class Client:
@@ -151,6 +154,7 @@ class Client:
             verified=result["verified"],
             tenant=result["tenant"],
             priority=result["priority"],
+            migrated=bool(result.get("migrated", False)),
         )
 
     def ping(self) -> dict:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from ..engine.migration import MigrationPolicy
 from ..errors import BenchConfigError
 
 __all__ = ["PRIORITIES", "ServeConfig", "TenantQuota", "priority_rank"]
@@ -104,6 +105,16 @@ class ServeConfig:
         what is left.
     out:
         Trajectory path flushed on drain (default ``BENCH_serve.json``).
+    migration:
+        Adaptive online format migration per tenant engine (default on):
+        hot plan groups are re-pointed at a faster bit-identical cell by
+        a background worker once the measured conversion cost amortizes
+        — see :mod:`repro.engine.migration`.  ``False`` serves every
+        request in its arrival format forever (the ``--no-migration``
+        CLI knob); a :class:`~repro.engine.migration.MigrationPolicy`
+        instance customizes the decision rule (e.g. cross-format
+        candidates under a relaxed gate, the ``--migration-formats``
+        CLI knob).
     """
 
     host: str = "127.0.0.1"
@@ -117,6 +128,7 @@ class ServeConfig:
     cache_dir: str | None = None
     drain_grace_s: float = 30.0
     out: str = "BENCH_serve.json"
+    migration: "bool | MigrationPolicy" = True
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -152,4 +164,13 @@ class ServeConfig:
             "default_quota": {"max_in_flight": self.default_quota.max_in_flight},
             "cache_dir": self.cache_dir,
             "drain_grace_s": self.drain_grace_s,
+            "migration": (
+                {
+                    "enabled": self.migration.enabled,
+                    "require_bit_identity": self.migration.require_bit_identity,
+                    "candidate_formats": list(self.migration.candidate_formats),
+                }
+                if isinstance(self.migration, MigrationPolicy)
+                else self.migration
+            ),
         }

@@ -112,10 +112,19 @@ class LoadGenReport:
     hot_sent: int = 0
     cold_sent: int = 0
     hot_plan_hits: int = 0
+    hot_migrated: int = 0
     elapsed_s: float = 0.0
     latency: LatencyRecorder = field(default_factory=LatencyRecorder)
     hot_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
     cold_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    #: Per-call kernel seconds of hot requests, split into the run's first
+    #: and last third (by schedule index).  Online migration lands
+    #: mid-run, so the late window is the steady state the swap bought —
+    #: comparing the two (and comparing late windows across
+    #: ``--migration``/``--no-migration`` runs) is the repeat-call
+    #: speedup demonstration.
+    hot_kernel_early: LatencyRecorder = field(default_factory=LatencyRecorder)
+    hot_kernel_late: LatencyRecorder = field(default_factory=LatencyRecorder)
     behind_schedule_s: float = 0.0
     server_stats: dict = field(default_factory=dict)
 
@@ -147,7 +156,27 @@ class LoadGenReport:
                 f"cold p50 {self.cold_latency.summary()['p50_s'] * 1e3:.2f} ms "
                 f"({self.cold_sent} reqs)"
             )
+        steady = self.steady_state()
+        if steady is not None:
+            lines.append(
+                f"hot kernel p50: first third {steady['early_p50_s'] * 1e3:.3f} ms "
+                f"-> last third {steady['late_p50_s'] * 1e3:.3f} ms "
+                f"(x{steady['speedup']:.2f}, {self.hot_migrated} served migrated)"
+            )
         return lines
+
+    def steady_state(self) -> dict | None:
+        """Early-vs-late hot kernel time, or None without both windows."""
+        if not (self.hot_kernel_early.count and self.hot_kernel_late.count):
+            return None
+        early = self.hot_kernel_early.summary()["p50_s"]
+        late = self.hot_kernel_late.summary()["p50_s"]
+        return {
+            "early_p50_s": early,
+            "late_p50_s": late,
+            "speedup": early / late if late > 0 else 0.0,
+            "hot_migrated": self.hot_migrated,
+        }
 
 
 def _cold_matrix(spec: LoadGenSpec, index: int):
@@ -252,10 +281,17 @@ def run_loadgen(
                         report.hot_sent += 1
                         if reply.plan_provenance in ("shared", "memory", "disk"):
                             report.hot_plan_hits += 1
+                        if reply.migrated:
+                            report.hot_migrated += 1
                     else:
                         report.cold_sent += 1
                 report.latency.record(latency)
                 (report.hot_latency if hot else report.cold_latency).record(latency)
+                if hot and reply.mean_time_s is not None:
+                    if i < total // 3:
+                        report.hot_kernel_early.record(reply.mean_time_s)
+                    elif i >= total - total // 3:
+                        report.hot_kernel_late.record(reply.mean_time_s)
                 tracer.count("loadgen_completed")
                 tracer.count("loadgen_latency_s", latency)
 
@@ -315,8 +351,10 @@ def loadgen_trajectory(report: LoadGenReport, *, tracer: Tracer | None = None) -
                 "hot_sent": report.hot_sent,
                 "cold_sent": report.cold_sent,
                 "hot_plan_hits": report.hot_plan_hits,
+                "hot_migrated": report.hot_migrated,
             },
             "server_latency_s": report.server_stats.get("latency_s", {}),
+            "steady_state": report.steady_state(),
         },
     )
     if server_depth is not None:

@@ -304,6 +304,7 @@ class Server:
                 tune_store=TuneStore(tune_path) if tune_path else TuneStore(),
                 backend=self._backend,
                 close_backend=False,
+                migration=self.config.migration,
             )
             state = _TenantState(tenant, engine, self.config.quota_for(tenant).max_in_flight)
             self._tenants[tenant] = state
@@ -510,6 +511,7 @@ class Server:
                     "verified": result.verified,
                     "tenant": pending.tenant,
                     "priority": pending.priority,
+                    "migrated": result.migrated,
                 },
             }
         finally:

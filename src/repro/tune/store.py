@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -25,6 +26,7 @@ from ..kernels.plan import matrix_fingerprint
 
 __all__ = [
     "TuneDecision",
+    "ObservedStats",
     "TuneStore",
     "DEFAULT_STORE_PATH",
     "get_active_store",
@@ -64,6 +66,24 @@ class TuneDecision:
         return cls(**known)
 
 
+@dataclass(frozen=True)
+class ObservedStats:
+    """Runtime observations for one (fingerprint, k) slot.
+
+    The online-migration decision (:mod:`repro.engine.migration`) reads
+    the hit count as its reuse projection and the mean observed kernel
+    seconds as the serving cost of the current plan.  In-memory only —
+    observations describe this process's traffic, not the machine.
+    """
+
+    hits: int = 0
+    total_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.hits if self.hits else 0.0
+
+
 class TuneStore:
     """Fingerprint-keyed table of :class:`TuneDecision` rows.
 
@@ -71,11 +91,19 @@ class TuneStore:
     table loads lazily from disk and :meth:`record` persists through it.
     Unreadable or stale files are treated as empty — a corrupt cache must
     never break a benchmark run.
+
+    The store is safe to share between serving threads and the migration
+    worker: decisions and observations mutate under a lock, and
+    :attr:`version` bumps on every :meth:`record` so memoized consumers
+    (the engine's ``variant="auto"`` resolution) can detect staleness.
     """
 
     def __init__(self, path: str | Path | None = None):
         self.path = Path(path) if path is not None else None
         self._table: dict[str, TuneDecision] = {}
+        self._observed: dict[str, ObservedStats] = {}
+        self._version = 0
+        self._lock = threading.Lock()
         if self.path is not None and self.path.exists():
             self._load()
 
@@ -84,36 +112,67 @@ class TuneStore:
         return f"{fingerprint}:k{int(k)}"
 
     def __len__(self) -> int:
-        return len(self._table)
+        with self._lock:
+            return len(self._table)
+
+    @property
+    def version(self) -> int:
+        """Monotone decision counter: changes whenever a record lands."""
+        with self._lock:
+            return self._version
 
     def decisions(self) -> list[TuneDecision]:
-        return list(self._table.values())
+        with self._lock:
+            return list(self._table.values())
 
     def record(self, decision: TuneDecision, persist: bool = True) -> None:
         """Insert/replace the decision for its (fingerprint, k) slot."""
-        self._table[self._key(decision.fingerprint, decision.k)] = decision
+        with self._lock:
+            self._table[self._key(decision.fingerprint, decision.k)] = decision
+            self._version += 1
         if persist and self.path is not None:
             self.save()
 
     def lookup(self, fingerprint: str, k: int | None = None) -> TuneDecision | None:
         """Best decision for a matrix: exact k first, then any k."""
-        if k is not None:
-            exact = self._table.get(self._key(fingerprint, k))
-            if exact is not None:
-                return exact
-        for decision in self._table.values():
-            if decision.fingerprint == fingerprint:
-                return decision
+        with self._lock:
+            if k is not None:
+                exact = self._table.get(self._key(fingerprint, k))
+                if exact is not None:
+                    return exact
+            for decision in self._table.values():
+                if decision.fingerprint == fingerprint:
+                    return decision
         return None
+
+    # -- runtime observations --------------------------------------------------
+
+    def observe(self, fingerprint: str, k: int, seconds: float) -> ObservedStats:
+        """Fold one served request's per-call kernel seconds into the table."""
+        key = self._key(fingerprint, k)
+        with self._lock:
+            prior = self._observed.get(key, ObservedStats())
+            stats = ObservedStats(
+                hits=prior.hits + 1, total_s=prior.total_s + max(seconds, 0.0)
+            )
+            self._observed[key] = stats
+        return stats
+
+    def observed(self, fingerprint: str, k: int) -> ObservedStats:
+        """The accumulated observations for a slot (zeros when unseen)."""
+        with self._lock:
+            return self._observed.get(self._key(fingerprint, k), ObservedStats())
 
     # -- persistence ----------------------------------------------------------
 
     def save(self) -> Path:
         if self.path is None:
             raise BenchConfigError("this TuneStore has no backing path")
+        with self._lock:
+            snapshot = {key: d.to_dict() for key, d in self._table.items()}
         payload = {
             "schema_version": TUNE_STORE_SCHEMA_VERSION,
-            "decisions": {key: d.to_dict() for key, d in self._table.items()},
+            "decisions": snapshot,
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_suffix(".tmp")

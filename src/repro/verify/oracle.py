@@ -19,6 +19,10 @@ every way the repository can compute the product —
   perturb a single ulp;
 * ``auto`` — ``variant="auto"`` dispatch through an empty tune store (the
   heuristic fallback) resolved against the explicit variant's result;
+* ``migration`` — the same request through a migration-enabled engine
+  before and after :meth:`~repro.engine.Engine.force_migration`; the
+  post-migration result must agree **bit-identically** with the
+  pre-migration one (the online-migration swap gate's contract);
 
 — and asserts every result agrees with an independent dense reference
 within a tolerance scaled to the accumulation depth
@@ -66,6 +70,7 @@ PATH_NAMES = (
     "engine_batched",
     "server",
     "auto",
+    "migration",
 )
 
 #: Paths that are cheap enough to run on every fuzz case.
@@ -190,6 +195,7 @@ class DifferentialOracle:
         self.tracer = tracer
         self.backend = backend
         self._engine = None
+        self._migration_engine = None
         self._server = None
         self._client = None
 
@@ -206,6 +212,9 @@ class DifferentialOracle:
         if self._engine is not None:
             self._engine.close(wait=True)
             self._engine = None
+        if self._migration_engine is not None:
+            self._migration_engine.close(wait=True)
+            self._migration_engine = None
 
     def __enter__(self) -> "DifferentialOracle":
         return self
@@ -219,6 +228,19 @@ class DifferentialOracle:
 
             self._engine = Engine(workers=2, max_in_flight=16, backend=self.backend)
         return self._engine
+
+    def _get_migration_engine(self):
+        """A second engine with eager online migration, for the pre/post check."""
+        if self._migration_engine is None:
+            from ..engine import Engine, MigrationPolicy  # lazy (see _get_engine)
+
+            self._migration_engine = Engine(
+                workers=2,
+                max_in_flight=16,
+                backend=self.backend,
+                migration=MigrationPolicy(min_hits=1, margin=0.0, probe_repeats=1),
+            )
+        return self._migration_engine
 
     def _get_client(self):
         """One lazily-started server + client pair for the whole oracle run."""
@@ -332,6 +354,8 @@ class DifferentialOracle:
                 return self._run_engine_path(path, triplets, fmt, variant, B, k)
             if path == "server":
                 return self._run_server_path(triplets, fmt, variant, B, k)
+            if path == "migration":
+                return self._run_migration_path(triplets, fmt, variant, B, k)
             if path == "auto":
                 return self._run_auto_path(A, variant, B, k)
             raise AssertionError(f"unreachable path {path!r}")
@@ -418,6 +442,35 @@ class DifferentialOracle:
         if not np.array_equal(reply.output, direct):
             return [_BitViolation("served result differs bit-wise from api.multiply")]
         return [reply.output]
+
+    def _run_migration_path(self, triplets, fmt, variant, B, k):
+        """Pre/post online-migration outputs must be bit-identical."""
+        if variant == "auto" or not plan_supported(variant):
+            return None
+        from ..engine import SpmmRequest  # lazy (see _get_engine)
+        from ..errors import EngineError
+
+        engine = self._get_migration_engine()
+        request = SpmmRequest(
+            matrix=triplets,
+            k=k,
+            fmt=fmt,
+            variant=variant,
+            threads=self.threads if "parallel" in variant else 1,
+            repeats=1,
+            dense=np.ascontiguousarray(B[:, :k]),
+        )
+        pre = engine.run(request).output
+        try:
+            engine.force_migration(request)
+        except EngineError:
+            return None  # no plannable target for this cell: skip, not fail
+        post = engine.run(request).output
+        if not np.array_equal(pre, post):
+            return [_BitViolation(
+                "post-migration result differs bit-wise from pre-migration"
+            )]
+        return [post]
 
     def _run_auto_path(self, A, variant, B, k):
         # auto is one resolution per matrix, not per variant: run it once
