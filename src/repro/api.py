@@ -43,11 +43,13 @@ from .errors import BenchConfigError
 from .formats.base import SparseFormat
 from .formats.convert import convert
 from .formats.registry import get_format
+from .formats.spec import FormatSpec
 from .kernels.dispatch import run_spmm, run_spmv
 from .kernels.plan import PlanCache
 from .machine.machines import Machine, get_machine
 from .matrices.coo_builder import Triplets
 from .matrices.suite import load_matrix
+from .select import FormatSelector, train_selector
 from .serve import Client, LoadGenSpec, ServeConfig, Server
 from .tune.autotune import (
     DEFAULT_TUNE_CHUNKS,
@@ -65,6 +67,8 @@ __all__ = [
     "BenchResult",
     "Client",
     "Engine",
+    "FormatSelector",
+    "FormatSpec",
     "GridSpec",
     "LoadGenSpec",
     "MigrationPolicy",
@@ -84,6 +88,7 @@ __all__ = [
     "load_matrix",
     "multiply",
     "serve",
+    "train_selector",
     "tune",
 ]
 
@@ -93,14 +98,25 @@ __all__ = [
 
 def _as_format(
     matrix: SparseFormat | Triplets | str,
-    fmt: str | None,
+    fmt: str | FormatSpec | None,
     *,
     scale: int = 1,
+    fmt_params: Any = None,
     **format_params: Any,
 ) -> SparseFormat:
-    """Coerce any accepted matrix spec into a built sparse format."""
+    """Coerce any accepted matrix spec into a built sparse format.
+
+    ``fmt`` accepts every :class:`FormatSpec` spelling — a bare name, a
+    ``"sell:c=32,sigma=512"`` shorthand, or a :class:`FormatSpec` — and
+    ``fmt_params`` the parameter-dict form; parsed parameters merge under
+    explicit ``format_params`` keywords.
+    """
+    if fmt is not None or fmt_params:
+        spec = FormatSpec.parse(fmt if fmt is not None else "csr", fmt_params)
+        fmt = spec.name
+        format_params = {**spec.kwargs, **format_params}
     if isinstance(matrix, SparseFormat):
-        if fmt is not None and fmt.lower() != matrix.format_name:
+        if fmt is not None and fmt != matrix.format_name:
             return convert(matrix, fmt, **format_params)
         return matrix
     if isinstance(matrix, str):
@@ -134,7 +150,8 @@ def multiply(
     matrix: SparseFormat | Triplets | str,
     dense: np.ndarray,
     *,
-    fmt: str | None = None,
+    fmt: str | FormatSpec | None = None,
+    fmt_params: Any = None,
     variant: str = "serial",
     k: int | None = None,
     threads: int | None = None,
@@ -145,7 +162,9 @@ def multiply(
 
     ``matrix`` is a built :class:`~repro.formats.SparseFormat`, raw
     :class:`~repro.matrices.Triplets` (formatted into ``fmt``, default
-    CSR), or a suite-matrix name (loaded at ``scale``).  ``variant``
+    CSR), or a suite-matrix name (loaded at ``scale``).  ``fmt`` takes any
+    :class:`FormatSpec` spelling (``"sell"``, ``"sell:c=32,sigma=512"``, a
+    :class:`FormatSpec`) and ``fmt_params`` the dict form.  ``variant``
     selects the kernel, including ``"auto"`` (tuned-table dispatch); extra
     ``options`` go to the kernel unchanged.
 
@@ -153,7 +172,7 @@ def multiply(
     >>> C = multiply(load_matrix("cant", scale=64), B, fmt="csr",
     ...              variant="parallel", threads=4)
     """
-    A = _as_format(matrix, fmt, scale=scale)
+    A = _as_format(matrix, fmt, scale=scale, fmt_params=fmt_params)
     B = np.asarray(dense)
     if threads is not None:
         options["threads"] = threads
@@ -170,7 +189,8 @@ def multiply(
 def benchmark(
     matrix: Triplets | str,
     *,
-    fmt: str = "csr",
+    fmt: str | FormatSpec = "csr",
+    fmt_params: Any = None,
     variant: str | None = None,
     k: int | None = None,
     threads: int | None = None,
@@ -185,8 +205,10 @@ def benchmark(
 ) -> BenchResult:
     """Benchmark one ``(matrix, fmt, variant)`` cell — the §4.1 lifecycle.
 
-    Load → format → calculate ×``n_runs`` → verify → report.  ``params``
-    is the escape hatch for the long tail of knobs
+    Load → format → calculate ×``n_runs`` → verify → report.  ``fmt``
+    accepts any :class:`FormatSpec` spelling — shorthand parameters like
+    ``"sell:c=32,sigma=512"`` ride into the format constructor.
+    ``params`` is the escape hatch for the long tail of knobs
     (:class:`~repro.api.BenchParams`); the explicit keywords override it.
     ``n_runs=0`` is the empty run: the kernel executes once untimed,
     ``result.timing`` is ``None`` and measured MFLOPS are 0.0.
@@ -196,6 +218,7 @@ def benchmark(
     ...               threads=4, scale=64)
     >>> r.mflops, r.verified
     """
+    spec = FormatSpec.parse(fmt, fmt_params)
     overrides = {
         name: value
         for name, value in (
@@ -206,10 +229,12 @@ def benchmark(
         )
         if value is not None
     }
+    if spec.params:
+        overrides["fmt_params"] = spec.params
     p = (params or BenchParams()).with_(**overrides)
     with legacy_ok():
         bench = SpmmBenchmark(
-            fmt,
+            spec.name,
             params=p,
             machine=_as_machine(machine, scale),
             operation=operation,
@@ -301,11 +326,15 @@ def tune(
 ) -> TuneReport:
     """Autotune ``(fmt, variant, chunk, threads)`` for one matrix.
 
-    The winner is recorded into ``store`` (a :class:`TuneStore` or a path)
-    keyed by matrix content fingerprint; ``activate=True`` additionally
-    makes it the process-wide store so ``variant="auto"`` dispatch — in
-    :func:`multiply`, :func:`benchmark`, and the :class:`Engine` — picks
-    the decision up immediately.
+    ``fmts`` entries accept :class:`FormatSpec` spellings: a bare
+    ``"sell"`` samples the default (chunk, sigma) grid per matrix, while
+    ``"sell:c=32,sigma=512"`` pins that single parameter cell.  The winner
+    — including its format parameters — is recorded into ``store`` (a
+    :class:`TuneStore` or a path) keyed by matrix content fingerprint;
+    ``activate=True`` additionally makes it the process-wide store so
+    ``variant="auto"`` / ``fmt="auto"`` dispatch — in :func:`multiply`,
+    :func:`benchmark`, and the :class:`Engine` — picks the decision up
+    immediately.
 
     >>> from repro.api import tune, multiply
     >>> report = tune("torso1", k=32, scale=64, activate=True)

@@ -42,6 +42,11 @@ class BenchParams:
     warmup: int = 1
     verify: bool = True
     debug: bool = False
+    #: Explicit format-constructor parameters as ``(name, value)`` pairs
+    #: (e.g. a tuned SELL ``(("chunk", 32), ("sigma", 512))``) — merged
+    #: over :meth:`format_params`'s per-format defaults.  Only meaningful
+    #: for the single format this benchmark builds.
+    fmt_params: tuple = ()
 
     def __post_init__(self) -> None:
         # n_runs=0 is the empty-run contract: the calculation executes once
@@ -62,18 +67,31 @@ class BenchParams:
             )
         if any(t < 1 for t in self.thread_list):
             raise BenchConfigError(f"thread_list entries must be >= 1: {self.thread_list}")
+        object.__setattr__(
+            self,
+            "fmt_params",
+            tuple(sorted((str(n), v) for n, v in dict(self.fmt_params or {}).items())),
+        )
 
     def format_params(self, format_name: str) -> dict:
-        """Format-specific constructor knobs for this configuration."""
+        """Format-specific constructor knobs for this configuration.
+
+        Explicit :attr:`fmt_params` pairs override the per-format defaults
+        — the autotuner's (chunk, sigma) sampling rides this override.
+        """
         if format_name == "bcsr":
-            return {"block_size": self.block_size}
-        if format_name == "bell":
-            return {"row_block": max(self.block_size, 2) * 8}
-        if format_name == "csr5":
-            return {"tile_nnz": 256}
-        if format_name == "sell":
-            return {"chunk": 32, "sigma": max(self.block_size, 2) * 64}
-        return {}
+            defaults = {"block_size": self.block_size}
+        elif format_name == "bell":
+            defaults = {"row_block": max(self.block_size, 2) * 8}
+        elif format_name == "csr5":
+            defaults = {"tile_nnz": 256}
+        elif format_name == "sell":
+            defaults = {"chunk": 32, "sigma": max(self.block_size, 2) * 64}
+        else:
+            defaults = {}
+        if self.fmt_params:
+            defaults.update(dict(self.fmt_params))
+        return defaults
 
     def kernel_options(self) -> dict:
         """Options forwarded to the kernel variant."""

@@ -78,7 +78,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="benchmark one matrix/format/variant cell")
     run_p.add_argument("--matrix", required=True, help="suite matrix name")
     run_p.add_argument("--format", required=True, dest="format_name",
-                       help=f"sparse format ({', '.join(format_names())})")
+                       help=f"sparse format ({', '.join(format_names())}); "
+                            "accepts parameter shorthand like sell:c=32,sigma=512")
     run_p.add_argument("--scale", type=int, default=16,
                        help="divide the paper's matrix rows by this factor")
     run_p.add_argument("--machine", default=None,
@@ -237,7 +238,10 @@ def build_parser() -> argparse.ArgumentParser:
     tune_p.add_argument("-k", type=int, default=32, dest="k",
                         help="dense operand width to tune for")
     tune_p.add_argument("--formats", default="coo,csr,ell,bcsr", dest="format_list",
-                        help="comma-separated candidate formats")
+                        help="comma-separated candidate formats; entries accept "
+                             "FormatSpec shorthand — a bare 'sell' samples the "
+                             "default (chunk, sigma) grid, 'sell:c=32,sigma=512' "
+                             "pins one parameter cell")
     tune_p.add_argument("--variants", default="serial,parallel",
                         help="comma-separated candidate variants")
     tune_p.add_argument("--thread-list", default="2,4,8",
@@ -319,6 +323,10 @@ def build_parser() -> argparse.ArgumentParser:
     select_p.add_argument("--scale", type=int, default=32)
     select_p.add_argument("--selector", default=None,
                           help="load a saved selector JSON instead of training")
+    select_p.add_argument("--trajectories", default=None, metavar="PATHS",
+                          help="comma-separated BENCH_*.json files or directories; "
+                               "retrains the selector on their measured per-cell "
+                               "winners (SpChar-style) instead of oracle labels only")
     select_p.add_argument("--save", default=None,
                           help="save the (trained) selector to this path")
 
@@ -784,12 +792,18 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     print(f"tuned {args.matrix} (scale 1/{args.scale}, k={args.k}, "
           f"mode={args.mode}{', machine ' + machine.name if machine else ''})")
     print(f"sampled {len(report.cells)} cells:")
-    header = f"  {'format':<8} {'variant':<10} {'threads':>7} {'chunk':>12} {'MFLOPS':>14}"
+    header = (f"  {'format':<8} {'params':<22} {'variant':<10} {'threads':>7} "
+              f"{'chunk':>12} {'MFLOPS':>14}")
     print(header)
-    for fmt, variant, threads, chunk, mflops in report.table_rows():
-        print(f"  {fmt:<8} {variant:<10} {threads:>7} {chunk:>12} {mflops:>14}")
+    for fmt, fmt_params, variant, threads, chunk, mflops in report.table_rows():
+        print(f"  {fmt:<8} {fmt_params:<22} {variant:<10} {threads:>7} "
+              f"{chunk:>12} {mflops:>14}")
     d = report.decision
-    print(f"winner: {d.format_name}/{d.variant} threads={d.threads} "
+    winner_params = (
+        "[" + ",".join(f"{n}={v}" for n, v in d.format_params) + "] "
+        if d.format_params else ""
+    )
+    print(f"winner: {d.format_name}/{d.variant} {winner_params}threads={d.threads} "
           f"chunk_elements={d.chunk_elements} ({d.score_mflops:,.1f} MFLOPS)")
     print(f"recorded {d.fingerprint}:k{d.k} -> {store.path}")
     print("variant=auto dispatch will now pick this plan for the matrix")
@@ -937,11 +951,16 @@ def _cmd_roofline(args: argparse.Namespace) -> int:
 def _cmd_select(args: argparse.Namespace) -> int:
     from .matrices.properties import analyze
     from .matrices.suite import load_matrix
-    from .select import FormatSelector, train_default_selector
+    from .select import FormatSelector, train_default_selector, train_selector
 
     if args.selector:
         selector = FormatSelector.load(args.selector)
         print(f"loaded selector ({selector.target})")
+    elif args.trajectories:
+        paths = [tok.strip() for tok in args.trajectories.split(",") if tok.strip()]
+        print(f"training on trajectory winners from {len(paths)} path(s)...")
+        selector = train_selector(paths)
+        print(f"trained selector ({selector.target})")
     else:
         print("training the default selector (oracle-labeled synthetic corpus)...")
         selector = train_default_selector()

@@ -129,6 +129,7 @@ class _WorkerState:
             k=spec["k"],
             threads=spec["threads"],
             policy=spec["policy"],
+            format_params=spec.get("fmt_params"),
             tracer=tracer,
             fingerprint=spec["fingerprint"],
         )

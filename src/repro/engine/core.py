@@ -44,10 +44,21 @@ from ..errors import EngineClosedError, EngineError
 from ..formats.base import SparseFormat
 from ..formats.registry import get_format
 from ..kernels.dispatch import run_spmm
-from ..kernels.plan import PlanCache, fingerprint_triplets, matrix_fingerprint, plan_supported
+from ..kernels.plan import (
+    PlanCache,
+    fingerprint_triplets,
+    matrix_fingerprint,
+    params_token,
+    plan_supported,
+)
 from ..matrices.coo_builder import Triplets
 from ..matrices.suite import load_matrix
-from ..tune.store import TuneStore, get_active_store, resolve_auto_variant
+from ..tune.store import (
+    TuneStore,
+    get_active_store,
+    resolve_auto_format,
+    resolve_auto_variant,
+)
 from .backends import BACKEND_NAMES, Backend, make_backend
 from .backends.shm import SharedArray
 from .migration import MigrationManager, MigrationPolicy
@@ -79,7 +90,13 @@ class Engine:
         counters; created on demand so :attr:`stats` always works.
     tune_store:
         :class:`~repro.tune.store.TuneStore` consulted for
-        ``variant="auto"`` requests (default: the process-wide store).
+        ``variant="auto"`` / ``fmt="auto"`` requests (default: the
+        process-wide store).
+    selector:
+        Optional trained :class:`~repro.select.selector.FormatSelector`
+        used as the ``fmt="auto"`` cold-start fallback when the tune store
+        has no entry for a matrix (the SpChar trajectory-trained path);
+        without one, untuned ``fmt="auto"`` requests fall back to CSR.
     policy:
         Dtype policy for loading/formatting/operand generation.
     backend:
@@ -121,6 +138,7 @@ class Engine:
         plan_cache: PlanCache | None = None,
         tracer: Tracer | None = None,
         tune_store: TuneStore | None = None,
+        selector=None,
         policy: DTypePolicy = DEFAULT_POLICY,
         backend: str | Backend | None = None,
         backend_options: dict | None = None,
@@ -130,6 +148,7 @@ class Engine:
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.tracer = tracer if tracer is not None else Tracer()
         self.tune_store = tune_store
+        self.selector = selector
         self.policy = policy
         self.workers = workers or DEFAULT_WORKERS
         migration_policy = MigrationPolicy.coerce(migration)
@@ -174,6 +193,7 @@ class Engine:
         #: resolution, and the per-plan-key build locks.
         self._matrix_memo: dict = {}
         self._auto_memo: dict[tuple[str, int], tuple[str, dict, int]] = {}
+        self._auto_fmt_memo: dict[tuple[str, int], tuple[str, dict, int]] = {}
         self._plan_locks: dict[tuple, threading.Lock] = {}
         self._built_keys: set[tuple] = set()
         self._format_memo: dict[tuple, SparseFormat] = {}
@@ -306,23 +326,26 @@ class Engine:
         try:
             triplets, name = self._resolve_matrix(request)
             variant, tuned_opts = self._resolve_variant(request, triplets)
-            fmt = request.fmt.lower()
+            fmt, fmt_params = self._resolve_format(request, triplets)
             threads = int(tuned_opts.get("threads", request.threads))
             fingerprint = self._fingerprint(triplets)
             # Online migration: a group whose redirect landed executes on
-            # the migrated (format, variant, threads) cell from here on;
-            # requests that resolved before the swap keep their old plan.
+            # the migrated (format, variant, threads, params) cell from
+            # here on; requests resolved before the swap keep their plan.
             migrated = False
             if self._migrations is not None and plan_supported(variant):
-                target = self._migrations.resolve(fingerprint, fmt, variant, request.k, threads)
+                target = self._migrations.resolve(
+                    fingerprint, fmt, variant, request.k, threads, fmt_params
+                )
                 if target is not None:
                     fmt, variant, threads = target.format_name, target.variant, target.threads
+                    fmt_params = dict(target.format_params)
                     migrated = True
                     self.tracer.count("migration_served")
             B = self._dense_operand(request, triplets)
             if self._backend.remote and plan_supported(variant):
                 body = self._run_remote(
-                    request, triplets, fmt, variant, threads, B, migrated
+                    request, triplets, fmt, fmt_params, variant, threads, B, migrated
                 )
             else:
                 if self._backend.remote:
@@ -330,7 +353,7 @@ class Engine:
                     # from the PlanCache tier in a worker; keep them local.
                     self.tracer.count("engine_backend_local_fallback")
                 body = self._run_local(
-                    request, triplets, name, fmt, variant, threads, tuned_opts, B
+                    request, triplets, name, fmt, fmt_params, variant, threads, tuned_opts, B
                 )
             output, timing, provenance, plan_time, execute_s, verified = body
             if self._migrations is not None and not migrated and plan_supported(variant):
@@ -348,6 +371,7 @@ class Engine:
                     threads,
                     per_call_s,
                     conversion_s=plan_time if provenance == "built" else 0.0,
+                    fmt_params=fmt_params,
                 )
         except BaseException:
             self.tracer.count("engine_failed")
@@ -374,6 +398,7 @@ class Engine:
         triplets: Triplets,
         name: str,
         fmt: str,
+        fmt_params: dict,
         variant: str,
         threads: int,
         tuned_opts: dict,
@@ -382,7 +407,7 @@ class Engine:
         """Plan-acquire + execute + verify in this thread (thread backend)."""
         t_plan = time.perf_counter()
         kernel, provenance = self._acquire_kernel(
-            request, triplets, name, fmt, variant, threads, tuned_opts, B
+            request, triplets, name, fmt, fmt_params, variant, threads, tuned_opts, B
         )
         plan_time = time.perf_counter() - t_plan
         self.tracer.count("engine_plan_s", plan_time)
@@ -404,6 +429,7 @@ class Engine:
         request: SpmmRequest,
         triplets: Triplets,
         fmt: str,
+        fmt_params: dict,
         variant: str,
         threads: int,
         B: np.ndarray,
@@ -431,6 +457,7 @@ class Engine:
             "fingerprint": fingerprint,
             "matrix": descriptor,
             "fmt": fmt,
+            "fmt_params": dict(fmt_params or {}),
             "variant": variant,
             "k": request.k,
             "threads": threads,
@@ -582,6 +609,39 @@ class Engine:
             self._auto_memo[memo_key] = (variant, opts, version)
         return variant, opts
 
+    def _resolve_format(
+        self, request: SpmmRequest, triplets: Triplets
+    ) -> tuple[str, dict]:
+        """Pin ``fmt="auto"`` via the tune store / trained selector.
+
+        Memoized per (matrix, k) with the same tune-store-version
+        revalidation as :meth:`_resolve_variant`; explicit formats pass
+        straight through with their request parameters.
+        """
+        if request.fmt != "auto":
+            return request.fmt, request.format_kwargs
+        store = self.tune_store if self.tune_store is not None else get_active_store()
+        version = store.version
+        memo_key = (self._fingerprint(triplets), request.k)
+        with self._lock:
+            hit = self._auto_fmt_memo.get(memo_key)
+        if hit is not None:
+            fmt, params, seen_version = hit
+            if seen_version == version:
+                return fmt, dict(params)
+            self.tracer.count("engine_auto_revalidated")
+        fmt, params = resolve_auto_format(
+            triplets,
+            request.k,
+            store=self.tune_store,
+            selector=self.selector,
+            tracer=self.tracer,
+        )
+        self.tracer.count("engine_auto_format_resolved")
+        with self._lock:
+            self._auto_fmt_memo[memo_key] = (fmt, params, version)
+        return fmt, dict(params)
+
     # -- migration ------------------------------------------------------------
 
     @property
@@ -600,16 +660,18 @@ class Engine:
             raise EngineError("migration is disabled for this engine")
         triplets, _name = self._resolve_matrix(request)
         variant, tuned_opts = self._resolve_variant(request, triplets)
+        fmt, fmt_params = self._resolve_format(request, triplets)
         if not plan_supported(variant):
             raise EngineError(f"variant {request.variant!r} is not migratable")
         return self._migrations.migrate_now(
             triplets,
             self._fingerprint(triplets),
-            request.fmt.lower(),
+            fmt,
             variant,
             request.k,
             int(tuned_opts.get("threads", request.threads)),
             force=True,
+            fmt_params=fmt_params,
         )
 
     # -- plan acquisition ------------------------------------------------------
@@ -620,6 +682,7 @@ class Engine:
         triplets: Triplets,
         name: str,
         fmt: str,
+        fmt_params: dict,
         variant: str,
         threads: int,
         tuned_opts: dict,
@@ -629,11 +692,13 @@ class Engine:
 
         Plannable variants go through the shared :class:`PlanCache` behind
         a per-key lock, so one engine request builds and the rest of the
-        fingerprint group shares.  ``fmt``/``variant``/``threads`` are the
-        *effective* cell — post migration-redirect — so a swapped group
-        locks and builds under its target key while stragglers on the old
-        key keep their plan.  Unplannable variants (GPU) at least share
-        the conversion artifact through an engine-local memo.
+        fingerprint group shares.  ``fmt``/``fmt_params``/``variant``/
+        ``threads`` are the *effective* cell — post migration-redirect — so
+        a swapped group locks and builds under its target key while
+        stragglers on the old key keep their plan.  Format parameters join
+        the lock key: the same matrix under two (C, sigma) settings forms
+        two groups that never share a plan.  Unplannable variants (GPU) at
+        least share the conversion artifact through an engine-local memo.
         """
         fingerprint = self._fingerprint(triplets)
         if plan_supported(variant):
@@ -644,6 +709,7 @@ class Engine:
                 request.k,
                 threads,
                 self.policy.name,
+                params_token(fmt_params),
             )
             with self._lock:
                 lock = self._plan_locks.setdefault(key, threading.Lock())
@@ -655,6 +721,7 @@ class Engine:
                     k=request.k,
                     threads=threads,
                     policy=self.policy,
+                    format_params=fmt_params,
                     tracer=self.tracer,
                     fingerprint=fingerprint,
                 )
@@ -675,11 +742,13 @@ class Engine:
             return kernel, provenance
 
         # Unplannable variant: memoize only the conversion artifact.
-        fkey = (fingerprint, fmt, self.policy.name)
+        fkey = (fingerprint, fmt, self.policy.name, params_token(fmt_params))
         with self._lock:
             A = self._format_memo.get(fkey)
         if A is None:
-            A = get_format(fmt).from_triplets(triplets, policy=self.policy)
+            A = get_format(fmt).from_triplets(
+                triplets, policy=self.policy, **dict(fmt_params or {})
+            )
             A._suite_name = name
             with self._lock:
                 self._format_memo[fkey] = A

@@ -62,6 +62,11 @@ __all__ = ["MigrationPolicy", "MigrationManager"]
 _STOP = object()
 
 
+def _freeze_params(fmt_params) -> tuple:
+    """Normalize format parameters to sorted ``(name, value)`` pairs."""
+    return tuple(sorted((str(n), v) for n, v in dict(fmt_params or {}).items()))
+
+
 @dataclass(frozen=True)
 class MigrationPolicy:
     """Knobs of the online-migration decision rule.
@@ -121,6 +126,10 @@ class _GroupState:
     """Bookkeeping for one plan group (the migration unit)."""
 
     triplets: Triplets
+    #: The group's format parameters as sorted ``(name, value)`` pairs —
+    #: the probe rebuilds the current plan from them, so two (C, sigma)
+    #: settings of one matrix are two independent groups.
+    fmt_params: tuple = ()
     hits: int = 0
     total_s: float = 0.0
     conversion_s: float = 0.0
@@ -132,6 +141,7 @@ class _Candidate:
     format_name: str
     variant: str
     threads: int
+    format_params: tuple
     per_call_s: float
     conversion_s: float
 
@@ -205,11 +215,18 @@ class MigrationManager:
     # -- request-side hooks (serving threads) ---------------------------------
 
     def resolve(
-        self, fingerprint: str, fmt: str, variant: str, k: int, threads: int
+        self,
+        fingerprint: str,
+        fmt: str,
+        variant: str,
+        k: int,
+        threads: int,
+        fmt_params=None,
     ) -> MigrationTarget | None:
         """The redirect for a plan group, if one was installed."""
         key = PlanCache.migration_key(
-            fingerprint, fmt, variant, k, threads, self.dtype_policy.name
+            fingerprint, fmt, variant, k, threads, self.dtype_policy.name,
+            format_params=fmt_params,
         )
         return self.plan_cache.resolve_migration(key)
 
@@ -223,6 +240,7 @@ class MigrationManager:
         threads: int,
         seconds: float,
         conversion_s: float = 0.0,
+        fmt_params=None,
     ) -> None:
         """Feed one completed request's per-call kernel seconds.
 
@@ -233,14 +251,17 @@ class MigrationManager:
         """
         self.store.observe(fingerprint, k, seconds)
         key = PlanCache.migration_key(
-            fingerprint, fmt, variant, k, threads, self.dtype_policy.name
+            fingerprint, fmt, variant, k, threads, self.dtype_policy.name,
+            format_params=fmt_params,
         )
         with self._lock:
             if self._closed:
                 return
             state = self._states.get(key)
             if state is None:
-                state = _GroupState(triplets=triplets)
+                state = _GroupState(
+                    triplets=triplets, fmt_params=_freeze_params(fmt_params)
+                )
                 self._states[key] = state
                 self.tracer.count("migration_tracked")
                 while len(self._states) > self.policy.max_tracked:
@@ -291,6 +312,7 @@ class MigrationManager:
         k: int,
         threads: int,
         force: bool = False,
+        fmt_params=None,
     ) -> MigrationOutcome:
         """Probe synchronously on the calling thread (tests, the oracle).
 
@@ -299,41 +321,48 @@ class MigrationManager:
         do not cover the conversion — but never the bit-identity gate.
         """
         key = PlanCache.migration_key(
-            fingerprint, fmt, variant, k, threads, self.dtype_policy.name
+            fingerprint, fmt, variant, k, threads, self.dtype_policy.name,
+            format_params=fmt_params,
         )
         with self._lock:
             state = self._states.get(key)
             if state is None:
-                state = _GroupState(triplets=triplets)
+                state = _GroupState(
+                    triplets=triplets, fmt_params=_freeze_params(fmt_params)
+                )
                 self._states[key] = state
             if state.status == "queued":
                 state.status = "watching"  # claim it from the background queue
         return self._probe_and_swap(key, force=force)
 
     def _probe_and_swap(self, key: tuple, force: bool) -> MigrationOutcome:
-        fingerprint, fmt, variant, k, threads, _policy_name = key
+        fingerprint, fmt, variant, k, threads, _policy_name, _params_tok = key
         with self._lock:
             state = self._states.get(key)
         if state is None or self.plan_cache.resolve_migration(key) is not None:
             return MigrationOutcome(target=None, reason="already-migrated")
         self.tracer.count("migration_probes")
         triplets = state.triplets
+        fmt_params = dict(state.fmt_params)
         B = self._probe_operand(triplets, k)
 
         current, _ = self.plan_cache.get_or_build_plan(
             triplets, fmt, variant=variant, k=k, threads=threads,
-            policy=self.dtype_policy, fingerprint=fingerprint,
+            policy=self.dtype_policy, format_params=fmt_params,
+            fingerprint=fingerprint,
         )
         reference = current(B)
         current_s = self._time_plan(current, B)
 
         best: _Candidate | None = None
-        for cand_fmt, cand_variant, cand_threads in self._candidates(key):
+        for cand_fmt, cand_variant, cand_threads, cand_params in self._candidates(
+            key, state.fmt_params
+        ):
             try:
                 plan, provenance = self.plan_cache.get_or_build_plan(
                     triplets, cand_fmt, variant=cand_variant, k=k,
                     threads=cand_threads, policy=self.dtype_policy,
-                    fingerprint=fingerprint,
+                    format_params=dict(cand_params), fingerprint=fingerprint,
                 )
             except Exception:
                 self.tracer.count("migration_failed")
@@ -347,7 +376,10 @@ class MigrationManager:
                 continue
             cand_s = self._time_plan(plan, B)
             if best is None or cand_s < best.per_call_s:
-                best = _Candidate(cand_fmt, cand_variant, cand_threads, cand_s, conversion_s)
+                best = _Candidate(
+                    cand_fmt, cand_variant, cand_threads, cand_params,
+                    cand_s, conversion_s,
+                )
 
         if best is None:
             return self._reject(key, state, "no-bit-identical-candidate")
@@ -363,6 +395,7 @@ class MigrationManager:
             format_name=best.format_name,
             variant=best.variant,
             threads=best.threads,
+            format_params=dict(best.format_params),
         )
         self._record_decision(fingerprint, k, best, triplets)
         with self._lock:
@@ -387,12 +420,14 @@ class MigrationManager:
 
     # -- probe helpers --------------------------------------------------------
 
-    def _candidates(self, key: tuple) -> list[tuple[str, str, int]]:
-        fingerprint, fmt, variant, k, threads, _policy_name = key
-        seen = {(fmt, variant, threads)}
-        out: list[tuple[str, str, int]] = []
+    def _candidates(
+        self, key: tuple, fmt_params: tuple = ()
+    ) -> list[tuple[str, str, int, tuple]]:
+        fingerprint, fmt, variant, k, threads, _policy_name, _params_tok = key
+        seen = {(fmt, variant, threads, fmt_params)}
+        out: list[tuple[str, str, int, tuple]] = []
 
-        def push(cell: tuple[str, str, int]) -> None:
+        def push(cell: tuple[str, str, int, tuple]) -> None:
             if cell not in seen and plan_supported(cell[1]):
                 seen.add(cell)
                 out.append(cell)
@@ -402,23 +437,30 @@ class MigrationManager:
         # (two formats' accumulation orders can coincide on one input and
         # diverge on the next), so cross-format candidates — including a
         # tuned winner recorded for another format — need the relaxed
-        # tolerance gate.
+        # tolerance gate.  A tuned winner for the *same* format may carry
+        # different format parameters (a tuned SELL (chunk, sigma) cell);
+        # the probe's identity gate still decides whether it swaps in.
         cross_format_ok = not self.policy.require_bit_identity
         decision = self.store.lookup(fingerprint, k)
         if decision is not None:
             cand_fmt = decision.format_name.lower()
             if cand_fmt == fmt or cross_format_ok:
-                push((cand_fmt, decision.variant, max(decision.threads, 1)))
+                push((
+                    cand_fmt,
+                    decision.variant,
+                    max(decision.threads, 1),
+                    decision.format_params,
+                ))
         cores = os.cpu_count() or 1
         parallel_threads = max(1, min(self.policy.candidate_threads, cores))
         for cand_variant in self.policy.candidate_variants:
             t = parallel_threads if "parallel" in cand_variant else 1
-            push((fmt, cand_variant, t))
+            push((fmt, cand_variant, t, fmt_params))
         if cross_format_ok:
             for cand_fmt in self.policy.candidate_formats:
                 for cand_variant in self.policy.candidate_variants:
                     t = parallel_threads if "parallel" in cand_variant else 1
-                    push((cand_fmt.lower(), cand_variant, t))
+                    push((cand_fmt.lower(), cand_variant, t, ()))
         return out
 
     def _probe_operand(self, triplets: Triplets, k: int) -> np.ndarray:
@@ -467,6 +509,7 @@ class MigrationManager:
                     k=k,
                     score_mflops=mflops,
                     mode="online",
+                    format_params=best.format_params,
                 ),
                 persist=store.path is not None,
             )
@@ -475,9 +518,18 @@ class MigrationManager:
 
     # -- introspection --------------------------------------------------------
 
-    def status(self, fingerprint: str, fmt: str, variant: str, k: int, threads: int) -> str:
+    def status(
+        self,
+        fingerprint: str,
+        fmt: str,
+        variant: str,
+        k: int,
+        threads: int,
+        fmt_params=None,
+    ) -> str:
         key = PlanCache.migration_key(
-            fingerprint, fmt, variant, k, threads, self.dtype_policy.name
+            fingerprint, fmt, variant, k, threads, self.dtype_policy.name,
+            format_params=fmt_params,
         )
         with self._lock:
             state = self._states.get(key)

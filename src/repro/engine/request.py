@@ -22,6 +22,7 @@ import numpy as np
 
 from ..bench.timing import TimingStats, flops_to_mflops
 from ..errors import EngineError
+from ..formats.spec import FormatSpec
 
 __all__ = ["SpmmRequest", "SpmmResult"]
 
@@ -35,6 +36,13 @@ class SpmmRequest:
     :class:`~repro.formats.SparseFormat` instance.  ``dense`` overrides the
     auto-generated operand (width ``k``, seeded by ``seed`` exactly like
     the benchmark suite, so engine and suite outputs are bit-comparable).
+
+    ``fmt`` accepts any :class:`~repro.formats.spec.FormatSpec` spelling —
+    a bare name, the ``"sell:c=32,sigma=512"`` shorthand, or a bare name
+    plus a ``fmt_params`` mapping.  Construction normalizes both fields:
+    ``fmt`` becomes the bare lowercase name and ``fmt_params`` the canonical
+    sorted ``(name, value)`` pair tuple, so two spellings of the same cell
+    compare, hash, and fingerprint-group identically.
     """
 
     matrix: Any
@@ -48,6 +56,7 @@ class SpmmRequest:
     scale: int = 1
     verify: bool = False
     tag: str = ""
+    fmt_params: Any = ()
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -58,12 +67,26 @@ class SpmmRequest:
             raise EngineError(f"repeats must be >= 0, got {self.repeats}")
         if self.scale < 1:
             raise EngineError(f"scale must be >= 1, got {self.scale}")
+        spec = FormatSpec.parse(self.fmt, self.fmt_params or None)
+        object.__setattr__(self, "fmt", spec.name)
+        object.__setattr__(self, "fmt_params", spec.params)
+
+    @property
+    def format_spec(self) -> FormatSpec:
+        """The normalized spec this request names."""
+        return FormatSpec(self.fmt, self.fmt_params)
+
+    @property
+    def format_kwargs(self) -> dict[str, int]:
+        """Format parameters as ``from_triplets(**kwargs)`` keywords."""
+        return dict(self.fmt_params)
 
     @property
     def label(self) -> str:
         """Human-readable identity for logs and trajectory cell keys."""
         name = self.matrix if isinstance(self.matrix, str) else "matrix"
-        return self.tag or f"{name}/{self.fmt}/{self.variant}/k{self.k}/t{self.threads}"
+        fmt = self.format_spec.spec_string()
+        return self.tag or f"{name}/{fmt}/{self.variant}/k{self.k}/t{self.threads}"
 
 
 @dataclass

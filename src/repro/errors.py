@@ -10,6 +10,7 @@ from __future__ import annotations
 __all__ = [
     "SpmmBenchError",
     "FormatError",
+    "FormatParamError",
     "ConversionError",
     "ShapeError",
     "KernelError",
@@ -35,6 +36,17 @@ class SpmmBenchError(Exception):
 
 class FormatError(SpmmBenchError):
     """A sparse format was constructed from inconsistent data."""
+
+
+class FormatParamError(FormatError):
+    """A format parameter spec was malformed, unknown, or out of range.
+
+    Raised by :class:`repro.formats.spec.FormatSpec` when a ``fmt`` string
+    shorthand (``"sell:c=32,sigma=512"``) or a ``fmt_params`` mapping names
+    a parameter the format does not accept, carries a non-integer value, or
+    conflicts between the two spellings.  Unknown parameters are rejected
+    rather than silently ignored so a typo cannot masquerade as a tuned run.
+    """
 
 
 class ConversionError(FormatError):

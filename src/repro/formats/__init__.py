@@ -15,6 +15,7 @@ from .bcsr import BCSR
 from .bell import BELL
 from .csr5 import CSR5
 from .sell import SELL
+from .spec import FormatSpec, KNOWN_FORMAT_PARAMS
 from .convert import convert, from_scipy, to_scipy
 
 #: The four formats the paper's evaluation studies.
@@ -37,6 +38,8 @@ __all__ = [
     "BELL",
     "CSR5",
     "SELL",
+    "FormatSpec",
+    "KNOWN_FORMAT_PARAMS",
     "convert",
     "from_scipy",
     "to_scipy",

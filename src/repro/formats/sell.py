@@ -52,6 +52,7 @@ class SELL(SparseFormat):
         self,
         nrows: int,
         ncols: int,
+        *,
         chunk: int,
         sigma: int,
         permutation: np.ndarray,
@@ -167,16 +168,34 @@ class SELL(SparseFormat):
         return cls(
             nrows,
             ncols,
-            chunk,
-            sigma,
-            permutation,
-            chunk_ptr,
-            widths,
-            indices,
-            values,
-            counts,
+            chunk=chunk,
+            sigma=sigma,
+            permutation=permutation,
+            chunk_ptr=chunk_ptr,
+            widths=widths,
+            indices=indices,
+            values=values,
+            row_nnz=counts,
             policy=policy,
         )
+
+    def padded_indptr(self) -> np.ndarray:
+        """CSR-style row pointer over the *sorted* padded storage.
+
+        The flat chunk-major storage is row-major inside each chunk, so the
+        concatenation over chunks is exactly a padded CSR on sorted
+        positions: sorted row ``i`` owns ``widths[i // chunk]`` consecutive
+        slots.  Kernel specialization streams this view directly
+        (padded-rectangle streaming) and scatters results back through the
+        permutation; padding slots carry value 0 so they contribute nothing.
+        """
+        rows_per_chunk = np.minimum(
+            self.chunk, self.nrows - np.arange(self.nchunks) * self.chunk
+        )
+        per_row = np.repeat(self.widths, rows_per_chunk)
+        indptr = np.zeros(self.nrows + 1, dtype=np.int64)
+        np.cumsum(per_row, out=indptr[1:])
+        return indptr
 
     def _flat_base(self) -> np.ndarray:
         """Flat offset of each sorted position's first slot."""

@@ -1,0 +1,172 @@
+"""Parameterized format specs — one parser for every ``fmt`` spelling.
+
+The suite's formats carry structural knobs (SELL's chunk height C and sort
+window sigma, BCSR's block size, ...) that SELL-C-sigma-style tuning makes
+first-class: a request names not just a format but a *point in its parameter
+space*.  :class:`FormatSpec` is the single normalization funnel for all the
+spellings the public surface accepts:
+
+* a bare name — ``fmt="sell"`` (parameters default at conversion time);
+* the string shorthand — ``fmt="sell:c=32,sigma=512"``;
+* an explicit mapping — ``fmt="sell", fmt_params={"chunk": 32, "sigma": 512}``.
+
+``api.multiply``/``benchmark``/``tune``, :class:`~repro.engine.request.SpmmRequest`,
+the serve wire protocol, and the CLI ``--fmt`` flags all parse through here,
+so every layer agrees on canonical names (aliases like ``c`` resolve to
+``chunk``) and unknown parameters fail with a typed
+:class:`~repro.errors.FormatParamError` instead of being silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import FormatParamError
+
+__all__ = ["FormatSpec", "KNOWN_FORMAT_PARAMS"]
+
+#: Per-format parameter vocabulary: canonical name -> accepted aliases.
+#: Formats absent from this table accept no parameters.
+KNOWN_FORMAT_PARAMS: dict[str, dict[str, tuple[str, ...]]] = {
+    "sell": {"chunk": ("c",), "sigma": ("s",)},
+    "bcsr": {"block_size": ("block", "b")},
+    "bell": {"row_block": ()},
+    "csr5": {"tile_nnz": ()},
+}
+
+#: Formats (and pseudo-formats) a spec may name without parameters.
+#: ``auto`` defers the choice to the tuned/learned selector in the engine.
+_PARAMETERLESS_OK = {"auto"}
+
+
+def _canonical_param(fmt: str, name: str) -> str:
+    """Resolve ``name`` (canonical or alias) for ``fmt``; raise if unknown."""
+    table = KNOWN_FORMAT_PARAMS.get(fmt, {})
+    key = name.strip().lower()
+    if key in table:
+        return key
+    for canonical, aliases in table.items():
+        if key in aliases:
+            return canonical
+    known = sorted(table)
+    detail = f"; known: {', '.join(known)}" if known else " (format takes no parameters)"
+    raise FormatParamError(f"unknown parameter {name!r} for format {fmt!r}{detail}")
+
+
+def _coerce_value(fmt: str, name: str, value) -> int:
+    """Format parameters are structural sizes: positive integers only."""
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise FormatParamError(f"parameter {name}={value!r} for {fmt!r} must be an integer")
+    if isinstance(value, str):
+        try:
+            value = int(value.strip())
+        except ValueError:
+            raise FormatParamError(
+                f"parameter {name}={value!r} for {fmt!r} is not an integer"
+            ) from None
+    if isinstance(value, float) and value.is_integer():
+        value = int(value)
+    if not isinstance(value, int):
+        raise FormatParamError(f"parameter {name}={value!r} for {fmt!r} must be an integer")
+    if value < 1:
+        raise FormatParamError(f"parameter {name}={value} for {fmt!r} must be >= 1")
+    return value
+
+
+@dataclass(frozen=True)
+class FormatSpec:
+    """A format name plus its canonical, hashable parameter assignment.
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs so specs hash,
+    compare, and serialize deterministically; use :attr:`kwargs` for the
+    ``from_triplets(**kwargs)`` view.
+    """
+
+    name: str
+    params: tuple[tuple[str, int], ...] = field(default=())
+
+    @classmethod
+    def parse(cls, fmt, fmt_params=None) -> "FormatSpec":
+        """Normalize any accepted ``fmt`` spelling into a spec.
+
+        ``fmt`` may be a :class:`FormatSpec` (returned as-is when no extra
+        ``fmt_params`` are given), a bare format name, or the
+        ``"name:key=value,..."`` shorthand.  ``fmt_params`` may add a
+        mapping (or pre-normalized pair tuple); combining the shorthand and
+        a mapping is rejected so two spellings can't silently disagree.
+        """
+        if isinstance(fmt, FormatSpec):
+            if not fmt_params:
+                return fmt
+            if fmt.params:
+                raise FormatParamError(
+                    "format parameters given both in the spec and fmt_params"
+                )
+            return cls.parse(fmt.name, fmt_params)
+        if not isinstance(fmt, str):
+            raise FormatParamError(f"format spec must be a string, got {type(fmt).__name__}")
+        text = fmt.strip().lower()
+        inline: dict[str, object] = {}
+        if ":" in text:
+            text, _, tail = text.partition(":")
+            text = text.strip()
+            for item in tail.split(","):
+                item = item.strip()
+                if not item:
+                    continue
+                if "=" not in item:
+                    raise FormatParamError(
+                        f"malformed parameter {item!r} in format spec {fmt!r}; use key=value"
+                    )
+                key, _, value = item.partition("=")
+                key = key.strip()
+                if not key:
+                    raise FormatParamError(f"empty parameter name in format spec {fmt!r}")
+                if key in inline:
+                    raise FormatParamError(f"duplicate parameter {key!r} in format spec {fmt!r}")
+                inline[key] = value
+        if not text:
+            raise FormatParamError(f"empty format name in spec {fmt!r}")
+        if inline and fmt_params:
+            raise FormatParamError(
+                "format parameters given both inline in the fmt string and via fmt_params"
+            )
+        raw = inline or fmt_params or {}
+        if not isinstance(raw, dict):
+            try:
+                raw = dict(raw)
+            except (TypeError, ValueError):
+                raise FormatParamError(
+                    f"fmt_params must be a mapping of name -> value, got {raw!r}"
+                ) from None
+        if raw and text in _PARAMETERLESS_OK:
+            raise FormatParamError(f"format {text!r} takes no parameters")
+        resolved: dict[str, int] = {}
+        for key, value in raw.items():
+            canonical = _canonical_param(text, str(key))
+            if canonical in resolved:
+                raise FormatParamError(
+                    f"parameter {canonical!r} given twice (alias collision) for {text!r}"
+                )
+            resolved[canonical] = _coerce_value(text, canonical, value)
+        return cls(name=text, params=tuple(sorted(resolved.items())))
+
+    def __post_init__(self):
+        object.__setattr__(self, "params", tuple(sorted(tuple(p) for p in self.params)))
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def kwargs(self) -> dict[str, int]:
+        """The parameters as ``from_triplets(**kwargs)`` keyword arguments."""
+        return dict(self.params)
+
+    def spec_string(self) -> str:
+        """Canonical string form; parses back to an equal spec."""
+        if not self.params:
+            return self.name
+        tail = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.name}:{tail}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.spec_string()

@@ -26,6 +26,7 @@ from ..formats.coo import COO
 from ..formats.csr import CSR
 from ..formats.csr5 import CSR5
 from ..formats.ell import ELL
+from ..formats.sell import SELL
 from .common import (
     DEFAULT_CHUNK_ELEMENTS,
     plan_stream_segments,
@@ -116,7 +117,28 @@ def specialize_spmm(
             return np.ascontiguousarray(Cp[:nrows])
 
         return bcsr_kernel
-    # BELL/SELL gain little from specialization; reuse the serial kernel.
+    if isinstance(A, SELL):
+        # Padded-rectangle streaming with the segment-reduction plan
+        # hoisted: the chunk-major storage read through padded_indptr() is
+        # a CSR over sorted rows (padding slots carry value 0), reduced the
+        # same way sell_spmm_serial streams it — outputs are bit-identical.
+        indptr = A.padded_indptr()
+        values_col = np.ascontiguousarray(A.values)[:, None]
+        segments = plan_stream_segments(
+            indptr, A.indices, values_col, k, max_elements=chunk_elements
+        )
+        nrows, dtype, perm = A.nrows, A.policy.value, A.permutation
+
+        def sell_kernel(B: np.ndarray) -> np.ndarray:
+            B = A.check_dense_operand(B, k)
+            Cp = np.zeros((nrows, B.shape[1]), dtype=dtype)
+            run_stream_segments(segments, B, Cp)
+            C = np.empty_like(Cp)
+            C[perm] = Cp
+            return C
+
+        return sell_kernel
+    # BELL gains little from specialization; reuse the serial kernel.
     return lambda B: serial_spmm(A, B, k)
 
 

@@ -271,27 +271,22 @@ def parallel_spmm(
         return C
 
     if isinstance(A, SELL):
-        # Chunks write disjoint (permuted) output rows: partition chunks by
-        # their stored size — chunk work is width * rows, already balanced
-        # by the sigma sort.
-        indptr = A.chunk_ptr
-        chunk_ranges = _resolve_chunks(indptr, threads, schedule)
-
-        def sell_work(rng: tuple[int, int]) -> None:
-            c0, c1 = rng
-            for c in range(c0, c1):
-                rows = A.rows_in_chunk(c)
-                width = int(A.widths[c])
-                base = int(A.chunk_ptr[c])
-                idx = A.indices[base : base + rows * width].reshape(rows, width)
-                val = A.values[base : base + rows * width].reshape(rows, width)
-                out_rows = A.permutation[c * A.chunk : c * A.chunk + rows]
-                acc = np.zeros((rows, kk), dtype=A.policy.value)
-                for j in range(width):
-                    acc += val[:, j, None] * B[idx[:, j]]
-                C[out_rows] = acc
-
-        _run_workers(sell_work, chunk_ranges, threads, tracer)
+        # Stream the padded-CSR view (see SELL.padded_indptr): workers own
+        # balanced sorted-row ranges weighted by stored (padded) entries —
+        # the real work — and write disjoint rows of the sorted-order
+        # buffer, scattered back through the permutation at the end.  Same
+        # per-row reduction as the serial and specialized kernels, so all
+        # SELL paths stay bit-identical.
+        indptr = A.padded_indptr()
+        chunks = _resolve_chunks(indptr, threads, schedule)
+        Cp = np.zeros((A.nrows, kk), dtype=A.policy.value)
+        _run_workers(
+            lambda rng: _stream_rows(A, indptr, A.indices, A.values, B, Cp, rng),
+            chunks,
+            threads,
+            tracer,
+        )
+        C[A.permutation] = Cp
         return C
 
     if isinstance(A, BCSR):
@@ -321,15 +316,20 @@ def specialize_parallel_spmm(
     indptr) is resolved once, and repeat calls run on the process-shared
     executor instead of constructing a ``ThreadPoolExecutor`` per call —
     both costs the generic :func:`parallel_spmm` pays every time.  Returns
-    ``kernel(B, tracer=None) -> C``.  Formats whose parallel execution is
-    not a row-range partition (CSR5 tiles, BCSR block rows, SELL chunks)
-    fall back to the generic kernel, keeping only the conversion hoist.
+    ``kernel(B, tracer=None) -> C``.  SELL specializes through its
+    padded-CSR view (sorted-row ranges, permutation scatter on the way
+    out); formats whose parallel execution is not a row-range partition
+    (CSR5 tiles, BCSR block rows) fall back to the generic kernel, keeping
+    only the conversion hoist.
     """
     if threads < 1:
         raise KernelError(f"threads must be >= 1, got {threads}")
     if k < 1:
         raise KernelError(f"k must be >= 1, got {k}")
     used = effective_threads(threads)
+
+    if isinstance(A, SELL):
+        return _specialize_sell_parallel(A, k, threads, used, schedule)
 
     if isinstance(A, COO):
         indptr, indices, values = A.row_segments(), A.cols, A.values
@@ -378,6 +378,45 @@ def specialize_parallel_spmm(
                 tracer,
                 pool=pool,
             )
+        return C
+
+    return kernel
+
+
+def _specialize_sell_parallel(A: SELL, k: int, threads: int, used: int, schedule: str):
+    """Fixed-(matrix, k, threads) SELL kernel: padded-rectangle streaming.
+
+    The chunk-major storage read through :meth:`SELL.padded_indptr` is a
+    padded CSR over sorted rows, so workers take balanced sorted-row ranges
+    (weighted by stored — padded — entries, which is the real work) with
+    pre-planned segment schedules, fill a sorted-order buffer, and the
+    result scatters back through the permutation.  Per-row reductions match
+    ``sell_spmm_serial`` exactly, so outputs are bit-identical.
+    """
+    indptr = A.padded_indptr()
+    chunks = _resolve_chunks(indptr, used, schedule)
+    values_col = np.ascontiguousarray(A.values)[:, None]
+    seg_plans = [
+        plan_stream_segments(indptr, A.indices, values_col, k, rng) for rng in chunks
+    ]
+    nrows, dtype, perm = A.nrows, A.policy.value, A.permutation
+    pool = shared_pool(used) if used > 1 and len(seg_plans) > 1 else None
+
+    def kernel(B, tracer=None):
+        if tracer is not None:
+            # Keep the per-call clamp accounting of the unplanned kernel.
+            effective_threads(threads, tracer)
+        Bc = A.check_dense_operand(B, k)
+        Cp = np.zeros((nrows, Bc.shape[1]), dtype=dtype)
+        _run_workers(
+            lambda segs: run_stream_segments(segs, Bc, Cp),
+            seg_plans,
+            used,
+            tracer,
+            pool=pool,
+        )
+        C = np.empty_like(Cp)
+        C[perm] = Cp
         return C
 
     return kernel

@@ -54,6 +54,7 @@ __all__ = [
     "PLANNABLE_VARIANTS",
     "matrix_fingerprint",
     "fingerprint_triplets",
+    "params_token",
     "PlanKey",
     "ExecutionPlan",
     "PlanCache",
@@ -124,10 +125,25 @@ def matrix_fingerprint(matrix: Triplets | SparseFormat) -> str:
     return digest
 
 
-def _params_token(format_params: dict | None) -> tuple:
+def _params_token(format_params) -> tuple:
+    """Canonical hashable token for a format-parameter assignment.
+
+    Accepts a mapping, an already-tokenized pair tuple (e.g. a
+    :class:`~repro.engine.request.SpmmRequest`'s normalized ``fmt_params``),
+    or ``None``/empty; the token sorts and stringifies so equal assignments
+    — however spelled — produce equal keys everywhere they are used
+    (plan memo, disk tier, migration redirects, engine grouping).
+    """
     if not format_params:
         return ()
+    if not isinstance(format_params, dict):
+        format_params = dict(format_params)
     return tuple(sorted((str(k), repr(v)) for k, v in format_params.items()))
+
+
+#: Public name for the canonical params token (the engine and migration
+#: manager key plan groups with it).
+params_token = _params_token
 
 
 # -- keys and plans -----------------------------------------------------------
@@ -172,6 +188,12 @@ class MigrationTarget:
     variant: str
     threads: int
     version: int
+    #: Sorted ``(name, value)`` parameter pairs of the target cell
+    #: (``()`` = format defaults); tuned SELL-C-sigma targets carry their
+    #: (chunk, sigma) here so redirected requests rebuild the exact tuned
+    #: conversion.  Raw values, not the repr token — ``dict(format_params)``
+    #: feeds ``from_triplets`` directly.
+    format_params: tuple = ()
 
 
 @dataclass
@@ -414,9 +436,23 @@ class PlanCache:
         k: int,
         threads: int,
         policy_name: str = DEFAULT_POLICY.name,
+        format_params=None,
     ) -> tuple:
-        """Identity of one migratable plan group (the redirect's source)."""
-        return (fingerprint, format_name.lower(), variant, int(k), int(threads), policy_name)
+        """Identity of one migratable plan group (the redirect's source).
+
+        ``format_params`` joins the key so the same matrix under two
+        (C, σ) settings forms two independent plan groups — a redirect
+        installed for one never captures the other.
+        """
+        return (
+            fingerprint,
+            format_name.lower(),
+            variant,
+            int(k),
+            int(threads),
+            policy_name,
+            _params_token(format_params),
+        )
 
     @property
     def migration_version(self) -> int:
@@ -431,6 +467,7 @@ class PlanCache:
         format_name: str,
         variant: str,
         threads: int,
+        format_params=None,
     ) -> MigrationTarget:
         """Atomically point a plan group at a new (format, variant, threads).
 
@@ -452,6 +489,9 @@ class PlanCache:
                 variant=variant,
                 threads=int(threads),
                 version=self._migration_version,
+                format_params=tuple(
+                    sorted((str(pk), pv) for pk, pv in dict(format_params or {}).items())
+                ),
             )
             self._migrations[source_key] = target
             self.stats["migrations"] += 1
@@ -479,12 +519,13 @@ class PlanCache:
         with self._lock:
             for key, target in self._migrations.items():
                 rows[self._migration_token(key)] = {
-                    "key": list(key),
+                    "key": self._key_to_json(key),
                     "target": {
                         "format_name": target.format_name,
                         "variant": target.variant,
                         "threads": target.threads,
                         "version": target.version,
+                        "format_params": [list(p) for p in target.format_params],
                     },
                 }
         payload = {"version": PLAN_CACHE_VERSION, "migrations": rows}
@@ -522,13 +563,16 @@ class PlanCache:
                 target_row = row.get("target")
                 if not isinstance(key_list, list) or not isinstance(target_row, dict):
                     continue
-                key = tuple(key_list)
+                key = self._key_from_json(key_list)
                 try:
                     target = MigrationTarget(
                         format_name=str(target_row["format_name"]),
                         variant=str(target_row["variant"]),
                         threads=int(target_row["threads"]),
                         version=int(target_row["version"]),
+                        format_params=tuple(
+                            tuple(p) for p in target_row.get("format_params", ())
+                        ),
                     )
                 except (KeyError, TypeError, ValueError):
                     continue
@@ -537,6 +581,18 @@ class PlanCache:
                     self._migrations[key] = target
                 if target.version > self._migration_version:
                     self._migration_version = target.version
+
+    @staticmethod
+    def _key_to_json(key: tuple) -> list:
+        """JSON form of a migration key (nested param pairs become lists)."""
+        return [list(list(p) for p in x) if isinstance(x, tuple) else x for x in key]
+
+    @staticmethod
+    def _key_from_json(key_list: list) -> tuple:
+        """Invert :meth:`_key_to_json` (lists back to hashable tuples)."""
+        return tuple(
+            tuple(tuple(p) for p in x) if isinstance(x, list) else x for x in key_list
+        )
 
     @staticmethod
     def _migration_token(key: tuple) -> str:

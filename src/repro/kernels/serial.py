@@ -200,23 +200,30 @@ def csr5_spmm_serial(
     )
 
 
-def sell_spmm_serial(A: SELL, B: np.ndarray, k: int | None = None, **_opts) -> np.ndarray:
-    """SELL-C-sigma SpMM: per-chunk ELL loops on the sorted rows, results
-    scattered back through the permutation."""
+def sell_spmm_serial(
+    A: SELL,
+    B: np.ndarray,
+    k: int | None = None,
+    *,
+    chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+    **_opts,
+) -> np.ndarray:
+    """SELL-C-sigma SpMM: padded-rectangle streaming over the sorted rows.
+
+    The chunk-major storage read through :meth:`SELL.padded_indptr` is a
+    padded CSR over sorted positions (padding slots carry value 0), so the
+    whole matrix runs as one segmented reduction — no per-chunk Python loop
+    — and the result scatters back through the permutation.  Streaming the
+    same per-row product vectors as the specialized/parallel kernels keeps
+    every SELL execution path bit-identical.
+    """
     B = A.check_dense_operand(B, k)
-    kk = B.shape[1]
-    C = np.zeros((A.nrows, kk), dtype=A.policy.value)
-    for c in range(A.nchunks):
-        rows = A.rows_in_chunk(c)
-        width = int(A.widths[c])
-        base = int(A.chunk_ptr[c])
-        idx = A.indices[base : base + rows * width].reshape(rows, width)
-        val = A.values[base : base + rows * width].reshape(rows, width)
-        out_rows = A.permutation[c * A.chunk : c * A.chunk + rows]
-        acc = np.zeros((rows, kk), dtype=A.policy.value)
-        for j in range(width):
-            acc += val[:, j, None] * B[idx[:, j]]
-        C[out_rows] = acc
+    Cp = np.zeros((A.nrows, B.shape[1]), dtype=A.policy.value)
+    _segmented_stream_spmm(
+        A.padded_indptr(), A.indices, A.values, B, Cp, max_elements=chunk_elements
+    )
+    C = np.empty_like(Cp)
+    C[A.permutation] = Cp
     return C
 
 

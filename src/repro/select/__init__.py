@@ -18,8 +18,13 @@ against the oracle's).
 
 from .features import FEATURE_NAMES, extract_features
 from .tree import DecisionTreeClassifier
-from .dataset import generate_dataset, oracle_label, CANDIDATE_FORMATS
-from .selector import FormatSelector, train_default_selector
+from .dataset import (
+    generate_dataset,
+    load_trajectory_samples,
+    oracle_label,
+    CANDIDATE_FORMATS,
+)
+from .selector import FormatSelector, train_default_selector, train_selector
 from .evaluate import evaluate_selector, SelectionReport
 
 __all__ = [
@@ -27,10 +32,12 @@ __all__ = [
     "extract_features",
     "DecisionTreeClassifier",
     "generate_dataset",
+    "load_trajectory_samples",
     "oracle_label",
     "CANDIDATE_FORMATS",
     "FormatSelector",
     "train_default_selector",
+    "train_selector",
     "evaluate_selector",
     "SelectionReport",
 ]

@@ -1,17 +1,26 @@
 """Training data for format selection.
 
-Samples come from the synthetic generators spanning the structures the
-suite covers (banded, FEM, stencil, scattered, heavy-tailed); labels come
-from the *machine-model oracle* — the format with the highest predicted
-MFLOPS for a target (machine, execution, k) configuration.  This mirrors
-the related-work pipelines ([18], [9]) where training labels are measured
-best formats; here the measurement is the calibrated model, which keeps the
-dataset deterministic and free.
+Samples come from two pipelines:
+
+* the synthetic generators spanning the structures the suite covers
+  (banded, FEM, stencil, scattered, heavy-tailed), labeled by the
+  *machine-model oracle* — the format with the highest predicted MFLOPS
+  for a target (machine, execution, k) configuration;
+* accumulated benchmark trajectories (``BENCH_*.json``), where labels are
+  the *measured* per-cell winners — the SpChar-style pipeline where a
+  deployment's own traffic retrains the selector
+  (:func:`load_trajectory_samples`).
+
+This mirrors the related-work pipelines ([18], [9]) where training labels
+are measured best formats; the synthetic corpus keeps the dataset
+deterministic and free when no trajectories have accumulated yet.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -30,7 +39,14 @@ from ..matrices.generators import (
 )
 from .features import extract_features
 
-__all__ = ["CANDIDATE_FORMATS", "LabeledMatrix", "oracle_label", "generate_dataset", "sample_matrix"]
+__all__ = [
+    "CANDIDATE_FORMATS",
+    "LabeledMatrix",
+    "oracle_label",
+    "generate_dataset",
+    "load_trajectory_samples",
+    "sample_matrix",
+]
 
 #: Formats the selector chooses between (the paper's four).
 CANDIDATE_FORMATS = ("coo", "csr", "ell", "bcsr")
@@ -100,6 +116,99 @@ def sample_matrix(kind: str, rng: np.random.Generator, size: int = 600) -> Tripl
 
 
 KINDS = ("banded", "fem", "stencil", "scattered", "heavy_tail", "uniform")
+
+
+def _trajectory_files(trajectories) -> list[Path]:
+    """Normalize a path spec: file, directory (globbed), or iterable."""
+    if isinstance(trajectories, (str, Path)):
+        trajectories = [trajectories]
+    files: list[Path] = []
+    for entry in trajectories:
+        path = Path(entry)
+        if path.is_dir():
+            files.extend(sorted(path.glob("BENCH_*.json")))
+        else:
+            files.append(path)
+    return files
+
+
+def load_trajectory_samples(
+    trajectories,
+    *,
+    candidates: tuple[str, ...] = CANDIDATE_FORMATS,
+    min_formats: int = 2,
+    default_scale: int = 1,
+) -> list[LabeledMatrix]:
+    """Measured-winner training samples from ``BENCH_*.json`` trajectories.
+
+    Every uncensored trajectory cell (key
+    ``matrix/format/variant/k/threads/block_size``) contributes its
+    measured (or modeled) MFLOPS; cells group by ``(matrix, k, scale)``
+    and the label is the best-scoring candidate format, maximized over
+    variants and thread counts.  Groups covering fewer than
+    ``min_formats`` candidate formats are skipped — a one-format
+    trajectory proves nothing about the *choice*.  Features come from
+    re-loading the suite matrix at the trajectory's scale; unknown matrix
+    names (and unreadable files, e.g. a ``BENCH_serve.json`` with no
+    benchmark cells) are skipped rather than failing the whole load.
+    """
+    from ..matrices.suite import load_matrix
+
+    groups: dict[tuple[str, int, int], dict[str, float]] = {}
+    for path in _trajectory_files(trajectories):
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(data, dict):
+            continue
+        config = data.get("config") or {}
+        scale = int(config.get("scale", default_scale) or default_scale)
+        for cell in data.get("cells") or []:
+            if not isinstance(cell, dict) or cell.get("censored"):
+                continue
+            key = str(cell.get("key", ""))
+            parts = key.rsplit("/", 5)
+            if len(parts) != 6:
+                continue
+            matrix, fmt, _variant, k_str, _threads, _bs = parts
+            if fmt not in candidates:
+                continue
+            try:
+                k = int(k_str)
+            except ValueError:
+                continue
+            score = cell.get("modeled_mflops") or cell.get("mflops") or 0.0
+            if not score or score <= 0:
+                continue
+            slot = groups.setdefault((matrix, k, scale), {})
+            slot[fmt] = max(slot.get(fmt, 0.0), float(score))
+
+    samples: list[LabeledMatrix] = []
+    feature_cache: dict[tuple[str, int], np.ndarray | None] = {}
+    for (matrix, _k, scale), scores in sorted(groups.items()):
+        if len(scores) < min_formats:
+            continue
+        cache_key = (matrix, scale)
+        if cache_key not in feature_cache:
+            try:
+                feature_cache[cache_key] = extract_features(
+                    load_matrix(matrix, scale=scale)
+                )
+            except Exception:
+                feature_cache[cache_key] = None
+        features = feature_cache[cache_key]
+        if features is None:
+            continue
+        samples.append(
+            LabeledMatrix(
+                features=features,
+                label=max(scores, key=scores.get),
+                scores=dict(scores),
+                kind="trajectory",
+            )
+        )
+    return samples
 
 
 def generate_dataset(

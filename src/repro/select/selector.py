@@ -18,11 +18,16 @@ from ..formats.base import SparseFormat
 from ..formats.registry import get_format
 from ..machine.machines import GRACE_HOPPER, Machine
 from ..matrices.coo_builder import Triplets
-from .dataset import CANDIDATE_FORMATS, generate_dataset
+from .dataset import (
+    CANDIDATE_FORMATS,
+    LabeledMatrix,
+    generate_dataset,
+    load_trajectory_samples,
+)
 from .features import FEATURE_NAMES, extract_features
 from .tree import DecisionTreeClassifier, SelectionError
 
-__all__ = ["FormatSelector", "train_default_selector"]
+__all__ = ["FormatSelector", "train_default_selector", "train_selector"]
 
 
 class FormatSelector:
@@ -76,6 +81,14 @@ class FormatSelector:
         )
 
 
+def _fit(samples: list[LabeledMatrix], target: str, max_depth: int) -> FormatSelector:
+    X = np.vstack([s.features for s in samples])
+    y = np.array([s.label for s in samples])
+    tree = DecisionTreeClassifier(max_depth=max_depth, min_samples_leaf=3)
+    tree.fit(X, y)
+    return FormatSelector(tree, target=target)
+
+
 def train_default_selector(
     n_samples: int = 120,
     *,
@@ -89,8 +102,46 @@ def train_default_selector(
     samples = generate_dataset(
         n_samples, machine=machine, execution=execution, k=k, seed=seed
     )
-    X = np.vstack([s.features for s in samples])
-    y = np.array([s.label for s in samples])
-    tree = DecisionTreeClassifier(max_depth=max_depth, min_samples_leaf=3)
-    tree.fit(X, y)
-    return FormatSelector(tree, target=f"{machine.name}/{execution}")
+    return _fit(samples, target=f"{machine.name}/{execution}", max_depth=max_depth)
+
+
+def train_selector(
+    trajectories=None,
+    *,
+    samples: list[LabeledMatrix] | None = None,
+    n_synthetic: int | None = None,
+    machine: Machine = GRACE_HOPPER,
+    execution: str = "parallel",
+    k: int = 128,
+    seed: int = 0,
+    max_depth: int = 6,
+) -> FormatSelector:
+    """Train a selector, preferring measured trajectory labels (SpChar).
+
+    ``trajectories`` names accumulated ``BENCH_*.json`` files (a path, a
+    directory, or an iterable) whose measured per-cell winners become the
+    labels; ``samples`` injects pre-built :class:`LabeledMatrix` rows
+    directly (tests, custom corpora).  ``n_synthetic`` oracle-labeled
+    synthetic samples are mixed in — by default the full 120-sample corpus
+    when no trajectory data is usable (cold start), or a 60-sample
+    backfill otherwise, so structural families the observed traffic never
+    touched still have coverage.
+    """
+    training: list[LabeledMatrix] = list(samples or ())
+    if trajectories is not None:
+        training.extend(load_trajectory_samples(trajectories))
+    trained_on_measurements = bool(training)
+    if n_synthetic is None:
+        n_synthetic = 60 if trained_on_measurements else 120
+    if n_synthetic > 0:
+        training.extend(
+            generate_dataset(
+                n_synthetic, machine=machine, execution=execution, k=k, seed=seed
+            )
+        )
+    if not training:
+        raise SelectionError("no training samples: empty trajectories and n_synthetic=0")
+    suffix = "/trajectory" if trained_on_measurements else ""
+    return _fit(
+        training, target=f"{machine.name}/{execution}{suffix}", max_depth=max_depth
+    )

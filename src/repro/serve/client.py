@@ -19,6 +19,7 @@ from typing import Any
 import numpy as np
 
 from ..errors import ServeError, ServeProtocolError, ServeRejectedError, ServeRemoteError
+from ..formats.spec import FormatSpec
 from ..matrices.coo_builder import Triplets
 from .config import DEFAULT_PRIORITY
 from .wire import (
@@ -103,6 +104,7 @@ class Client:
         dense: np.ndarray | None = None,
         *,
         fmt: str = "csr",
+        fmt_params: Any = None,
         variant: str = "serial",
         k: int = 32,
         threads: int = 1,
@@ -119,10 +121,15 @@ class Client:
         ``matrix`` is a suite name (resolved server-side at ``scale``) or
         :class:`Triplets` shipped inline; ``dense`` overrides the
         server-generated operand (seeded exactly like the engine's).
+        ``fmt`` accepts the same spellings as the local facade —
+        ``"sell"``, ``"sell:c=32,sigma=512"``, or a bare name plus a
+        ``fmt_params`` dict — normalized client-side so malformed specs
+        fail before touching the wire.
         """
+        spec = FormatSpec.parse(fmt, fmt_params)
         req: dict[str, Any] = {
             "matrix": encode_matrix(matrix),
-            "fmt": fmt,
+            "fmt": spec.name,
             "variant": variant,
             "k": int(k),
             "threads": int(threads),
@@ -131,6 +138,8 @@ class Client:
             "seed": int(seed),
             "verify": bool(verify),
         }
+        if spec.params:
+            req["fmt_params"] = dict(spec.params)
         if tag:
             req["tag"] = tag
         if dense is not None:

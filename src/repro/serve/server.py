@@ -38,7 +38,13 @@ from typing import Any
 from ..bench.observe import Tracer
 from ..engine import DEFAULT_WORKERS, Engine, SpmmRequest, SpmmResult
 from ..engine.backends import make_backend
-from ..errors import EngineError, ServeError, ServeProtocolError, SpmmBenchError
+from ..errors import (
+    EngineError,
+    FormatError,
+    ServeError,
+    ServeProtocolError,
+    SpmmBenchError,
+)
 from ..kernels.plan import PlanCache
 from ..tune.store import TuneStore
 from .config import DEFAULT_PRIORITY, ServeConfig, priority_rank
@@ -60,6 +66,7 @@ _REQ_KEYS = (
     "matrix",
     "k",
     "fmt",
+    "fmt_params",
     "variant",
     "threads",
     "repeats",
@@ -438,7 +445,7 @@ class Server:
             fields["dense"] = decode_array(dense)
         try:
             return SpmmRequest(**fields)
-        except (TypeError, ValueError, EngineError) as exc:
+        except (TypeError, ValueError, EngineError, FormatError) as exc:
             raise ServeProtocolError(f"invalid request: {exc}")
 
     # -- dispatch + response --------------------------------------------------

@@ -32,6 +32,7 @@ __all__ = [
     "get_active_store",
     "set_active_store",
     "resolve_auto_variant",
+    "resolve_auto_format",
 ]
 
 DEFAULT_STORE_PATH = Path(".repro_cache") / "tuned.json"
@@ -53,9 +54,24 @@ class TuneDecision:
     score_mflops: float
     mode: str = "model"
     machine: str | None = None
+    #: Winning format parameters as sorted ``(name, value)`` pairs
+    #: (``()`` = format defaults) — e.g. the tuned SELL-C-sigma (chunk,
+    #: sigma) cell.  ``dict(format_params)`` feeds ``from_triplets``.
+    format_params: tuple = ()
+
+    def __post_init__(self) -> None:
+        # JSON round-trips the pairs as nested lists; re-freeze them so
+        # decisions stay hashable and compare by value.
+        object.__setattr__(
+            self,
+            "format_params",
+            tuple(sorted((str(n), v) for n, v in (self.format_params or ()))),
+        )
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        data = asdict(self)
+        data["format_params"] = [list(p) for p in self.format_params]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "TuneDecision":
@@ -252,3 +268,43 @@ def resolve_auto_variant(
     if decision.chunk_elements != DEFAULT_CHUNK_ELEMENTS:
         options["chunk_elements"] = decision.chunk_elements
     return decision.variant, options
+
+
+def resolve_auto_format(
+    matrix,
+    k: int,
+    store: TuneStore | None = None,
+    selector=None,
+    tracer=None,
+) -> tuple[str, dict]:
+    """Resolve ``fmt="auto"``: ``(format_name, format parameter dict)``.
+
+    Resolution order, mirroring :func:`resolve_auto_variant`'s
+    tuned-then-fallback shape but for the *format* axis:
+
+    1. a tuned decision in the store contributes its winning format plus
+       that cell's format parameters (e.g. the tuned SELL (chunk, sigma));
+    2. with no tuned entry, a trained
+       :class:`~repro.select.selector.FormatSelector` predicts from matrix
+       features — the trajectory-trained cold-start path (SpChar);
+    3. with neither, CSR — the paper's safe general-purpose default.
+
+    ``matrix`` is a :class:`~repro.formats.SparseFormat` or
+    :class:`~repro.matrices.Triplets` (a selector prediction needs
+    triplets; formats are round-tripped through ``to_triplets``).
+    """
+    store = store if store is not None else get_active_store()
+    decision = store.lookup(matrix_fingerprint(matrix), k)
+    if decision is not None:
+        if tracer is not None:
+            tracer.count("auto_format_tuned")
+        return decision.format_name, dict(decision.format_params)
+    if selector is not None:
+        triplets = matrix if not hasattr(matrix, "to_triplets") else matrix.to_triplets()
+        fmt = selector.select(triplets)
+        if tracer is not None:
+            tracer.count("auto_format_selected")
+        return fmt, {}
+    if tracer is not None:
+        tracer.count("auto_format_fallback")
+    return "csr", {}

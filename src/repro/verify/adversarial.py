@@ -11,7 +11,9 @@ and blocking each break differently:
 * prime dimensions (block sizes never divide evenly),
 * duplicate COO entries (the builder must sum, formats must not double),
 * explicit stored zeros (padding/value confusion),
-* extreme value magnitudes (tolerance-scaling stress).
+* extreme value magnitudes (tolerance-scaling stress),
+* SELL-C-σ boundary geometry (fewer rows than one chunk; a sorting
+  window that is entirely empty).
 
 Each builder is a deterministic function of a seed, so every fuzz case —
 and every shrunk corpus entry — is replayable from ``(name, seed)`` alone.
@@ -195,6 +197,38 @@ def last_entry_corner(seed: int = 0) -> Triplets:
     return builder.finish()
 
 
+def short_chunk(seed: int = 0) -> Triplets:
+    """Fewer rows than a SELL chunk (3 < C=4): one ragged trailing chunk.
+
+    The oracle's SELL defaults (chunk=4, sigma=8) make the whole matrix a
+    single partial chunk — rows_per_chunk bookkeeping, the permutation
+    scatter, and padded-width cumsum all hit their n < C boundary at once.
+    """
+    rng = _rng(seed)
+    builder = CooBuilder(3, 7)
+    rows = np.array([0, 0, 1, 2, 2, 2], dtype=np.int64)
+    cols = np.array([1, 6, 0, 2, 4, 5], dtype=np.int64)
+    builder.add_batch(rows, cols, _vals(rng, rows.size))
+    return builder.finish()
+
+
+def empty_sigma_window(seed: int = 0) -> Triplets:
+    """A whole SELL sorting window (rows 8..15 under sigma=8) is empty.
+
+    Sorting within the second window is a no-op over all-zero lengths, so
+    its two chunks (C=4) have width 0 — zero-sized padded segments that a
+    streaming kernel must skip without emitting or consuming anything.
+    """
+    rng = _rng(seed)
+    builder = CooBuilder(20, 12)
+    busy = np.concatenate([np.arange(0, 8), np.arange(16, 20)]).astype(np.int64)
+    for r in busy:
+        width = int(rng.integers(1, 5))
+        cols = rng.choice(12, size=width, replace=False)
+        builder.add_batch(np.full(width, r, dtype=np.int64), cols, _vals(rng, width))
+    return builder.finish()
+
+
 #: name -> builder(seed).  Ordered: the fuzzer samples by index.
 ADVERSARIAL_BUILDERS: dict[str, Callable[[int], Triplets]] = {
     "empty": empty_matrix,
@@ -214,6 +248,8 @@ ADVERSARIAL_BUILDERS: dict[str, Callable[[int], Triplets]] = {
     "skewed_row": skewed_row,
     "diagonal_only": diagonal_only,
     "last_entry_corner": last_entry_corner,
+    "short_chunk": short_chunk,
+    "empty_sigma_window": empty_sigma_window,
 }
 
 

@@ -335,6 +335,7 @@ class DifferentialOracle:
                         triplets,
                         B,
                         fmt=fmt,
+                        fmt_params=self.format_params.get(fmt),
                         variant=variant,
                         k=k,
                         **self._kernel_options(variant),
@@ -406,6 +407,7 @@ class DifferentialOracle:
             matrix=triplets,
             k=k,
             fmt=fmt,
+            fmt_params=self.format_params.get(fmt),
             variant=variant,
             threads=self.threads if "parallel" in variant else 1,
             repeats=1,
@@ -427,16 +429,18 @@ class DifferentialOracle:
         from .. import api  # lazy: api imports bench.suite imports bench.verify
 
         dense = np.ascontiguousarray(B[:, :k])
+        params = self.format_params.get(fmt)
         reply = self._get_client().multiply(
             triplets,
             dense=dense,
             fmt=fmt,
+            fmt_params=params,
             variant=variant,
             k=k,
             threads=self.threads if "parallel" in variant else 1,
         )
         direct = api.multiply(
-            triplets, dense, fmt=fmt, variant=variant, k=k,
+            triplets, dense, fmt=fmt, fmt_params=params, variant=variant, k=k,
             **self._kernel_options(variant),
         )
         if not np.array_equal(reply.output, direct):
@@ -455,6 +459,7 @@ class DifferentialOracle:
             matrix=triplets,
             k=k,
             fmt=fmt,
+            fmt_params=self.format_params.get(fmt),
             variant=variant,
             threads=self.threads if "parallel" in variant else 1,
             repeats=1,

@@ -183,14 +183,14 @@ class TestDecisionRule:
             policy=MigrationPolicy(candidate_variants=("serial",)),
         )
         key = PlanCache.migration_key("fp", "ell", "serial", 8, 1)
-        assert ("csr", "optimized", 1) not in strict._candidates(key)
+        assert ("csr", "optimized", 1, ()) not in strict._candidates(key)
         relaxed = MigrationManager(
             plan_cache=PlanCache(), tracer=Tracer(), tune_store=store,
             policy=MigrationPolicy(
                 require_bit_identity=False, candidate_variants=("serial",)
             ),
         )
-        assert ("csr", "optimized", 1) in relaxed._candidates(key)
+        assert ("csr", "optimized", 1, ()) in relaxed._candidates(key)
         strict.close()
         relaxed.close()
 

@@ -1,0 +1,118 @@
+"""FormatSpec parser: one normalization funnel for every ``fmt`` spelling."""
+
+import pytest
+
+from repro.errors import FormatError, FormatParamError
+from repro.formats.spec import KNOWN_FORMAT_PARAMS, FormatSpec
+
+
+class TestParse:
+    def test_bare_name(self):
+        spec = FormatSpec.parse("sell")
+        assert spec.name == "sell"
+        assert spec.params == ()
+        assert spec.kwargs == {}
+
+    def test_shorthand(self):
+        spec = FormatSpec.parse("sell:c=32,sigma=512")
+        assert spec.name == "sell"
+        assert spec.params == (("chunk", 32), ("sigma", 512))
+        assert spec.kwargs == {"chunk": 32, "sigma": 512}
+
+    def test_mapping(self):
+        spec = FormatSpec.parse("sell", {"chunk": 32, "sigma": 512})
+        assert spec == FormatSpec.parse("sell:c=32,sigma=512")
+
+    def test_aliases_resolve_to_canonical(self):
+        assert FormatSpec.parse("sell:c=8") == FormatSpec.parse("sell:chunk=8")
+        assert FormatSpec.parse("sell:s=64") == FormatSpec.parse("sell:sigma=64")
+        assert FormatSpec.parse("bcsr:b=3") == FormatSpec.parse("bcsr:block_size=3")
+        assert FormatSpec.parse("bcsr:block=3") == FormatSpec.parse("bcsr:block_size=3")
+
+    def test_case_and_whitespace_insensitive(self):
+        spec = FormatSpec.parse("  SELL : C = 32 , Sigma = 512 ")
+        assert spec == FormatSpec.parse("sell:c=32,sigma=512")
+
+    def test_params_sorted_deterministically(self):
+        a = FormatSpec.parse("sell:sigma=512,c=32")
+        b = FormatSpec.parse("sell:c=32,sigma=512")
+        assert a.params == b.params == (("chunk", 32), ("sigma", 512))
+
+    def test_spec_round_trips_through_spec_string(self):
+        for text in ("sell", "sell:c=32,sigma=512", "bcsr:b=3", "csr5:tile_nnz=16"):
+            spec = FormatSpec.parse(text)
+            assert FormatSpec.parse(spec.spec_string()) == spec
+
+    def test_spec_instance_passthrough(self):
+        spec = FormatSpec.parse("sell:c=8,s=64")
+        assert FormatSpec.parse(spec) is spec
+
+    def test_spec_instance_plus_params(self):
+        spec = FormatSpec.parse(FormatSpec.parse("sell"), {"chunk": 8})
+        assert spec.kwargs == {"chunk": 8}
+
+    def test_value_coercion(self):
+        assert FormatSpec.parse("sell", {"chunk": "8"}).kwargs == {"chunk": 8}
+        assert FormatSpec.parse("sell", {"chunk": 8.0}).kwargs == {"chunk": 8}
+
+
+class TestRejection:
+    def test_unknown_param_typed_error(self):
+        with pytest.raises(FormatParamError, match="unknown parameter"):
+            FormatSpec.parse("sell:width=4")
+        with pytest.raises(FormatParamError, match="unknown parameter"):
+            FormatSpec.parse("sell", {"block_size": 4})  # BCSR's knob, not SELL's
+
+    def test_format_param_error_is_format_error(self):
+        with pytest.raises(FormatError):
+            FormatSpec.parse("sell:bogus=1")
+
+    def test_parameterless_format_rejects_params(self):
+        with pytest.raises(FormatParamError, match="no parameters"):
+            FormatSpec.parse("csr:c=4")
+        with pytest.raises(FormatParamError, match="takes no parameters"):
+            FormatSpec.parse("auto", {"chunk": 4})
+
+    def test_shorthand_and_mapping_conflict(self):
+        with pytest.raises(FormatParamError, match="both"):
+            FormatSpec.parse("sell:c=32", {"sigma": 512})
+
+    def test_spec_and_mapping_conflict(self):
+        spec = FormatSpec.parse("sell:c=32")
+        with pytest.raises(FormatParamError, match="both"):
+            FormatSpec.parse(spec, {"sigma": 512})
+
+    def test_alias_collision(self):
+        with pytest.raises(FormatParamError, match="twice"):
+            FormatSpec.parse("sell", {"c": 8, "chunk": 16})
+
+    def test_duplicate_inline_key(self):
+        with pytest.raises(FormatParamError, match="duplicate"):
+            FormatSpec.parse("sell:c=8,c=16")
+
+    def test_malformed_shorthand(self):
+        with pytest.raises(FormatParamError, match="key=value"):
+            FormatSpec.parse("sell:32")
+        with pytest.raises(FormatParamError, match="empty parameter name"):
+            FormatSpec.parse("sell:=4")
+        with pytest.raises(FormatParamError, match="empty format name"):
+            FormatSpec.parse(":c=4")
+
+    def test_bad_values(self):
+        for bad in (0, -1, "x", 2.5, True):
+            with pytest.raises(FormatParamError):
+                FormatSpec.parse("sell", {"chunk": bad})
+
+    def test_non_string_fmt(self):
+        with pytest.raises(FormatParamError, match="must be a string"):
+            FormatSpec.parse(42)
+
+
+class TestVocabulary:
+    def test_known_formats_cover_parameterized_set(self):
+        assert set(KNOWN_FORMAT_PARAMS) == {"sell", "bcsr", "bell", "csr5"}
+
+    def test_hashable_and_usable_as_key(self):
+        a = FormatSpec.parse("sell:c=32,sigma=512")
+        b = FormatSpec.parse("sell", {"sigma": 512, "chunk": 32})
+        assert len({a, b}) == 1

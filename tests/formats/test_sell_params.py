@@ -1,0 +1,130 @@
+"""SELL-C-sigma parameter edges: every (C, sigma) cell, every execution path.
+
+The tuned-format contract is bit-identity *within* one parameter cell: for
+a fixed (chunk, sigma) the serial, optimized, and parallel kernels — and a
+plan-cached build, cold or warm — must agree to the last ulp.  Different
+cells are only required to agree within accumulation tolerance (padding
+changes the pairwise-summation grouping).
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats.sell import SELL
+from repro.kernels.dispatch import run_spmm
+from repro.kernels.plan import PlanCache
+from repro.matrices.generators import powerlaw_matrix
+from repro.verify.adversarial import build_adversarial
+from repro.verify.reference import dense_reference, result_tolerance
+
+from ..conftest import make_random_triplets
+
+
+def _dense(triplets, k, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((triplets.ncols, k))
+
+
+def _all_paths(triplets, chunk, sigma, B, k):
+    """Outputs of every SELL execution path for one (C, sigma) cell."""
+    A = SELL.from_triplets(triplets, chunk=chunk, sigma=sigma)
+    outs = {
+        "serial": run_spmm(A, B, variant="serial", k=k),
+        "optimized": run_spmm(A, B, variant="optimized", k=k),
+        "parallel": run_spmm(A, B, variant="parallel", k=k, threads=2),
+    }
+    for variant in ("serial", "parallel"):
+        # Fresh cache per variant: conversion artifacts are shared across
+        # variants, so a shared cache would report "memory" on the second.
+        cache = PlanCache(maxsize=4)
+        plan, prov = cache.get_or_build_plan(
+            triplets, "sell", variant=variant, k=k,
+            threads=2 if variant == "parallel" else 1,
+            format_params={"chunk": chunk, "sigma": sigma},
+        )
+        assert prov == "built"
+        cold = plan(B)
+        plan2, prov2 = cache.get_or_build_plan(
+            triplets, "sell", variant=variant, k=k,
+            threads=2 if variant == "parallel" else 1,
+            format_params={"chunk": chunk, "sigma": sigma},
+        )
+        assert prov2 == "memory"
+        warm = plan2(B)
+        # Cold vs cached bit-identity pin for the parameterized plan.
+        assert np.array_equal(cold, warm)
+        outs[f"plan_{variant}"] = warm
+    return outs
+
+
+PARAM_CELLS = [
+    (4, 1),      # sigma=1: no sorting, identity permutation
+    (4, 8),      # sigma spans two chunks
+    (8, 64),     # sigma > nrows for the small cases: full sort
+    (64, 64),    # chunk > nrows: one ragged chunk
+]
+
+
+class TestParamEdgeSweep:
+    @pytest.mark.parametrize("chunk,sigma", PARAM_CELLS)
+    def test_paths_bit_identical_within_cell(self, chunk, sigma):
+        triplets = make_random_triplets(23, 17, density=0.2, seed=5)
+        k = 6
+        B = _dense(triplets, k)
+        reference = dense_reference(triplets, B, k)
+        tol = result_tolerance(reference, 1e-6)
+        outs = _all_paths(triplets, chunk, sigma, B, k)
+        first = outs["serial"]
+        assert np.abs(first - reference).max() <= tol
+        for name, out in outs.items():
+            assert np.array_equal(first, out), f"{name} diverges from serial"
+
+    def test_sigma_equal_nrows_full_sort(self):
+        triplets = powerlaw_matrix(40, avg_nnz=4, max_nnz=20, seed=3)
+        k = 5
+        B = _dense(triplets, k)
+        outs = _all_paths(triplets, 4, triplets.nrows, B, k)
+        first = outs["serial"]
+        for out in outs.values():
+            assert np.array_equal(first, out)
+
+    def test_all_empty_sigma_window(self):
+        triplets = build_adversarial("empty_sigma_window")
+        k = 4
+        B = _dense(triplets, k)
+        reference = dense_reference(triplets, B, k)
+        tol = result_tolerance(reference, 1e-6)
+        outs = _all_paths(triplets, 4, 8, B, k)
+        first = outs["serial"]
+        assert np.abs(first - reference).max() <= tol
+        for out in outs.values():
+            assert np.array_equal(first, out)
+
+    def test_fewer_rows_than_chunk(self):
+        triplets = build_adversarial("short_chunk")
+        k = 4
+        B = _dense(triplets, k)
+        outs = _all_paths(triplets, 4, 8, B, k)
+        first = outs["serial"]
+        for out in outs.values():
+            assert np.array_equal(first, out)
+
+    def test_cross_cell_agreement_is_tolerance_not_bits(self):
+        """Different (C, sigma) cells agree numerically, not bit-wise."""
+        triplets = powerlaw_matrix(60, avg_nnz=6, max_nnz=30, seed=7)
+        k = 6
+        B = _dense(triplets, k)
+        reference = dense_reference(triplets, B, k)
+        tol = result_tolerance(reference, 1e-6)
+        a = run_spmm(SELL.from_triplets(triplets, chunk=4, sigma=8), B, variant="serial", k=k)
+        b = run_spmm(SELL.from_triplets(triplets, chunk=16, sigma=60), B, variant="serial", k=k)
+        assert np.abs(a - reference).max() <= tol
+        assert np.abs(b - reference).max() <= tol
+        assert np.allclose(a, b)
+
+
+class TestDeprecatedPositional:
+    def test_positional_chunk_sigma_rejected(self):
+        triplets = make_random_triplets(10, 10, density=0.3, seed=1)
+        with pytest.raises(TypeError):
+            SELL.from_triplets(triplets, 4, 8)

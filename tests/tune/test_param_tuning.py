@@ -1,0 +1,131 @@
+"""(C, sigma)-aware tuning: the tentpole's acceptance bars, in miniature.
+
+Model-mode only — deterministic machine-model scores, no wall clock — so
+the 2x tuned-SELL-over-ELL bar is a stable assertion, not a flaky race.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import Engine, SpmmRequest
+from repro.kernels.plan import fingerprint_triplets
+from repro.machine.machines import get_machine
+from repro.matrices.generators import powerlaw_matrix
+from repro.tune.autotune import DEFAULT_FORMAT_PARAM_GRID, autotune
+from repro.tune.store import (
+    TuneDecision,
+    TuneStore,
+    resolve_auto_format,
+    set_active_store,
+)
+
+MACHINE = get_machine("arm")
+
+
+@pytest.fixture(autouse=True)
+def _reset_active_store():
+    set_active_store(None)
+    yield
+    set_active_store(None)
+
+
+@pytest.fixture(scope="module")
+def heavy_tail():
+    return powerlaw_matrix(200, avg_nnz=8, max_nnz=60, seed=0)
+
+
+class TestParamGridSampling:
+    def test_bare_sell_samples_the_grid(self, heavy_tail):
+        report = autotune(
+            heavy_tail, matrix_name="pow200", k=8, machine=MACHINE,
+            formats=("sell",), variants=("serial",), thread_list=(1,),
+            chunk_list=(4096,),
+        )
+        sell_params = {c.format_params for c in report.cells if c.format_name == "sell"}
+        assert len(sell_params) == len(DEFAULT_FORMAT_PARAM_GRID["sell"])
+
+    def test_explicit_spec_pins_one_cell(self, heavy_tail):
+        report = autotune(
+            heavy_tail, matrix_name="pow200", k=8, machine=MACHINE,
+            formats=("sell:c=32,sigma=512",), variants=("serial",),
+            thread_list=(1,), chunk_list=(4096,),
+        )
+        sell_params = {c.format_params for c in report.cells if c.format_name == "sell"}
+        assert sell_params == {(("chunk", 32), ("sigma", 512))}
+
+    def test_tuned_sell_beats_plain_ell_2x(self, heavy_tail):
+        """ISSUE acceptance: tuned SELL >= 2x plain ELL modeled MFLOPS on
+        the heavy-tailed generator matrix."""
+        report = autotune(
+            heavy_tail, matrix_name="pow200", k=8, machine=MACHINE,
+            formats=("sell", "ell"), variants=("serial", "parallel"),
+            thread_list=(4,), chunk_list=(4096,),
+        )
+        best_sell = max(
+            c.mflops for c in report.cells if c.format_name == "sell"
+        )
+        best_ell = max(
+            c.mflops for c in report.cells if c.format_name == "ell"
+        )
+        assert best_sell >= 2.0 * best_ell
+        assert report.decision.format_name == "sell"
+        assert dict(report.decision.format_params)  # tuned cell carries (C, sigma)
+
+
+class TestDecisionPersistence:
+    def test_winner_params_survive_store_round_trip(self, heavy_tail, tmp_path):
+        store = TuneStore(tmp_path / "tuned.json")
+        report = autotune(
+            heavy_tail, matrix_name="pow200", k=8, machine=MACHINE,
+            formats=("sell", "ell"), variants=("serial",), thread_list=(1,),
+            chunk_list=(4096,), store=store,
+        )
+        reloaded = TuneStore(tmp_path / "tuned.json")
+        decision = reloaded.lookup(report.fingerprint, 8)
+        assert decision is not None
+        assert decision.format_name == report.decision.format_name
+        assert decision.format_params == report.decision.format_params
+
+
+class TestAutoFormatResolution:
+    def test_tuned_store_wins_with_params(self, heavy_tail):
+        store = TuneStore()
+        decision = TuneDecision(
+            fingerprint=fingerprint_triplets(heavy_tail),
+            matrix="pow200", format_name="sell", variant="serial", threads=1,
+            chunk_elements=4096, k=8, score_mflops=1.0, mode="model",
+            format_params=(("chunk", 32), ("sigma", 512)),
+        )
+        store.record(decision, persist=False)
+        fmt, params = resolve_auto_format(heavy_tail, 8, store=store)
+        assert fmt == "sell"
+        assert params == {"chunk": 32, "sigma": 512}
+
+    def test_fallback_is_csr(self, heavy_tail):
+        fmt, params = resolve_auto_format(heavy_tail, 8, store=TuneStore())
+        assert (fmt, params) == ("csr", {})
+
+    def test_engine_auto_uses_tuned_cell(self, heavy_tail):
+        store = TuneStore()
+        store.record(
+            TuneDecision(
+                fingerprint=fingerprint_triplets(heavy_tail),
+                matrix="pow200", format_name="sell", variant="serial",
+                threads=1, chunk_elements=4096, k=8, score_mflops=1.0,
+                mode="model", format_params=(("chunk", 16), ("sigma", 64)),
+            ),
+            persist=False,
+        )
+        with Engine(workers=1, max_in_flight=4, tune_store=store) as engine:
+            result = engine.run(SpmmRequest(
+                matrix=heavy_tail, k=8, fmt="auto", variant="serial", repeats=1
+            ))
+            explicit = engine.run(SpmmRequest(
+                matrix=heavy_tail, k=8, fmt="sell",
+                fmt_params={"chunk": 16, "sigma": 64},
+                variant="serial", repeats=1,
+            ))
+            # auto resolved to the tuned (C, sigma) cell: same plan group,
+            # hence bit-identical output.
+            assert np.array_equal(result.output, explicit.output)
+            assert engine.tracer.counters.get("auto_format_tuned", 0) >= 1
