@@ -225,6 +225,12 @@ def git_sha(cwd=None) -> str:
 
 
 def _cell_key(record) -> str:
+    # SpMM cells keep the historical six-part key so trajectories stay
+    # byte-comparable with pre-operation baselines; other operations get a
+    # seventh "/<operation>" part, which also keeps a spgemm cell from
+    # colliding with the spmm cell of the same grid coordinates.
+    operation = getattr(record, "operation", "spmm")
+    suffix = "" if operation == "spmm" else f"/{operation}"
     return "/".join(
         str(x)
         for x in (
@@ -235,7 +241,7 @@ def _cell_key(record) -> str:
             record.threads,
             record.block_size,
         )
-    )
+    ) + suffix
 
 
 def build_trajectory(
@@ -255,6 +261,9 @@ def build_trajectory(
     best_times = []
     for rec in records:
         cell = {"key": _cell_key(rec), "mflops": rec.mflops, "censored": rec.censored}
+        operation = getattr(rec, "operation", "spmm")
+        if operation != "spmm":
+            cell["operation"] = operation
         timing = rec.result.timing if rec.result is not None else None
         cell["mean_time_s"] = timing.mean if timing is not None else None
         cell["best_time_s"] = timing.best if timing is not None else None

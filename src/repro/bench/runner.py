@@ -25,9 +25,19 @@ from .suite import BenchResult, SpmmBenchmark
 __all__ = ["GridSpec", "RunRecord", "GridRunner"]
 
 
+#: Formats with a transpose-operand kernel — the backward operation's
+#: support set (kernels/backward.py).
+_BACKWARD_FORMATS = ("coo", "csr", "csr5", "ell", "bcsr")
+
+
 @dataclass(frozen=True)
 class GridSpec:
-    """Declarative description of a benchmark grid."""
+    """Declarative description of a benchmark grid.
+
+    ``operation`` names the single workload of the grid; ``operations``
+    (when non-empty) sweeps several workloads — spmm/spgemm/backward — as an
+    extra axis, with the per-operation prunings of :meth:`cells`.
+    """
 
     matrices: tuple[str, ...]
     formats: tuple[str, ...]
@@ -37,26 +47,50 @@ class GridSpec:
     block_sizes: tuple[int, ...] = (4,)
     scale: int = 1
     operation: str = "spmm"
+    operations: tuple[str, ...] = ()
     base_params: BenchParams = field(default_factory=BenchParams)
 
     def configurations(self) -> Iterator[tuple[str, str, BenchParams]]:
-        """Expand to (matrix, format, params) triples.
+        """Expand to (matrix, format, params) triples for ``operation``.
+
+        The historical single-operation expansion; :meth:`cells` is the
+        operation-aware form the runner consumes.
+        """
+        for matrix, fmt, _op, params in self._expand(self.operation):
+            yield matrix, fmt, params
+
+    def cells(self) -> Iterator[tuple[str, str, str, BenchParams]]:
+        """Expand to (matrix, format, operation, params) cells.
 
         Block size only varies for BCSR (the paper's only block-size knob);
-        thread counts only vary for parallel variants — pointless axis
+        thread counts only vary for parallel variants; SpGEMM collapses the
+        variant and k axes (one algorithm, no dense width) and backward
+        keeps only formats with a transpose kernel — pointless axis
         combinations are pruned.
         """
+        for op in self.operations or (self.operation,):
+            yield from self._expand(op)
+
+    def _expand(self, op: str) -> Iterator[tuple[str, str, str, BenchParams]]:
+        formats: Sequence[str] = self.formats
+        variants: Sequence[str] = self.variants
+        k_axis: Sequence[int] = self.k_values
+        if op == "spgemm":
+            variants = ("serial",)
+            k_axis = self.k_values[:1]
+        elif op == "backward":
+            formats = tuple(f for f in self.formats if f in _BACKWARD_FORMATS)
         for matrix in self.matrices:
-            for fmt in self.formats:
+            for fmt in formats:
                 blocks: Sequence[int] = self.block_sizes if fmt == "bcsr" else (self.base_params.block_size,)
-                for variant in self.variants:
+                for variant in variants:
                     threads_axis: Sequence[int] = (
                         self.thread_counts if "parallel" in variant else (self.base_params.threads,)
                     )
-                    for k in self.k_values:
+                    for k in k_axis:
                         for threads in threads_axis:
                             for block in blocks:
-                                yield matrix, fmt, self.base_params.with_(
+                                yield matrix, fmt, op, self.base_params.with_(
                                     variant=variant, k=k, threads=threads, block_size=block
                                 )
 
@@ -74,6 +108,7 @@ class RunRecord:
     machine: str
     result: BenchResult | None
     censored: str | None = None
+    operation: str = "spmm"
 
     @property
     def mflops(self) -> float:
@@ -113,14 +148,18 @@ class GridRunner:
     def run(self) -> list[RunRecord]:
         """Run the full grid; censored cells are recorded, not raised."""
         records: list[RunRecord] = []
-        for matrix, fmt, params in self.spec.configurations():
+        for matrix, fmt, operation, params in self.spec.cells():
             if self.tracer is not None:
                 with self.tracer.span(
-                    "cell", matrix=matrix, format=fmt, variant=params.variant
+                    "cell",
+                    matrix=matrix,
+                    format=fmt,
+                    variant=params.variant,
+                    operation=operation,
                 ):
-                    record = self._run_one(matrix, fmt, params)
+                    record = self._run_one(matrix, fmt, params, operation)
             else:
-                record = self._run_one(matrix, fmt, params)
+                record = self._run_one(matrix, fmt, params, operation)
             records.append(record)
             if record.censored:
                 self.censored.append(record)
@@ -128,13 +167,17 @@ class GridRunner:
                     self.tracer.warn("censored_cell")
         return records
 
-    def _run_one(self, matrix: str, fmt: str, params: BenchParams) -> RunRecord:
+    def _run_one(
+        self, matrix: str, fmt: str, params: BenchParams, operation: str | None = None
+    ) -> RunRecord:
+        if operation is None:
+            operation = self.spec.operation
         with legacy_ok():  # internal delegation, not a legacy caller
             bench = SpmmBenchmark(
                 fmt,
                 params=params,
                 machine=self.machine,
-                operation=self.spec.operation,
+                operation=operation,
                 tracer=self.tracer,
                 plan_cache=self.plan_cache,
             )
@@ -147,6 +190,7 @@ class GridRunner:
             threads=params.threads,
             block_size=params.block_size,
             machine=self.machine.name if self.machine else "wallclock",
+            operation=operation,
         )
         try:
             result = bench.run(mode=self.mode)

@@ -22,12 +22,14 @@ from typing import Any
 import numpy as np
 
 from .._compat import warn_legacy
-from ..errors import BenchConfigError
+from ..errors import BenchConfigError, VerificationError
 from ..formats.base import SparseFormat
 from ..formats.registry import get_format
 from ..kernels.dispatch import run_spmm, run_spmv
 from ..kernels.plan import ExecutionPlan, PlanCache, plan_supported
+from ..kernels.spgemm import spgemm, spgemm_flops
 from ..kernels.traces import trace_spmm, trace_spmv
+from ..kernels.transpose import transpose_spmm
 from ..machine.costmodel import CostBreakdown, predict_spmm_time
 from ..machine.machines import Machine
 from ..matrices.coo_builder import Triplets
@@ -38,7 +40,12 @@ from .params import BenchParams
 from .timing import TimingStats, flops_to_mflops, measure
 from .verify import verify_result
 
-__all__ = ["SpmmBenchmark", "BenchResult"]
+__all__ = ["SpmmBenchmark", "BenchResult", "OPERATIONS"]
+
+#: Benchmarkable operations: the paper's sparse-dense pair plus the DL
+#: workloads — sparse@sparse (§6.3.4 carve-out) and the backward-pass
+#: gradient multiply A^T @ G (Study 8 transpose kernels on A^T).
+OPERATIONS = ("spmm", "spmv", "spgemm", "backward")
 
 #: Kernel-variant name -> cost-model execution kind.
 _VARIANT_EXECUTION = {
@@ -109,8 +116,10 @@ class SpmmBenchmark:
         plan_cache: PlanCache | None = None,
     ):
         warn_legacy("constructing SpmmBenchmark directly", "repro.api.benchmark()")
-        if operation not in ("spmm", "spmv"):
-            raise BenchConfigError(f"operation must be spmm or spmv, got {operation!r}")
+        if operation not in OPERATIONS:
+            raise BenchConfigError(
+                f"operation must be one of {', '.join(OPERATIONS)}, got {operation!r}"
+            )
         self.format_cls = get_format(format_name)
         self.format_name = format_name.lower()
         self.params = params or BenchParams()
@@ -126,6 +135,11 @@ class SpmmBenchmark:
         #: planning (see repro.kernels.plan).
         self.plan_cache = plan_cache
         self._plan: ExecutionPlan | None = None
+        #: Backward mode formats A^T; cached so repeat runs transpose once.
+        self._transposed: Triplets | None = None
+        #: SpGEMM's second sparse operand (same format family as A).
+        self._operand: SparseFormat | None = None
+        self._operand_triplets: Triplets | None = None
 
     # -- inputs -------------------------------------------------------------
 
@@ -133,6 +147,9 @@ class SpmmBenchmark:
         """Use an explicit COO-like input."""
         self.triplets = triplets
         self.matrix_name = name
+        self._transposed = None
+        self._operand = None
+        self._operand_triplets = None
         return self
 
     def load_suite_matrix(self, name: str, scale: int = 1) -> "SpmmBenchmark":
@@ -147,18 +164,37 @@ class SpmmBenchmark:
                 name, scale=scale, policy=self.params.dtype_policy
             )
         self.matrix_name = name
+        self._transposed = None
+        self._operand = None
+        self._operand_triplets = None
         return self
 
-    def make_dense(self) -> np.ndarray:
-        """Auto-generate the dense operand, width = k (paper §6.3.4)."""
+    def make_dense(self) -> np.ndarray | None:
+        """Auto-generate the dense operand, width = k (paper §6.3.4).
+
+        Backward mode generates the gradient panel ``G`` with ``A.nrows``
+        rows (the operand of ``A^T``); SpGEMM has no dense operand at all
+        (the second operand is sparse, built in :meth:`format`).
+        """
         self._require_loaded()
+        if self.operation == "spgemm":
+            return None
         rng = np.random.default_rng(self.params.seed + 1)
         policy = self.params.dtype_policy
         if self.operation == "spmv":
             return policy.value_array(rng.standard_normal(self.triplets.ncols))
-        return policy.value_array(
-            rng.standard_normal((self.triplets.ncols, self.params.k))
+        leading = (
+            self.triplets.nrows if self.operation == "backward" else self.triplets.ncols
         )
+        return policy.value_array(rng.standard_normal((leading, self.params.k)))
+
+    def _input_triplets(self) -> Triplets:
+        """The triplets the benchmark formats: A, or A^T in backward mode."""
+        if self.operation == "backward":
+            if self._transposed is None:
+                self._transposed = self.triplets.transposed()
+            return self._transposed
+        return self.triplets
 
     # -- the two override points (paper §4.1) --------------------------------
 
@@ -195,20 +231,51 @@ class SpmmBenchmark:
         return self._build_format()
 
     def _build_format(self) -> tuple[SparseFormat, float]:
-        """The cold conversion path (always what a cache miss pays)."""
+        """The cold conversion path (always what a cache miss pays).
+
+        Backward mode formats ``A^T`` (the sparse-operand transpose is a
+        formatting cost, charged here exactly like Study 8 charges the dense
+        transpose); SpGEMM additionally formats its second sparse operand —
+        ``A`` again when square, else ``A^T`` (the Gram product ``A @ A^T``)
+        — in the same format family, the paper's §6.3.4 restriction.
+        """
         t0 = time.perf_counter()
         A = self.format_cls.from_triplets(
-            self.triplets,
+            self._input_triplets(),
             policy=self.params.dtype_policy,
             **self.params.format_params(self.format_name),
         )
+        if self.operation == "spgemm":
+            if self._operand_triplets is None:
+                square = self.triplets.nrows == self.triplets.ncols
+                self._operand_triplets = (
+                    self.triplets if square else self.triplets.transposed()
+                )
+            self._operand = self.format_cls.from_triplets(
+                self._operand_triplets,
+                policy=self.params.dtype_policy,
+                **self.params.format_params(self.format_name),
+            )
         format_time = time.perf_counter() - t0
         # Tag for the offload runtime's per-matrix fault injection.
         A._suite_name = self.matrix_name
         return A, format_time
 
-    def calculate(self, A: SparseFormat, B: np.ndarray) -> np.ndarray:
-        """One kernel invocation — override to test a custom algorithm."""
+    def calculate(self, A: SparseFormat, B: np.ndarray) -> Any:
+        """One kernel invocation — override to test a custom algorithm.
+
+        Returns the dense result panel, except in SpGEMM mode where the
+        product is sparse and comes back as Triplets.
+        """
+        if self.operation == "spgemm":
+            # Gustavson row merge; the kernel records its own counters.
+            return spgemm(A, self._operand, tracer=self.tracer)
+        if self.operation == "backward":
+            # A is already A^T; the Study 8 kernel streams it against G.
+            threads = (
+                self.params.threads if "parallel" in self.params.variant else 1
+            )
+            return transpose_spmm(A, B, k=self.params.k, threads=threads)
         if self._plan is not None:
             # Plan-specialized hot path: conversion, chunk schedules, and
             # closure planning all happened once, at plan build time.
@@ -234,11 +301,16 @@ class SpmmBenchmark:
     # -- model pathway -------------------------------------------------------
 
     def model(self, A: SparseFormat) -> CostBreakdown | None:
-        """Cost-model prediction for this configuration (if a machine is set)."""
-        if self.machine is None:
+        """Cost-model prediction for this configuration (if a machine is set).
+
+        SpGEMM has no analytic model (its traffic depends on the output
+        pattern, which only the multiply discovers) — model-mode SpGEMM
+        cells report no prediction and gate on wall clock instead.
+        """
+        if self.machine is None or self.operation == "spgemm":
             return None
         fixed_k = "optimized" in self.params.variant
-        transpose_b = "transpose" in self.params.variant
+        transpose_b = "transpose" in self.params.variant or self.operation == "backward"
         if self.operation == "spmv":
             trace = trace_spmv(A, fixed_k=fixed_k)
         else:
@@ -281,15 +353,23 @@ class SpmmBenchmark:
         # works from the trace alone.
         B = self.make_dense() if mode in ("wallclock", "both") else None
 
-        k = self.params.k if self.operation == "spmm" else 1
-        useful_flops = 2 * A.nnz * k
+        k = self.params.k if self.operation in ("spmm", "backward") else 1
+        if self.operation == "spgemm":
+            # The SpGEMM work metric: Gustavson multiply-adds, a function of
+            # both operands' structure (not nnz * k).
+            useful_flops = spgemm_flops(A, self._operand)
+        else:
+            useful_flops = 2 * A.nnz * k
         if tracer is not None:
             tracer.count("flops", useful_flops)
             # Traffic floor of one calculation: the format structure plus
-            # the dense operand and output panels.
+            # the dense operand and output panels (or the second sparse
+            # operand in SpGEMM mode).
             bytes_moved = A.nbytes
             if B is not None:
                 bytes_moved += B.nbytes + A.nrows * k * B.itemsize
+            if self._operand is not None:
+                bytes_moved += self._operand.nbytes
             tracer.count("bytes_moved", bytes_moved)
 
         # The offload fault fires at launch, before any timing.
@@ -314,6 +394,12 @@ class SpmmBenchmark:
                 else:
                     verified = self._verify(B, C)
 
+        extra: dict = {}
+        if self.operation == "spgemm":
+            extra["operand_nnz"] = self._operand.nnz
+            if mode in ("wallclock", "both"):
+                extra["output_nnz"] = C.nnz
+
         modeled = self.model(A) if mode in ("model", "both") else None
         total_time = time.perf_counter() - t_start
         return BenchResult(
@@ -331,6 +417,7 @@ class SpmmBenchmark:
             footprint_bytes=A.nbytes,
             padding_ratio=A.padding_ratio,
             modeled=modeled,
+            extra=extra,
         )
 
     def _resolve_auto_variant(self) -> None:
@@ -352,10 +439,36 @@ class SpmmBenchmark:
             changes["chunk_elements"] = opts["chunk_elements"]
         self.params = self.params.with_(**changes)
 
-    def _verify(self, B: np.ndarray, C: np.ndarray) -> bool:
+    def _verify(self, B: np.ndarray | None, C: Any) -> bool:
+        if self.operation == "spgemm":
+            return self._verify_spgemm(C)
+        if self.operation == "backward":
+            # The COO reference on A^T: the explicit-transpose oracle.
+            return verify_result(self._input_triplets(), B, C, k=self.params.k)
         if self.operation == "spmm":
             return verify_result(self.triplets, B, C, k=self.params.k)
         return verify_result(self.triplets, B[:, None], C[:, None], k=1)
+
+    def _verify_spgemm(self, C: Triplets) -> bool:
+        """Check the sparse product against the densified matmul."""
+        from ..verify.reference import result_tolerance
+
+        ref = self.triplets.to_dense().astype(np.float64) @ (
+            self._operand_triplets.to_dense().astype(np.float64)
+        )
+        got = C.to_dense().astype(np.float64)
+        if got.shape != ref.shape:
+            raise VerificationError(
+                f"spgemm result shape {got.shape} != reference {ref.shape}"
+            )
+        tolerance = result_tolerance(ref)
+        max_err = float(np.abs(got - ref).max()) if ref.size else 0.0
+        if max_err > tolerance:
+            raise VerificationError(
+                f"spgemm verification failed: max abs error {max_err:.3e} "
+                f"(tolerance {tolerance:.3e})"
+            )
+        return True
 
     def _require_loaded(self) -> None:
         if self.triplets is None:

@@ -56,7 +56,34 @@ BENCH_GRIDS: dict[str, dict] = {
         formats=("csr",),
         variants=("serial", "parallel"),
     ),
+    # The DL-sparsity study (paper §6.3.4 carve-outs): DLMC-style matrices,
+    # with forward SpMM, SpGEMM, and the backward gradient multiply as an
+    # operation axis.  ``quick`` is the CI cut — a strict cell subset of the
+    # full grid, so the shared deterministic modeled cells gate at ratio 1.0
+    # against a committed full-grid baseline.
+    "dl": dict(
+        matrices=(
+            "dlmc_mag_70",
+            "dlmc_mag_90",
+            "dlmc_mag_98",
+            "dlmc_block_85",
+            "dlmc_block_95",
+            "dlmc_batch_heavy",
+        ),
+        formats=("csr", "ell", "bcsr"),
+        variants=("serial", "parallel"),
+        operations=("spmm", "spgemm", "backward"),
+        k_values=(32, 256),
+        quick=dict(
+            matrices=("dlmc_mag_90", "dlmc_block_85", "dlmc_batch_heavy"),
+            variants=("serial",),
+            k_values=(32,),
+        ),
+    ),
 }
+
+#: ``bench --suite`` shorthand: map a matrix-suite name to its bench grid.
+SUITE_STUDIES: dict[str, str] = {"scientific": "study1", "dl": "dl"}
 
 #: Exit code of ``bench --baseline`` when the gate trips (distinct from 1,
 #: the generic error code).
@@ -86,7 +113,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="attach a machine model (grace-hopper/aries/arm/x86)")
     run_p.add_argument("--mode", default="wallclock",
                        choices=["wallclock", "model", "both"])
-    run_p.add_argument("--operation", default="spmm", choices=["spmm", "spmv"])
+    run_p.add_argument("--operation", default="spmm",
+                       choices=["spmm", "spmv", "spgemm", "backward"])
     run_p.add_argument("--csv", action="store_true", help="emit a CSV row")
     BenchParams.add_arguments(run_p)
 
@@ -94,8 +122,15 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="instrumented grid run: BENCH_<study>.json trajectory + regression gate",
     )
-    bench_p.add_argument("--study", default="study1", choices=sorted(BENCH_GRIDS),
+    bench_p.add_argument("--study", default=None, choices=sorted(BENCH_GRIDS),
                          help="which reduced grid to run (default: study1)")
+    bench_p.add_argument("--suite", default=None, choices=sorted(SUITE_STUDIES),
+                         help="matrix-suite shorthand: 'dl' runs the DL-sparsity "
+                              "grid (spmm + spgemm + backward), 'scientific' the "
+                              "study1 grid")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="CI cut of the grid (a cell subset of the full "
+                              "grid, so modeled cells still gate exactly)")
     bench_p.add_argument("--scale", type=int, default=64,
                          help="divide the paper's matrix rows by this factor")
     bench_p.add_argument("--mode", default="both",
@@ -397,15 +432,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench.runner import GridRunner, GridSpec
     from .kernels.plan import PlanCache
 
-    grid = BENCH_GRIDS[args.study]
+    study = args.study
+    if args.suite is not None:
+        suite_study = SUITE_STUDIES[args.suite]
+        if study is not None and study != suite_study:
+            raise BenchConfigError(
+                f"--study {study} conflicts with --suite {args.suite} "
+                f"(which implies --study {suite_study})"
+            )
+        study = suite_study
+    study = study or "study1"
+    grid = dict(BENCH_GRIDS[study])
+    quick = grid.pop("quick", None)
+    if args.quick:
+        if quick is None:
+            raise BenchConfigError(f"study {study!r} has no --quick cut")
+        grid.update(quick)
     params = BenchParams(n_runs=args.n_runs, warmup=2, k=32, threads=4)
+    operations = tuple(grid.get("operations", ()))
+    k_values = tuple(grid.get("k_values", (params.k,)))
     spec = GridSpec(
         matrices=grid["matrices"],
         formats=grid["formats"],
         variants=grid["variants"],
-        k_values=(params.k,),
+        k_values=k_values,
         thread_counts=(params.threads,),
         scale=args.scale,
+        operations=operations,
         base_params=params,
     )
     machine = None
@@ -415,16 +468,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         machine = get_machine("arm").with_scaled_caches(args.scale)
 
     config = dict(
-        study=args.study,
+        study=study,
+        suite=args.suite,
+        quick=args.quick,
         scale=args.scale,
         mode=args.mode,
         machine=machine.name if machine else None,
         n_runs=args.n_runs,
         k=params.k,
+        k_values=list(k_values),
         threads=params.threads,
         matrices=list(grid["matrices"]),
         formats=list(grid["formats"]),
         variants=list(grid["variants"]),
+        operations=list(operations) or ["spmm"],
         plan_cache=not args.no_plan_cache,
     )
     # The plan cache is shared across the whole grid (and the confirm
@@ -468,7 +525,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 tracer, runner, records = tracer2, runner2, records2
                 trajectory, report = trajectory2, report2
 
-    out = args.out or f"BENCH_{args.study}.json"
+    out = args.out or f"BENCH_{study}.json"
     write_trajectory(trajectory, out)
     print(f"wrote {out} ({len(records)} cells, {len(runner.censored)} censored)")
     for stage, seconds in sorted(tracer.stage_times().items()):

@@ -12,6 +12,7 @@ from .dispatch import run_spmm, run_spmv, kernel_variants, get_kernel
 from .plan import ExecutionPlan, PlanCache, PlanKey, matrix_fingerprint
 from .traces import KernelTrace, trace_spmm, trace_spmv
 from .spgemm import spgemm, spgemm_flops
+from .backward import BACKWARD_FORMATS, backward_spmm, transpose_format
 
 __all__ = [
     "run_spmm",
@@ -27,4 +28,7 @@ __all__ = [
     "trace_spmv",
     "spgemm",
     "spgemm_flops",
+    "BACKWARD_FORMATS",
+    "backward_spmm",
+    "transpose_format",
 ]

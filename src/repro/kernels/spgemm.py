@@ -52,13 +52,18 @@ def spgemm_flops(A: SparseFormat, B: SparseFormat) -> int:
     return int(2 * b_row_nnz[np.asarray(a_cols, dtype=np.int64)].sum())
 
 
-def spgemm(A: SparseFormat, B: SparseFormat) -> Triplets:
+def spgemm(A: SparseFormat, B: SparseFormat, *, tracer=None) -> Triplets:
     """C = A @ B for two sparse operands; returns row-sorted Triplets.
 
     Gustavson row merge with one dense accumulator recycled across rows:
     for each row i of A, scatter-add A[i, j] * B[j, :] into the
     accumulator, then harvest the touched columns.  Memory is
     O(ncols + output), independent of the multiply's intermediate size.
+
+    A ``tracer`` records the SpGEMM-specific counters: ``spgemm_flops``
+    (the Gustavson multiply-add work), ``spgemm_output_nnz``, and
+    ``spgemm_compression`` — output nnz over multiply-adds, the standard
+    measure of how much accumulation the merge performed.
     """
     if A.ncols != B.nrows:
         raise ShapeError(f"inner dimensions differ: {A.ncols} vs {B.nrows}")
@@ -106,6 +111,12 @@ def spgemm(A: SparseFormat, B: SparseFormat) -> Triplets:
         rows = np.empty(0, dtype=np.int64)
         cols = np.empty(0, dtype=np.int64)
         vals = np.empty(0, dtype=np.float64)
+    if tracer is not None:
+        flops = spgemm_flops(A, B)
+        tracer.count("spgemm_flops", flops)
+        tracer.count("spgemm_output_nnz", rows.size)
+        if flops:
+            tracer.count("spgemm_compression", 2.0 * rows.size / flops)
     policy = A.policy
     return Triplets(
         nrows=A.nrows,

@@ -15,8 +15,19 @@ from .generators import (
     powerlaw_matrix,
     stencil_matrix,
     diagonal_band_matrix,
+    magnitude_pruned_matrix,
+    block_sparse_matrix,
 )
-from .suite import SUITE, MatrixSpec, load_matrix, matrix_names, properties_table
+from .suite import (
+    DL_SUITE,
+    SUITE,
+    SUITES,
+    DLMatrixSpec,
+    MatrixSpec,
+    load_matrix,
+    matrix_names,
+    properties_table,
+)
 from .mmio import read_matrix_market, write_matrix_market
 from .spy import ascii_spy, density_grid, row_histogram, svg_spy
 from .reorder import bandwidth, permute, profile, reverse_cuthill_mckee
@@ -32,8 +43,13 @@ __all__ = [
     "powerlaw_matrix",
     "stencil_matrix",
     "diagonal_band_matrix",
+    "magnitude_pruned_matrix",
+    "block_sparse_matrix",
     "SUITE",
+    "DL_SUITE",
+    "SUITES",
     "MatrixSpec",
+    "DLMatrixSpec",
     "load_matrix",
     "matrix_names",
     "properties_table",

@@ -35,6 +35,8 @@ __all__ = [
     "powerlaw_matrix",
     "stencil_matrix",
     "diagonal_band_matrix",
+    "magnitude_pruned_matrix",
+    "block_sparse_matrix",
 ]
 
 
@@ -315,6 +317,168 @@ def stencil_matrix(
     return Triplets(
         nrows=n,
         ncols=n,
+        rows=policy.index_array(rows),
+        cols=policy.index_array(cols),
+        values=policy.value_array(values),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deep-learning sparsity (DLMC-style)
+# ---------------------------------------------------------------------------
+
+def _uniform_distinct_columns(
+    counts: np.ndarray, ncols: int, rng
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized per-row sampling of ``counts[i]`` distinct uniform columns.
+
+    Unlike :func:`_place_columns` (which scatters around the diagonal, the
+    scientific-matrix structure), pruned-weight patterns have no diagonal
+    affinity: every column is equally likely.  Per row with ``m`` nonzeros we
+    draw ``m`` sorted uniforms, stretch them over ``ncols - m + 1`` slots, and
+    add the within-row rank — strictly increasing, hence distinct, columns.
+    The whole batch sorts in one pass by keying each uniform with its row.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.max(initial=0) > ncols:
+        raise GeneratorError(
+            f"a row wants {int(counts.max())} nonzeros but the matrix has {ncols} columns"
+        )
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    nrows = counts.size
+    rows = np.repeat(np.arange(nrows, dtype=np.int64), counts)
+    # Sorting (row + u) sorts the uniforms within each row segment.
+    u = np.sort(rows + rng.random(total))
+    frac = u - rows
+    starts = np.cumsum(counts) - counts
+    rank = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    slots = np.repeat(ncols - counts + 1, counts)
+    cols = np.floor(frac * slots).astype(np.int64) + rank
+    return rows, cols
+
+
+def magnitude_pruned_matrix(
+    nrows: int,
+    ncols: int,
+    density: float,
+    *,
+    seed: int = 0,
+    policy: DTypePolicy = DEFAULT_POLICY,
+) -> Triplets:
+    """Unstructured magnitude-pruned weight matrix (DLMC-style).
+
+    Magnitude pruning keeps the largest-|w| fraction ``density`` of an i.i.d.
+    weight tensor, which makes the surviving mask i.i.d. Bernoulli(density):
+    row counts are Binomial(ncols, density) — empty rows appear naturally at
+    high sparsity — and columns are uniform with no diagonal structure.
+    Values are drawn from the tail of a normal (|w| above the pruning
+    threshold), matching the DLMC collection's 70-98% sparse layers;
+    ``density`` covers the collection's 0.02-0.30 range but any (0, 1] works.
+    """
+    if nrows < 1 or ncols < 1:
+        raise GeneratorError(f"matrix must be at least 1x1, got {nrows}x{ncols}")
+    if not (0 < density <= 1):
+        raise GeneratorError(f"density must be in (0, 1], got {density}")
+    rng = np.random.default_rng(seed)
+    counts = rng.binomial(ncols, density, size=nrows).astype(np.int64)
+    rows, cols = _uniform_distinct_columns(counts, ncols, rng)
+    # |w| conditioned on surviving the prune: uniform in magnitude above the
+    # normal threshold quantile, signed symmetrically.
+    threshold = -_norm_ppf(density / 2.0) if density < 1.0 else 0.0
+    magnitudes = threshold + rng.exponential(0.5, size=rows.size)
+    values = magnitudes * rng.choice([-1.0, 1.0], size=rows.size)
+    return Triplets(
+        nrows=int(nrows),
+        ncols=int(ncols),
+        rows=policy.index_array(rows),
+        cols=policy.index_array(cols),
+        values=policy.value_array(values),
+    )
+
+
+def _norm_ppf(p: float) -> float:
+    """Acklam's rational approximation of the standard-normal quantile.
+
+    Keeps the generator stdlib+numpy only (no scipy); absolute error is
+    below 1.2e-9 over (0, 1), far inside what a synthetic value
+    distribution needs.
+    """
+    if not (0.0 < p < 1.0):
+        raise GeneratorError(f"quantile argument must be in (0, 1), got {p}")
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = np.sqrt(-2.0 * np.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if p > 1.0 - p_low:
+        return -_norm_ppf(1.0 - p)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )
+
+
+def block_sparse_matrix(
+    nrows: int,
+    ncols: int,
+    block_size: int = 16,
+    block_density: float = 0.15,
+    *,
+    seed: int = 0,
+    policy: DTypePolicy = DEFAULT_POLICY,
+) -> Triplets:
+    """Block-sparse transformer-style weight matrix (DLMC-style).
+
+    The matrix is tiled into ``block_size`` x ``block_size`` blocks; each
+    block is kept with probability ``block_density`` and kept blocks are
+    fully dense inside.  Blocks are clipped at the matrix edge, so dimensions
+    that ``block_size`` does not divide produce ragged partial blocks — the
+    geometry structured-pruned attention layers actually ship.  At least one
+    block is always kept (an all-pruned layer would be dropped upstream).
+    """
+    if nrows < 1 or ncols < 1:
+        raise GeneratorError(f"matrix must be at least 1x1, got {nrows}x{ncols}")
+    if block_size < 1:
+        raise GeneratorError(f"block_size must be >= 1, got {block_size}")
+    if not (0 < block_density <= 1):
+        raise GeneratorError(f"block_density must be in (0, 1], got {block_density}")
+    rng = np.random.default_rng(seed)
+    nbr = -(-nrows // block_size)  # ceil
+    nbc = -(-ncols // block_size)
+    mask = rng.random((nbr, nbc)) < block_density
+    if not mask.any():
+        mask[int(rng.integers(nbr)), int(rng.integers(nbc))] = True
+    br, bc = np.nonzero(mask)
+    # Expand each kept block to its (clipped) entries, vectorized per block.
+    heights = np.minimum((br + 1) * block_size, nrows) - br * block_size
+    widths = np.minimum((bc + 1) * block_size, ncols) - bc * block_size
+    sizes = heights * widths
+    block_idx = np.repeat(np.arange(br.size, dtype=np.int64), sizes)
+    starts = np.cumsum(sizes) - sizes
+    within = np.arange(int(sizes.sum()), dtype=np.int64) - starts[block_idx]
+    w = widths[block_idx]
+    rows = br[block_idx] * block_size + within // w
+    cols = bc[block_idx] * block_size + within % w
+    order = np.lexsort((cols, rows))
+    rows, cols = rows[order], cols[order]
+    values = rng.standard_normal(rows.size) * 0.5
+    values[values == 0.0] = 0.5  # a kept block stores every entry
+    return Triplets(
+        nrows=int(nrows),
+        ncols=int(ncols),
         rows=policy.index_array(rows),
         cols=policy.index_array(cols),
         values=policy.value_array(values),

@@ -26,6 +26,8 @@ from ..dtypes import DEFAULT_POLICY, DTypePolicy
 from ..errors import GeneratorError
 from .coo_builder import Triplets
 from .generators import (
+    block_sparse_matrix,
+    magnitude_pruned_matrix,
     matrix_from_row_counts,
     row_counts_constant,
     row_counts_lognormal,
@@ -33,7 +35,16 @@ from .generators import (
 )
 from .properties import MatrixProperties, analyze
 
-__all__ = ["MatrixSpec", "SUITE", "matrix_names", "load_matrix", "properties_table"]
+__all__ = [
+    "MatrixSpec",
+    "DLMatrixSpec",
+    "SUITE",
+    "DL_SUITE",
+    "SUITES",
+    "matrix_names",
+    "load_matrix",
+    "properties_table",
+]
 
 Kind = Literal["constant", "normal", "lognormal"]
 
@@ -109,38 +120,135 @@ SUITE: dict[str, MatrixSpec] = {
 }
 
 
-def matrix_names() -> list[str]:
-    """Names of the 14 suite matrices, in Table 5.1 order."""
-    return list(SUITE)
+@dataclass(frozen=True)
+class DLMatrixSpec:
+    """Recipe for one deep-learning sparsity matrix (DLMC-style).
+
+    ``pattern`` selects the pruning structure: ``"magnitude"`` (unstructured
+    i.i.d. mask from magnitude pruning, DLMC's 70-98% sparse layers) or
+    ``"block"`` (transformer block-sparse, dense ``block_size`` tiles).
+    Shapes are rectangular weight shapes, not the square FEM shapes of
+    :class:`MatrixSpec`; ``batch_heavy`` marks layers meant to be benched at
+    dense widths k >> nrows (the activation-batch-dominated regime).
+    """
+
+    name: str
+    nrows: int
+    ncols: int
+    pattern: Literal["magnitude", "block"]
+    density: float
+    block_size: int = 16
+    batch_heavy: bool = False
+    seed: int = 0
+
+    @property
+    def paper_nnz(self) -> int:
+        """Approximate nonzero count at full scale."""
+        return int(self.nrows * self.ncols * self.density)
+
+    def build(self, scale: int = 1, policy: DTypePolicy = DEFAULT_POLICY) -> Triplets:
+        """Generate the matrix, shrinking *both* dimensions by ``sqrt(scale)``.
+
+        Splitting the reduction across rows and columns keeps nnz scaling
+        like ``1/scale`` (density is per-entry here, unlike the per-row
+        statistics of the scientific suite) without collapsing either
+        dimension to a handful of indices.
+        """
+        if scale < 1:
+            raise GeneratorError(f"scale must be >= 1, got {scale}")
+        factor = max(1, int(round(math.sqrt(scale))))
+        nrows = max(self.nrows // factor, 2 * self.block_size, 16)
+        ncols = max(self.ncols // factor, 2 * self.block_size, 16)
+        rng_seed = self.seed + 104729 * scale
+        if self.pattern == "magnitude":
+            return magnitude_pruned_matrix(
+                nrows, ncols, self.density, seed=rng_seed, policy=policy
+            )
+        # Block density is chosen so the *entry* density matches the spec.
+        return block_sparse_matrix(
+            nrows,
+            ncols,
+            block_size=self.block_size,
+            block_density=self.density,
+            seed=rng_seed,
+            policy=policy,
+        )
+
+
+# DLMC-flavored specs: transformer/ResNet weight shapes at the collection's
+# characteristic sparsities (0.02 = 98% sparse ... 0.30 = 70% sparse), block
+# patterns at two tile sizes (one deliberately not dividing the dimensions),
+# and a batch-heavy layer whose interesting regime is k >> nrows.
+DL_SUITE: dict[str, DLMatrixSpec] = {
+    spec.name: spec
+    for spec in [
+        DLMatrixSpec("dlmc_mag_70", 1024, 1024, "magnitude", 0.30, seed=201),
+        DLMatrixSpec("dlmc_mag_90", 2048, 512, "magnitude", 0.10, seed=202),
+        DLMatrixSpec("dlmc_mag_98", 512, 2048, "magnitude", 0.02, seed=203),
+        DLMatrixSpec("dlmc_block_85", 1024, 1024, "block", 0.15, block_size=16, seed=204),
+        DLMatrixSpec("dlmc_block_95", 768, 3072, "block", 0.05, block_size=24, seed=205),
+        DLMatrixSpec(
+            "dlmc_batch_heavy", 256, 1024, "magnitude", 0.10, batch_heavy=True, seed=206
+        ),
+    ]
+}
+
+#: Named suites: the paper's scientific Table 5.1 analogs and the DL
+#: sparsity workloads.  ``load_matrix`` resolves names across both.
+SUITES: dict[str, dict] = {"scientific": SUITE, "dl": DL_SUITE}
+
+
+def matrix_names(suite: str = "scientific") -> list[str]:
+    """Names of one suite's matrices (default: the 14 Table 5.1 analogs).
+
+    ``suite`` may be ``"scientific"``, ``"dl"``, or ``"all"``.
+    """
+    if suite == "all":
+        return list(SUITE) + list(DL_SUITE)
+    if suite not in SUITES:
+        raise GeneratorError(
+            f"unknown suite {suite!r}; available: {', '.join(SUITES)}, all"
+        )
+    return list(SUITES[suite])
+
+
+def _find_spec(name: str):
+    spec = SUITE.get(name) or DL_SUITE.get(name)
+    if spec is None:
+        raise GeneratorError(
+            f"unknown suite matrix {name!r}; available: "
+            f"{', '.join(list(SUITE) + list(DL_SUITE))}"
+        )
+    return spec
 
 
 @lru_cache(maxsize=64)
 def _load_cached(name: str, scale: int, policy_key: tuple) -> Triplets:
     index, value = policy_key
     policy = DTypePolicy(index=np.dtype(index), value=np.dtype(value))
-    return SUITE[name].build(scale=scale, policy=policy)
+    return _find_spec(name).build(scale=scale, policy=policy)
 
 
 def load_matrix(
     name: str, scale: int = 1, policy: DTypePolicy = DEFAULT_POLICY
 ) -> Triplets:
-    """Load (generate) a suite matrix by name.
+    """Load (generate) a suite matrix by name (scientific or DL suite).
 
     Results are cached per ``(name, scale, dtypes)`` since studies reuse the
     same matrices across formats and kernels.
     """
-    if name not in SUITE:
-        raise GeneratorError(
-            f"unknown suite matrix {name!r}; available: {', '.join(SUITE)}"
-        )
+    _find_spec(name)  # fail fast with the full name list
     return _load_cached(name, int(scale), (policy.index.str, policy.value.str))
 
 
 def properties_table(
-    scale: int = 1, policy: DTypePolicy = DEFAULT_POLICY
+    scale: int = 1, policy: DTypePolicy = DEFAULT_POLICY, suite: str = "scientific"
 ) -> list[MatrixProperties]:
     """Table 5.1: properties of every suite matrix at the given scale."""
-    return [analyze(load_matrix(name, scale, policy), name) for name in SUITE]
+    return [
+        analyze(load_matrix(name, scale, policy), name)
+        for name in matrix_names(suite)
+    ]
 
 
 def paper_table_5_1() -> list[dict]:

@@ -141,9 +141,11 @@ def load_trajectory_samples(
 ) -> list[LabeledMatrix]:
     """Measured-winner training samples from ``BENCH_*.json`` trajectories.
 
-    Every uncensored trajectory cell (key
-    ``matrix/format/variant/k/threads/block_size``) contributes its
-    measured (or modeled) MFLOPS; cells group by ``(matrix, k, scale)``
+    Every uncensored *SpMM* trajectory cell (key
+    ``matrix/format/variant/k/threads/block_size``, optionally suffixed
+    ``/operation`` for non-SpMM cells — which are skipped, since the
+    selector predicts SpMM winners) contributes its measured (or modeled)
+    MFLOPS; cells group by ``(matrix, k, scale)``
     and the label is the best-scoring candidate format, maximized over
     variants and thread counts.  Groups covering fewer than
     ``min_formats`` candidate formats are skipped — a one-format
@@ -167,8 +169,17 @@ def load_trajectory_samples(
         for cell in data.get("cells") or []:
             if not isinstance(cell, dict) or cell.get("censored"):
                 continue
+            if cell.get("operation", "spmm") != "spmm":
+                continue
             key = str(cell.get("key", ""))
-            parts = key.rsplit("/", 5)
+            parts = key.rsplit("/", 6)
+            if len(parts) == 7:
+                # Operation-suffixed key (BENCH_dl.json): the last part
+                # names a non-spmm operation even when the cell dict was
+                # stripped; only forward-SpMM cells train the selector.
+                if parts[-1] in ("spgemm", "backward", "spmv"):
+                    continue
+                parts = key.rsplit("/", 5)
             if len(parts) != 6:
                 continue
             matrix, fmt, _variant, k_str, _threads, _bs = parts

@@ -229,6 +229,30 @@ def empty_sigma_window(seed: int = 0) -> Triplets:
     return builder.finish()
 
 
+def ragged_block_edge(seed: int = 0) -> Triplets:
+    """DLMC block-sparse pattern whose dims are not block multiples.
+
+    A 4-wide block grid over a 10x14 matrix leaves a 2-row and 2-column
+    ragged fringe; the clipped blocks exercise BCSR's partial-tile padding
+    and ELL's per-row width jumps between full and clipped blocks.
+    """
+    from ..matrices.generators import block_sparse_matrix
+
+    return block_sparse_matrix(10, 14, block_size=4, block_density=0.6, seed=seed)
+
+
+def ultra_sparse_pruned(seed: int = 0) -> Triplets:
+    """98%-sparse magnitude pruning on a wide matrix: most rows empty.
+
+    The DLMC tail regime — Binomial(ncols, 0.02) row counts leave a large
+    fraction of rows with zero entries while a few carry 2-3, the geometry
+    that trips row-pointer walks which assume nnz > 0 per row.
+    """
+    from ..matrices.generators import magnitude_pruned_matrix
+
+    return magnitude_pruned_matrix(12, 48, 0.02, seed=seed)
+
+
 #: name -> builder(seed).  Ordered: the fuzzer samples by index.
 ADVERSARIAL_BUILDERS: dict[str, Callable[[int], Triplets]] = {
     "empty": empty_matrix,
@@ -250,6 +274,8 @@ ADVERSARIAL_BUILDERS: dict[str, Callable[[int], Triplets]] = {
     "last_entry_corner": last_entry_corner,
     "short_chunk": short_chunk,
     "empty_sigma_window": empty_sigma_window,
+    "ragged_block_edge": ragged_block_edge,
+    "ultra_sparse_pruned": ultra_sparse_pruned,
 }
 
 

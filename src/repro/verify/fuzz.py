@@ -7,8 +7,9 @@ to reproduce it.  Cases rotate through three populations:
 
 * the adversarial zoo (:mod:`repro.verify.adversarial`) — every boundary
   geometry, visited round-robin so a small budget still covers all of it;
-* the paper's structured generators (banded, FEM, power-law, stencil,
-  diagonal-band) at fuzz-sized dimensions;
+* the structured generators (banded, FEM, power-law, stencil,
+  diagonal-band, plus the DLMC-style magnitude-pruned and block-sparse
+  families) at fuzz-sized dimensions;
 * unstructured random matrices, including rectangular and near-empty ones.
 
 Each case runs through the differential oracle (rotating execution-path
@@ -96,7 +97,7 @@ def _random_triplets(rng: np.random.Generator) -> Triplets:
 def _structured_triplets(rng: np.random.Generator, case_seed: int) -> tuple[str, Triplets]:
     """A fuzz-sized instance of one of the paper's matrix families."""
     n = int(rng.integers(4, 28))
-    family = int(rng.integers(5))
+    family = int(rng.integers(7))
     if family == 0:
         return "banded", generators.banded_matrix(
             n, int(rng.integers(1, min(n, 6) + 1)), seed=case_seed
@@ -109,6 +110,20 @@ def _structured_triplets(rng: np.random.Generator, case_seed: int) -> tuple[str,
         nx = int(rng.integers(2, 6))
         ny = int(rng.integers(2, 6))
         return "stencil", generators.stencil_matrix(nx, ny, seed=case_seed)
+    if family == 4:
+        # DLMC-style magnitude pruning, deliberately rectangular: the
+        # batch-heavy regime (ncols >> nrows) at fuzz scale.
+        ncols = int(rng.integers(4, 40))
+        density = float(rng.uniform(0.02, 0.35))
+        return "magnitude_pruned", generators.magnitude_pruned_matrix(
+            n, ncols, density, seed=case_seed
+        )
+    if family == 5:
+        block = int(rng.integers(2, 6))
+        return "block_sparse", generators.block_sparse_matrix(
+            n, int(rng.integers(4, 40)), block_size=block,
+            block_density=float(rng.uniform(0.05, 0.5)), seed=case_seed,
+        )
     diags = sorted({int(d) for d in rng.integers(-(n - 1), n, size=3)})
     return "diagonal_band", generators.diagonal_band_matrix(n, diags, seed=case_seed)
 

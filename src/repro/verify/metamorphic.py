@@ -15,7 +15,13 @@ systematic index shift applied identically everywhere):
 * ``k_slicing`` — the first ``j`` columns of a width-``k`` product equal
   the width-``j`` product;
 * ``format_roundtrip`` — ``convert`` through any format and back preserves
-  the dense matrix and the computed product.
+  the dense matrix and the computed product;
+* ``backward_duality`` — the backward gradient multiply ``A^T @ G``
+  (kernels/backward.py) is bit-identical to the Study 8 transpose kernel
+  on an explicitly transposed operand, and agrees with the straight
+  forward kernel on the transposed triplets;
+* ``spgemm_identity`` — ``A @ I == A`` under Gustavson SpGEMM, and
+  ``A @ A^T`` dense-agrees with the densified product.
 
 Each relation takes ``(triplets, B, k, fmt, variant, rtol)`` and returns a
 list of human-readable failure strings (empty = holds).  The shrinker uses
@@ -174,6 +180,66 @@ def format_roundtrip(triplets, B, k, fmt, variant, rtol):
     return failures
 
 
+def backward_duality(triplets, B, k, fmt, variant, rtol):
+    """Backward A^T@G == transpose kernel on explicit A^T, bit for bit."""
+    if fmt not in _TRANSPOSE_FORMATS:
+        return []
+    from ..kernels.backward import backward_spmm
+    from ..kernels.transpose import transpose_spmm
+
+    failures = []
+    params = DEFAULT_FORMAT_PARAMS.get(fmt, {})
+    rng = np.random.default_rng(triplets.nrows * 43 + triplets.nnz)
+    G = rng.standard_normal((triplets.nrows, k))
+    A = _build(fmt, triplets)
+    got = np.asarray(backward_spmm(A, G, k, fmt_params=params), dtype=np.float64)
+    # Bit-identity leg: same format built from the transposed triplets,
+    # same transpose kernel — the composition must be exact, not close.
+    At = _build(fmt, triplets.transposed())
+    want_exact = np.asarray(transpose_spmm(At, G, k), dtype=np.float64)
+    if got.shape != want_exact.shape or not np.array_equal(got, want_exact):
+        failures.append(
+            "backward_spmm is not bit-identical to transpose_spmm on explicit A^T"
+        )
+    # Algebraic leg: the straight forward kernel on A^T computes the same
+    # product (different accumulation order, so tolerance applies).
+    want = _multiply(fmt, variant, triplets.transposed(), G, k)
+    err = _mismatch(got, want, rtol)
+    if err is not None:
+        failures.append(
+            f"backward duality (A^T@G vs forward on A^T) violated: "
+            f"max abs deviation {err:.3e}"
+        )
+    return failures
+
+
+def spgemm_identity(triplets, B, k, fmt, variant, rtol):
+    """A @ I == A under SpGEMM; A @ A^T matches the densified product."""
+    from ..kernels.spgemm import spgemm
+
+    failures = []
+    A = _build(fmt, triplets)
+    eye = CooBuilder(triplets.ncols, triplets.ncols)
+    diag = np.arange(triplets.ncols, dtype=np.int64)
+    eye.add_batch(diag, diag, np.ones(triplets.ncols))
+    identity = get_format("csr").from_triplets(eye.finish())
+    got = spgemm(A, identity).to_dense()
+    want = triplets.to_dense()
+    if got.shape != want.shape or not np.array_equal(got, want):
+        failures.append(f"A @ I != A through {fmt} SpGEMM")
+    # A @ A^T against the dense product (accumulation reorders, so the
+    # scaled tolerance band applies instead of bit equality).
+    At = get_format("csr").from_triplets(triplets.transposed())
+    prod = spgemm(A, At).to_dense()
+    dense = want.astype(np.float64) @ want.astype(np.float64).T
+    err = _mismatch(prod, dense, rtol)
+    if err is not None:
+        failures.append(
+            f"A @ A^T SpGEMM deviates from dense product: max abs error {err:.3e}"
+        )
+    return failures
+
+
 #: name -> relation(triplets, B, k, fmt, variant, rtol) -> [failure, ...]
 METAMORPHIC_RELATIONS: dict[str, Callable] = {
     "row_permutation": row_permutation,
@@ -182,6 +248,8 @@ METAMORPHIC_RELATIONS: dict[str, Callable] = {
     "transpose_duality": transpose_duality,
     "k_slicing": k_slicing,
     "format_roundtrip": format_roundtrip,
+    "backward_duality": backward_duality,
+    "spgemm_identity": spgemm_identity,
 }
 
 

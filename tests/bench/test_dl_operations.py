@@ -1,0 +1,203 @@
+"""DL workload benchmarks: spgemm + backward operations through the
+benchmark suite, the grid runner's operation axis, trajectory keys, and
+the ``bench --suite dl`` CLI with its quick-cut gate invariant."""
+
+import json
+
+import pytest
+
+from repro._compat import legacy_ok
+from repro.bench.observe import build_trajectory, compare_trajectories
+from repro.bench.params import BenchParams
+from repro.bench.runner import GridRunner, GridSpec
+from repro.bench.suite import OPERATIONS, SpmmBenchmark
+from repro.cli import BENCH_GRIDS, main
+from repro.errors import BenchConfigError
+from repro.kernels.backward import BACKWARD_FORMATS
+from repro.machine.machines import get_machine
+
+
+def _bench(fmt, operation, machine=None, **params):
+    with legacy_ok():
+        b = SpmmBenchmark(
+            fmt,
+            params=BenchParams(n_runs=1, warmup=0, k=8, threads=2, **params),
+            machine=machine,
+            operation=operation,
+        )
+    b.load_suite_matrix("dlmc_mag_90", scale=64)
+    return b
+
+
+class TestBenchmarkOperations:
+    def test_operations_tuple(self):
+        assert OPERATIONS == ("spmm", "spmv", "spgemm", "backward")
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(BenchConfigError):
+            _bench("csr", "sddmm")
+
+    @pytest.mark.parametrize("fmt", ["csr", "ell", "bcsr"])
+    def test_spgemm_runs_verified(self, fmt):
+        result = _bench(fmt, "spgemm").run(mode="wallclock")
+        assert result.verified is True
+        assert result.mflops > 0
+        assert result.extra["operand_nnz"] > 0
+        assert result.extra["output_nnz"] > 0
+
+    @pytest.mark.parametrize("fmt", BACKWARD_FORMATS)
+    def test_backward_runs_verified(self, fmt):
+        result = _bench(fmt, "backward").run(mode="wallclock")
+        assert result.verified is True
+        assert result.mflops > 0
+
+    def test_spgemm_has_no_model(self):
+        machine = get_machine("arm").with_scaled_caches(64)
+        result = _bench("csr", "spgemm", machine=machine).run(mode="both")
+        assert result.modeled is None
+        assert result.verified is True
+
+    def test_backward_is_modeled(self):
+        machine = get_machine("arm").with_scaled_caches(64)
+        result = _bench("csr", "backward", machine=machine).run(mode="both")
+        assert result.modeled is not None
+        assert result.modeled_mflops > 0
+
+
+class TestGridOperationAxis:
+    SPEC = GridSpec(
+        matrices=("dlmc_mag_90",),
+        formats=("csr", "ell", "sell"),
+        variants=("serial", "parallel"),
+        k_values=(8, 16),
+        thread_counts=(2,),
+        scale=64,
+        operations=("spmm", "spgemm", "backward"),
+        base_params=BenchParams(n_runs=1, warmup=0, k=8, threads=2),
+    )
+
+    def test_spgemm_collapses_variant_and_k_axes(self):
+        cells = [c for c in self.SPEC.cells() if c[2] == "spgemm"]
+        assert {params.variant for _, _, _, params in cells} == {"serial"}
+        assert {params.k for _, _, _, params in cells} == {8}
+
+    def test_backward_prunes_unsupported_formats(self):
+        cells = [c for c in self.SPEC.cells() if c[2] == "backward"]
+        fmts = {fmt for _, fmt, _, _ in cells}
+        assert fmts == {"csr", "ell"}  # sell has no transpose kernel
+
+    def test_legacy_configurations_unchanged(self):
+        spec = GridSpec(
+            matrices=("dw4096",), formats=("csr",), variants=("serial",),
+        )
+        triples = list(spec.configurations())
+        assert len(triples) == 1
+        assert triples[0][0] == "dw4096"
+
+    def test_trajectory_keys_carry_operation_suffix(self):
+        spec = GridSpec(
+            matrices=("dlmc_mag_90",),
+            formats=("csr",),
+            variants=("serial",),
+            k_values=(8,),
+            thread_counts=(2,),
+            scale=64,
+            operations=("spmm", "spgemm", "backward"),
+            base_params=BenchParams(n_runs=1, warmup=0, k=8, threads=2),
+        )
+        with legacy_ok():
+            runner = GridRunner(spec, mode="wallclock")
+        records = runner.run()
+        trajectory = build_trajectory(records, None, {"scale": 64})
+        by_op = {}
+        for cell in trajectory["cells"]:
+            op = cell.get("operation", "spmm")
+            by_op.setdefault(op, []).append(cell["key"])
+        assert set(by_op) == {"spmm", "spgemm", "backward"}
+        assert all(k.count("/") == 5 for k in by_op["spmm"])
+        assert all(k.endswith("/spgemm") for k in by_op["spgemm"])
+        assert all(k.endswith("/backward") for k in by_op["backward"])
+
+    def test_quick_grid_is_cell_subset_of_full(self):
+        """The CI gate invariant: every quick-grid cell key exists in the
+        full dl grid, so shared modeled cells compare at ratio 1.0."""
+        grid = dict(BENCH_GRIDS["dl"])
+        quick = grid.pop("quick")
+
+        def keys(overrides):
+            cfg = {**grid, **overrides}
+            spec = GridSpec(
+                matrices=tuple(cfg["matrices"]),
+                formats=tuple(cfg["formats"]),
+                variants=tuple(cfg["variants"]),
+                k_values=tuple(cfg["k_values"]),
+                thread_counts=(4,),
+                operations=tuple(cfg["operations"]),
+                base_params=BenchParams(k=32, threads=4),
+            )
+            return {
+                (m, f, op, p.variant, p.k, p.threads, p.block_size)
+                for m, f, op, p in spec.cells()
+            }
+
+        full, cut = keys({}), keys(quick)
+        assert cut and cut < full
+
+
+class TestDlCli:
+    def test_bench_suite_dl_quick(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_dl.json"
+        code = main([
+            "bench", "--suite", "dl", "--quick", "-n", "1", "--out", str(out),
+        ])
+        assert code == 0
+        data = json.loads(out.read_text())
+        ops = {c.get("operation", "spmm") for c in data["cells"]}
+        assert ops == {"spmm", "spgemm", "backward"}
+        assert data["config"]["study"] == "dl"
+        assert data["config"]["suite"] == "dl"
+        assert data["config"]["operations"] == ["spmm", "spgemm", "backward"]
+
+    def test_gate_against_own_baseline_passes(self, tmp_path):
+        out = tmp_path / "BENCH_dl.json"
+        assert main(["bench", "--suite", "dl", "--quick", "-n", "1",
+                     "--out", str(out)]) == 0
+        rerun = tmp_path / "BENCH_dl2.json"
+        code = main(["bench", "--suite", "dl", "--quick", "-n", "1",
+                     "--out", str(rerun), "--baseline", str(out),
+                     "--tolerance", "0.05"])
+        assert code == 0  # modeled metric is deterministic: ratio exactly 1
+
+    def test_gate_detects_injected_regression(self, tmp_path):
+        out = tmp_path / "BENCH_dl.json"
+        assert main(["bench", "--suite", "dl", "--quick", "-n", "1",
+                     "--out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        for cell in data["cells"]:
+            if cell.get("modeled_mflops"):
+                cell["modeled_mflops"] *= 10.0  # baseline was 10x faster
+        inflated = tmp_path / "baseline.json"
+        inflated.write_text(json.dumps(data))
+        current = json.loads(out.read_text())
+        report = compare_trajectories(json.loads(inflated.read_text()), current,
+                                      tolerance=0.15)
+        assert report.regressed
+
+    def test_suite_study_conflict_rejected(self, tmp_path):
+        code = main(["bench", "--suite", "dl", "--study", "smoke",
+                     "--out", str(tmp_path / "x.json")])
+        assert code == 1
+
+    def test_quick_without_cut_rejected(self, tmp_path):
+        code = main(["bench", "--study", "smoke", "--quick",
+                     "--out", str(tmp_path / "x.json")])
+        assert code == 1
+
+    def test_run_spgemm_and_backward(self, capsys):
+        for op in ("spgemm", "backward"):
+            code = main(["run", "--matrix", "dlmc_block_85", "--format", "csr",
+                         "--scale", "64", "--operation", op, "-n", "1"])
+            assert code == 0
+            assert "verified       : True" in capsys.readouterr().out.replace(
+                "verified      :", "verified       :"
+            )

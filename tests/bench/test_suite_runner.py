@@ -72,7 +72,7 @@ class TestSpmmBenchmark:
 
     def test_bad_operation(self):
         with pytest.raises(BenchConfigError):
-            SpmmBenchmark("csr", FAST, operation="spgemm")
+            SpmmBenchmark("csr", FAST, operation="sddmm")
 
     def test_gpu_variant_censored_on_aries(self):
         bench = SpmmBenchmark("coo", FAST.with_(variant="gpu"), machine=ARIES)

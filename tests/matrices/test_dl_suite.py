@@ -1,0 +1,153 @@
+"""Tests for the DLMC-style generators and the ``dl`` matrix suite."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeneratorError
+from repro.matrices.generators import block_sparse_matrix, magnitude_pruned_matrix
+from repro.matrices.suite import (
+    DL_SUITE,
+    SUITE,
+    SUITES,
+    load_matrix,
+    matrix_names,
+    properties_table,
+)
+
+DL_NAMES = tuple(DL_SUITE)
+
+
+class TestMagnitudePruned:
+    def test_density_statistics(self):
+        t = magnitude_pruned_matrix(200, 300, 0.1, seed=1)
+        expected = 200 * 300 * 0.1
+        assert abs(t.nnz - expected) < 4 * np.sqrt(expected)  # ~4 sigma
+
+    def test_rows_are_binomial_not_fixed(self):
+        # Magnitude pruning is unstructured: row counts must vary (empty
+        # rows included at high sparsity), unlike per-row generators.
+        t = magnitude_pruned_matrix(400, 50, 0.02, seed=2)
+        counts = np.bincount(np.asarray(t.rows, dtype=np.int64), minlength=400)
+        assert counts.min() == 0
+        assert len(set(counts.tolist())) > 2
+
+    def test_columns_distinct_and_sorted_per_row(self):
+        t = magnitude_pruned_matrix(60, 40, 0.3, seed=3)
+        keys = np.asarray(t.rows, dtype=np.int64) * t.ncols + np.asarray(
+            t.cols, dtype=np.int64
+        )
+        assert np.all(np.diff(keys) > 0)
+
+    def test_values_survive_the_prune(self):
+        # Every surviving weight sits above the pruning threshold in |w|.
+        t = magnitude_pruned_matrix(50, 50, 0.2, seed=4)
+        assert np.abs(np.asarray(t.values)).min() > 1.0  # ppf(0.9) ~ 1.28
+
+    def test_deterministic_by_seed(self):
+        a = magnitude_pruned_matrix(30, 30, 0.15, seed=9)
+        b = magnitude_pruned_matrix(30, 30, 0.15, seed=9)
+        c = magnitude_pruned_matrix(30, 30, 0.15, seed=10)
+        assert np.array_equal(a.to_dense(), b.to_dense())
+        assert not np.array_equal(a.to_dense(), c.to_dense())
+
+    @pytest.mark.parametrize("density", [0.0, -0.1, 1.5])
+    def test_bad_density_rejected(self, density):
+        with pytest.raises(GeneratorError):
+            magnitude_pruned_matrix(4, 4, density)
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(GeneratorError):
+            magnitude_pruned_matrix(0, 4, 0.5)
+
+    def test_full_density_is_dense(self):
+        t = magnitude_pruned_matrix(7, 5, 1.0, seed=0)
+        assert t.nnz == 35
+
+
+class TestBlockSparse:
+    def test_entries_confined_to_kept_blocks(self):
+        t = block_sparse_matrix(64, 64, block_size=16, block_density=0.2, seed=1)
+        blocks = set(
+            zip(
+                (np.asarray(t.rows, dtype=np.int64) // 16).tolist(),
+                (np.asarray(t.cols, dtype=np.int64) // 16).tolist(),
+            )
+        )
+        # Kept blocks are fully dense: nnz is a multiple of full-tile size.
+        assert t.nnz == len(blocks) * 16 * 16
+
+    def test_ragged_edges_clipped(self):
+        t = block_sparse_matrix(10, 14, block_size=4, block_density=1.0, seed=0)
+        assert t.nnz == 10 * 14  # density 1: every clipped block kept, dense
+        assert int(np.asarray(t.rows).max()) == 9
+        assert int(np.asarray(t.cols).max()) == 13
+
+    def test_at_least_one_block(self):
+        # Tiny density on a tiny grid: the forced-block rule still fires.
+        t = block_sparse_matrix(8, 8, block_size=4, block_density=1e-9, seed=5)
+        assert t.nnz >= 1
+
+    def test_row_major_sorted(self):
+        t = block_sparse_matrix(20, 30, block_size=8, block_density=0.4, seed=2)
+        keys = np.asarray(t.rows, dtype=np.int64) * t.ncols + np.asarray(
+            t.cols, dtype=np.int64
+        )
+        assert np.all(np.diff(keys) > 0)
+
+    def test_no_explicit_zeros(self):
+        t = block_sparse_matrix(24, 24, block_size=6, block_density=0.5, seed=3)
+        assert np.all(np.asarray(t.values) != 0.0)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(GeneratorError):
+            block_sparse_matrix(8, 8, block_size=0)
+        with pytest.raises(GeneratorError):
+            block_sparse_matrix(8, 8, block_density=0.0)
+
+
+class TestDlSuite:
+    def test_scientific_names_unchanged(self):
+        assert len(matrix_names()) == 14
+        assert matrix_names() == matrix_names("scientific")
+
+    def test_dl_names(self):
+        names = matrix_names("dl")
+        assert names == list(DL_NAMES)
+        assert len(names) == 6
+
+    def test_all_is_union(self):
+        assert matrix_names("all") == matrix_names("scientific") + matrix_names("dl")
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(GeneratorError):
+            matrix_names("imagenet")
+
+    def test_suites_registry(self):
+        assert SUITES["scientific"] is SUITE
+        assert SUITES["dl"] is DL_SUITE
+
+    @pytest.mark.parametrize("name", DL_NAMES)
+    def test_every_dl_matrix_loads(self, name):
+        t = load_matrix(name, scale=64)
+        assert t.nnz > 0
+        assert t.nrows >= 16 and t.ncols >= 16
+
+    def test_batch_heavy_shape(self):
+        # The k >> nrows regime: the spec is wider than tall at every scale.
+        t = load_matrix("dlmc_batch_heavy", scale=64)
+        assert t.ncols > t.nrows
+
+    def test_scale_shrinks_both_dims(self):
+        big = load_matrix("dlmc_mag_70", scale=16)
+        small = load_matrix("dlmc_mag_70", scale=64)
+        assert small.nrows < big.nrows
+        assert small.ncols < big.ncols
+
+    def test_deterministic_per_scale(self):
+        a = load_matrix("dlmc_block_85", scale=64)
+        b = load_matrix("dlmc_block_85", scale=64)
+        assert np.array_equal(a.to_dense(), b.to_dense())
+
+    def test_properties_table_covers_dl(self):
+        rows = properties_table(scale=64, suite="dl")
+        assert len(rows) == len(DL_NAMES)

@@ -27,12 +27,17 @@ def _write_trajectory(path, cells, scale=SCALE):
     return path
 
 
-def _cell(matrix, fmt, mflops, variant="serial", k=8, threads=1, censored=False):
-    return {
-        "key": f"{matrix}/{fmt}/{variant}/{k}/{threads}/-",
+def _cell(matrix, fmt, mflops, variant="serial", k=8, threads=1, censored=False,
+          operation=None):
+    cell = {
+        "key": f"{matrix}/{fmt}/{variant}/{k}/{threads}/-"
+               + (f"/{operation}" if operation else ""),
         "mflops": mflops,
         "censored": censored,
     }
+    if operation:
+        cell["operation"] = operation
+    return cell
 
 
 class TestLoadTrajectorySamples:
@@ -83,6 +88,52 @@ class TestLoadTrajectorySamples:
         ])
         (tmp_path / "BENCH_serve.json").write_text("{not json")
         assert load_trajectory_samples(tmp_path) == []
+
+    def test_dl_trajectory_ingested(self, tmp_path):
+        """BENCH_dl.json: DL matrices plus operation-suffixed cells."""
+        _write_trajectory(tmp_path / "BENCH_dl.json", [
+            _cell("dlmc_mag_90", "csr", 120.0),
+            _cell("dlmc_mag_90", "ell", 80.0),
+            _cell("dlmc_mag_90", "bcsr", 60.0),
+            _cell("dlmc_mag_90", "csr", 999.0, operation="spgemm"),
+            _cell("dlmc_mag_90", "ell", 999.0, operation="backward"),
+        ])
+        samples = load_trajectory_samples(tmp_path)
+        assert len(samples) == 1
+        assert samples[0].label == "csr"
+        # Non-spmm cells must not inflate the spmm scores.
+        assert samples[0].scores == {"csr": 120.0, "ell": 80.0, "bcsr": 60.0}
+
+    def test_operation_suffix_alone_still_skipped(self, tmp_path):
+        """A stripped cell dict (no "operation" field) still parses the
+        7-part key and skips the non-spmm cell."""
+        cells = [
+            _cell("dlmc_block_85", "csr", 100.0),
+            _cell("dlmc_block_85", "ell", 300.0),
+            _cell("dlmc_block_85", "csr", 5000.0, operation="spgemm"),
+        ]
+        for c in cells:
+            c.pop("operation", None)
+        _write_trajectory(tmp_path / "BENCH_dl.json", cells)
+        samples = load_trajectory_samples(tmp_path)
+        assert len(samples) == 1
+        assert samples[0].label == "ell"
+        assert samples[0].scores["csr"] == 100.0
+
+    def test_dl_and_legacy_trajectories_coexist(self, tmp_path):
+        _write_trajectory(tmp_path / "BENCH_study1.json", [
+            _cell("dw4096", "csr", 10.0),
+            _cell("dw4096", "ell", 20.0),
+        ])
+        _write_trajectory(tmp_path / "BENCH_dl.json", [
+            _cell("dlmc_mag_70", "csr", 50.0),
+            _cell("dlmc_mag_70", "bcsr", 75.0),
+            _cell("dlmc_mag_70", "coo", 1.0, operation="backward"),
+        ])
+        samples = load_trajectory_samples(tmp_path)
+        labels = {s.label for s in samples}
+        assert len(samples) == 2
+        assert labels == {"ell", "bcsr"}
 
     def test_accepts_single_file_and_directory(self, tmp_path):
         f = _write_trajectory(tmp_path / "BENCH_a.json", [
